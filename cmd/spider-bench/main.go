@@ -1,0 +1,172 @@
+// Command spider-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spider-bench -list
+//	spider-bench -run all -scale 0.2
+//	spider-bench -run fig2,table2 -format csv -out results/
+//
+// Each experiment is deterministic in -seed. -scale in (0,1] trades
+// fidelity for runtime (1.0 reproduces the full paper-scale runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"spider/internal/experiments"
+)
+
+type renderable interface {
+	Render() string
+	CSV() string
+}
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(experiments.Options) []renderable
+}
+
+func one(r renderable) []renderable { return []renderable{r} }
+
+// townCache shares the expensive town study across the experiments that
+// derive from it within a single invocation.
+var townCache *experiments.TownResults
+
+func town(o experiments.Options) *experiments.TownResults {
+	if townCache == nil {
+		townCache = experiments.TownStudy(o)
+	}
+	return townCache
+}
+
+var registry = []experiment{
+	{"fig2", "join model vs simulation", func(o experiments.Options) []renderable { return one(experiments.Figure2(o)) }},
+	{"fig3", "join probability vs βmax", func(o experiments.Options) []renderable { return one(experiments.Figure3(o)) }},
+	{"fig4", "optimal bandwidth vs speed (3 splits + dividing speeds)", func(o experiments.Options) []renderable {
+		var out []renderable
+		for _, f := range experiments.Figure4(o) {
+			out = append(out, f)
+		}
+		out = append(out, experiments.DividingSpeeds(o))
+		return out
+	}},
+	{"fig5", "association time vs schedule fraction", func(o experiments.Options) []renderable { return one(experiments.Figure5(o)) }},
+	{"fig6", "dhcp lease time vs schedule and timeout", func(o experiments.Options) []renderable { return one(experiments.Figure6(o)) }},
+	{"fig7", "TCP throughput vs primary-channel fraction", func(o experiments.Options) []renderable { return one(experiments.Figure7(o)) }},
+	{"fig8", "TCP throughput vs absolute dwell", func(o experiments.Options) []renderable { return one(experiments.Figure8(o)) }},
+	{"table1", "channel switch latency", func(o experiments.Options) []renderable { return one(experiments.Table1(o)) }},
+	{"fig10", "throughput vs backhaul bandwidth", func(o experiments.Options) []renderable { return one(experiments.Figure10(o)) }},
+	{"table2", "throughput/connectivity by configuration", func(o experiments.Options) []renderable { return one(experiments.Table2(town(o))) }},
+	{"fig11", "connection duration CDFs", func(o experiments.Options) []renderable { return one(experiments.Figure11(town(o))) }},
+	{"fig12", "disruption length CDFs", func(o experiments.Options) []renderable { return one(experiments.Figure12(town(o))) }},
+	{"fig13", "instantaneous bandwidth CDFs", func(o experiments.Options) []renderable { return one(experiments.Figure13(town(o))) }},
+	{"table3", "dhcp failure probabilities", func(o experiments.Options) []renderable { return one(experiments.Table3(o)) }},
+	{"fig14", "join time vs dhcp timeout", func(o experiments.Options) []renderable { return one(experiments.Figure14(o)) }},
+	{"fig15", "join time vs scheduling policy", func(o experiments.Options) []renderable { return one(experiments.Figure15(o)) }},
+	{"table4", "throughput/connectivity by channel count", func(o experiments.Options) []renderable { return one(experiments.Table4(town(o))) }},
+	{"fig16", "user vs Spider connection lengths", func(o experiments.Options) []renderable { return one(experiments.Figure16(o, town(o))) }},
+	{"fig17", "user vs Spider disruption lengths", func(o experiments.Options) []renderable { return one(experiments.Figure17(o, town(o))) }},
+	{"apdensity", "time at k concurrent APs (Section 4.4)", func(o experiments.Options) []renderable { return one(experiments.APDensity(town(o))) }},
+	{"appendixa", "multi-AP selection solver ablation", func(o experiments.Options) []renderable { return one(experiments.AppendixA(o)) }},
+	{"ablation", "design-choice ablations (lease cache, timers, vifs, striping, adaptive, predictive, energy)", func(o experiments.Options) []renderable {
+		return []renderable{
+			experiments.AblationLeaseCache(o),
+			experiments.AblationTimers(o),
+			experiments.AblationInterfaces(o),
+			experiments.AblationStriping(o),
+			experiments.AblationAdaptive(o),
+			experiments.AblationPredictive(o),
+			experiments.AblationEnergy(o),
+		}
+	}},
+}
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		seed    = flag.Int64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1.0, "fidelity scale in (0,1]")
+		format  = flag.String("format", "text", "output format: text or csv")
+		outDir  = flag.String("out", "", "directory to write one file per experiment (default stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *runList != "all" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		var known []string
+		for _, e := range registry {
+			known = append(known, e.id)
+		}
+		sort.Strings(known)
+		for id := range want {
+			found := false
+			for _, k := range known {
+				if k == id {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(known, ", "))
+				os.Exit(2)
+			}
+		}
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range registry {
+		if *runList != "all" && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		outputs := e.run(opts)
+		elapsed := time.Since(start)
+		for i, r := range outputs {
+			var body string
+			ext := "txt"
+			if *format == "csv" {
+				body = r.CSV()
+				ext = "csv"
+			} else {
+				body = r.Render()
+			}
+			if *outDir == "" {
+				fmt.Print(body)
+				fmt.Println()
+				continue
+			}
+			name := e.id
+			if len(outputs) > 1 {
+				name = fmt.Sprintf("%s-%d", e.id, i)
+			}
+			path := filepath.Join(*outDir, name+"."+ext)
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Fprintf(os.Stderr, "# %s done in %v\n", e.id, elapsed.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,116 @@
+// Command spider-model explores the paper's analytical join model (Eq. 5-7)
+// and the throughput-maximization framework (Eq. 8-10) from the command
+// line.
+//
+// Usage:
+//
+//	spider-model join -betamax 5s -t 4s            # p(f, t) curve
+//	spider-model join -fi 0.25 -validate           # closed form vs Monte-Carlo
+//	spider-model schedule -joined 0.75 -avail 0.25 # optimal schedule vs speed
+//	spider-model divide                            # dividing speeds per split
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spider"
+	"spider/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "join":
+		joinCmd(os.Args[2:])
+	case "schedule":
+		scheduleCmd(os.Args[2:])
+	case "divide":
+		divideCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: spider-model {join|schedule|divide} [flags]")
+	os.Exit(2)
+}
+
+func joinCmd(args []string) {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	betaMax := fs.Duration("betamax", 5*time.Second, "maximum AP response time")
+	t := fs.Duration("t", 4*time.Second, "time in range")
+	fi := fs.Float64("fi", 0, "single fraction to evaluate (0 = sweep)")
+	validate := fs.Bool("validate", false, "also run the Monte-Carlo simulation")
+	trials := fs.Int("trials", 10000, "Monte-Carlo trials")
+	seed := fs.Int64("seed", 1, "Monte-Carlo seed")
+	fs.Parse(args)
+
+	m := spider.PaperJoinModel(*betaMax)
+	rng := sim.NewRNG(*seed)
+	eval := func(f float64) {
+		p := m.JoinProbability(f, *t)
+		if *validate {
+			s := m.SimulateJoinProbability(rng, f, *t, *trials)
+			fmt.Printf("f=%.2f  model=%.4f  sim=%.4f\n", f, p, s)
+		} else {
+			fmt.Printf("f=%.2f  p=%.4f\n", f, p)
+		}
+	}
+	if *fi > 0 {
+		eval(*fi)
+		return
+	}
+	fmt.Printf("# join probability, βmax=%v, t=%v, D=500ms, w=7ms, c=100ms, h=0.10\n", *betaMax, *t)
+	for f := 0.05; f <= 1.0001; f += 0.05 {
+		eval(f)
+	}
+}
+
+func scheduleCmd(args []string) {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	joined := fs.Float64("joined", 0.75, "fraction of Bw already joined on channel 1")
+	avail := fs.Float64("avail", 0.25, "fraction of Bw available (unjoined) on channel 2")
+	bw := fs.Float64("bw", 11e6, "wireless bandwidth (bps)")
+	betaMax := fs.Duration("betamax", 10*time.Second, "maximum AP response time")
+	rng := fs.Float64("range", 100, "radio range (m)")
+	step := fs.Float64("step", 0.02, "schedule fraction granularity")
+	fs.Parse(args)
+
+	m := spider.PaperJoinModel(*betaMax)
+	fmt.Printf("# optimal schedule, joined=%.0f%% avail=%.0f%% of %.0f Mbps\n", *joined*100, *avail*100, *bw/1e6)
+	fmt.Printf("%-10s %-8s %-8s %-12s %-12s %-12s\n", "speed", "f1", "f2", "ch1 (kbps)", "ch2 (kbps)", "total")
+	for _, v := range []float64{2.5, 3.3, 5, 6.6, 10, 20} {
+		T := spider.Time(2 * *rng / v * 1e9)
+		sol := spider.OptimalSchedule(spider.ScheduleProblem{
+			Model: m, Bw: *bw, T: T,
+			Channels: []spider.ChannelInput{{Joined: *joined * *bw}, {Available: *avail * *bw}},
+		}, *step)
+		fmt.Printf("%-10.1f %-8.2f %-8.2f %-12.0f %-12.0f %-12.0f\n",
+			v, sol.F[0], sol.F[1], sol.PerChannelBps[0]/1000, sol.PerChannelBps[1]/1000, sol.TotalBps/1000)
+	}
+}
+
+func divideCmd(args []string) {
+	fs := flag.NewFlagSet("divide", flag.ExitOnError)
+	bw := fs.Float64("bw", 11e6, "wireless bandwidth (bps)")
+	betaMax := fs.Duration("betamax", 10*time.Second, "maximum AP response time")
+	fs.Parse(args)
+
+	m := spider.PaperJoinModel(*betaMax)
+	fmt.Println("# speed above which a single channel is (near-)optimal")
+	for _, sp := range []struct {
+		name          string
+		joined, avail float64
+	}{{"25/75", 0.25, 0.75}, {"50/50", 0.5, 0.5}, {"75/25", 0.75, 0.25}} {
+		div := spider.DividingSpeed(m, *bw,
+			[]spider.ChannelInput{{Joined: sp.joined * *bw}, {Available: sp.avail * *bw}},
+			100, 2.5, 25, 1.25, 0.02)
+		fmt.Printf("split %-6s dividing speed ≈ %.2f m/s\n", sp.name, div)
+	}
+}

@@ -1,0 +1,66 @@
+// Modelstudy: the analytical side of the paper without any packet
+// simulation — evaluate the join model (Eq. 5-7), validate it against its
+// Monte-Carlo twin, and solve the schedule optimization (Eq. 8-10) to find
+// the dividing speed.
+//
+//	go run ./examples/modelstudy
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"spider"
+	"spider/internal/sim"
+)
+
+func main() {
+	fmt.Println("== Join model (Eq. 5-7): p(f, t=4s) for βmax = 5s ==")
+	m := spider.PaperJoinModel(5 * time.Second)
+	rng := sim.NewRNG(7)
+	fmt.Printf("%-8s %-10s %-10s\n", "f", "model", "monte-carlo")
+	for _, f := range []float64{0.1, 0.2, 0.3, 0.5, 0.75, 1.0} {
+		p := m.JoinProbability(f, 4*time.Second)
+		s := m.SimulateJoinProbability(rng, f, 4*time.Second, 20000)
+		fmt.Printf("%-8.2f %-10.4f %-10.4f\n", f, p, s)
+	}
+	fmt.Println("\nThe paper's anchors: p(0.30) ≈ 0.75 and p(0.10) ≈ 0.20.")
+
+	fmt.Println("\n== Sensitivity to AP response time (Fig. 3) ==")
+	fmt.Printf("%-8s", "βmax")
+	fis := []float64{0.10, 0.25, 0.40, 0.50}
+	for _, f := range fis {
+		fmt.Printf("f=%-8.2f", f)
+	}
+	fmt.Println()
+	for b := 2; b <= 10; b += 2 {
+		mm := spider.PaperJoinModel(time.Duration(b) * time.Second)
+		fmt.Printf("%-8d", b)
+		for _, f := range fis {
+			fmt.Printf("%-10.3f", mm.JoinProbability(f, 4*time.Second))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Optimal schedules (Eq. 8-10): 75% joined on ch1, 25% available on ch2 ==")
+	opt := spider.PaperJoinModel(10 * time.Second)
+	fmt.Printf("%-10s %-10s %-10s %-12s\n", "speed", "ch1 kbps", "ch2 kbps", "verdict")
+	for _, v := range []float64{2.5, 5, 10, 20} {
+		T := spider.Time(2 * 100 / v * 1e9)
+		sol := spider.OptimalSchedule(spider.ScheduleProblem{
+			Model: opt, Bw: 11e6, T: T,
+			Channels: []spider.ChannelInput{{Joined: 0.75 * 11e6}, {Available: 0.25 * 11e6}},
+		}, 0.02)
+		verdict := "switch channels"
+		if sol.PerChannelBps[1] < 0.05*11e6 {
+			verdict = "stay on ch1"
+		}
+		fmt.Printf("%-10.1f %-10.0f %-10.0f %-12s\n",
+			v, sol.PerChannelBps[0]/1000, sol.PerChannelBps[1]/1000, verdict)
+	}
+
+	div := spider.DividingSpeed(opt, 11e6,
+		[]spider.ChannelInput{{Joined: 0.75 * 11e6}, {Available: 0.25 * 11e6}},
+		100, 2.5, 25, 1.25, 0.02)
+	fmt.Printf("\ndividing speed for the 75/25 split ≈ %.1f m/s (paper: ≈10 m/s)\n", div)
+}

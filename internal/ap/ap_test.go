@@ -1,0 +1,437 @@
+package ap
+
+import (
+	"testing"
+	"time"
+
+	"spider/internal/dhcp"
+	"spider/internal/dot11"
+	"spider/internal/geo"
+	"spider/internal/ipnet"
+	"spider/internal/phy"
+	"spider/internal/sim"
+)
+
+var gw = ipnet.AddrFrom4(10, 0, 0, 1)
+
+type world struct {
+	eng    *sim.Engine
+	medium *phy.Medium
+	ap     *AP
+	uplink []ipnet.Packet
+}
+
+func newWorld(t *testing.T, open bool) *world {
+	t.Helper()
+	eng := sim.NewEngine()
+	params := phy.Defaults()
+	params.Loss = func(float64) float64 { return 0 }
+	w := &world{eng: eng, medium: phy.NewMedium(eng, sim.NewRNG(1).Stream("phy"), params)}
+	cfg := DefaultConfig("testnet", dot11.Channel6, gw)
+	cfg.Open = open
+	cfg.MgmtDelayMin, cfg.MgmtDelayMax = time.Millisecond, 2*time.Millisecond
+	cfg.DHCP.RespDelayMin, cfg.DHCP.RespDelayMax = 10*time.Millisecond, 20*time.Millisecond
+	cfg.PSMBufferLimit = 10
+	w.ap = New(eng, sim.NewRNG(2), w.medium, geo.Point{}, dot11.MAC(1000), cfg,
+		func(p ipnet.Packet) { w.uplink = append(w.uplink, p) })
+	return w
+}
+
+// client is a bare station for driving the AP directly.
+type client struct {
+	radio *phy.Radio
+	got   []dot11.Frame
+}
+
+func (w *world) newClient(mac dot11.MACAddr) *client {
+	c := &client{}
+	c.radio = w.medium.NewRadio(mac, func() geo.Point { return geo.Point{X: 10} })
+	c.radio.SetChannel(dot11.Channel6, nil)
+	c.radio.SetReceiver(func(f dot11.Frame, _ phy.RxInfo) { c.got = append(c.got, f) })
+	// Let the channel switch (hardware reset) complete before the test
+	// transmits anything.
+	w.eng.Run(w.eng.Now() + 10*time.Millisecond)
+	return c
+}
+
+func (c *client) frames(ft dot11.FrameType) []dot11.Frame {
+	var out []dot11.Frame
+	for _, f := range c.got {
+		if f.Type == ft {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (c *client) send(f dot11.Frame) { c.radio.Send(f, nil) }
+
+func (c *client) join(w *world, t *testing.T) {
+	t.Helper()
+	bssid := w.ap.BSSID()
+	c.send(dot11.Frame{Type: dot11.TypeAuth, Addr1: bssid, Addr3: bssid, Body: (&dot11.AuthBody{SeqNum: 1}).AppendTo(nil)})
+	w.eng.Run(w.eng.Now() + 100*time.Millisecond)
+	c.send(dot11.Frame{Type: dot11.TypeAssocReq, Addr1: bssid, Addr3: bssid})
+	w.eng.Run(w.eng.Now() + 100*time.Millisecond)
+	if assoc, _, _, _ := w.ap.StationState(c.radio.MAC()); !assoc {
+		t.Fatal("association failed")
+	}
+}
+
+// dhcpJoin completes association plus a full DHCP exchange and returns the
+// bound address.
+func (c *client) dhcpJoin(w *world, t *testing.T) ipnet.Addr {
+	t.Helper()
+	c.join(w, t)
+	msg := dhcp.Message{Type: dhcp.Discover, XID: 77, ClientMAC: c.radio.MAC()}
+	c.sendDHCP(w, msg)
+	w.eng.Run(w.eng.Now() + time.Second)
+	offer := c.findDHCP(t, dhcp.Offer)
+	req := dhcp.Message{Type: dhcp.Request, XID: 77, ClientMAC: c.radio.MAC(), YourIP: offer.YourIP, ServerIP: offer.ServerIP}
+	c.sendDHCP(w, req)
+	w.eng.Run(w.eng.Now() + time.Second)
+	ack := c.findDHCP(t, dhcp.Ack)
+	return ack.YourIP
+}
+
+func (c *client) sendDHCP(w *world, m dhcp.Message) {
+	u := ipnet.UDP{SrcPort: ipnet.PortDHCPClient, DstPort: ipnet.PortDHCPServer, Payload: m.Bytes()}
+	pkt := ipnet.Packet{Proto: ipnet.ProtoUDP, TTL: 64, Src: ipnet.Unspecified, Dst: ipnet.BroadcastAddr, Payload: u.AppendTo(nil)}
+	c.send(dot11.Frame{Type: dot11.TypeData, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID(), Body: pkt.Bytes()})
+}
+
+func (c *client) findDHCP(t *testing.T, want dhcp.MessageType) dhcp.Message {
+	t.Helper()
+	for _, f := range c.frames(dot11.TypeData) {
+		pkt, err := ipnet.Decode(f.Body)
+		if err != nil || pkt.Proto != ipnet.ProtoUDP {
+			continue
+		}
+		u, err := ipnet.DecodeUDP(pkt.Payload)
+		if err != nil || u.DstPort != ipnet.PortDHCPClient {
+			continue
+		}
+		m, err := dhcp.DecodeMessage(u.Payload)
+		if err == nil && m.Type == want {
+			return m
+		}
+	}
+	t.Fatalf("no DHCP %v received", want)
+	return dhcp.Message{}
+}
+
+func TestBeaconing(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	w.eng.Run(time.Second)
+	beacons := c.frames(dot11.TypeBeacon)
+	if len(beacons) < 8 || len(beacons) > 11 {
+		t.Fatalf("got %d beacons in 1s, want ≈10", len(beacons))
+	}
+	body, err := dot11.DecodeBeaconBody(beacons[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body.SSID != "testnet" || body.Capabilities != 0 {
+		t.Fatalf("beacon body = %+v", body)
+	}
+}
+
+func TestClosedAPAdvertisesPrivacy(t *testing.T) {
+	w := newWorld(t, false)
+	c := w.newClient(dot11.MAC(1))
+	w.eng.Run(300 * time.Millisecond)
+	bs := c.frames(dot11.TypeBeacon)
+	if len(bs) == 0 {
+		t.Fatal("no beacons")
+	}
+	body, _ := dot11.DecodeBeaconBody(bs[0].Body)
+	if body.Capabilities&CapPrivacy == 0 {
+		t.Fatal("closed AP missing privacy bit")
+	}
+}
+
+func TestProbeResponse(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	c.send(dot11.Frame{Type: dot11.TypeProbeReq, Addr1: dot11.Broadcast})
+	w.eng.Run(100 * time.Millisecond)
+	prs := c.frames(dot11.TypeProbeResp)
+	if len(prs) != 1 {
+		t.Fatalf("probe responses = %d, want 1", len(prs))
+	}
+	if prs[0].Addr1 != dot11.MAC(1) {
+		t.Fatal("probe response not unicast to requester")
+	}
+}
+
+func TestJoinHandshake(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	c.join(w, t)
+	ar := c.frames(dot11.TypeAssocResp)
+	if len(ar) != 1 {
+		t.Fatalf("assoc responses = %d", len(ar))
+	}
+	body, err := dot11.DecodeAssocRespBody(ar[0].Body)
+	if err != nil || body.Status != 0 || body.AID == 0 {
+		t.Fatalf("assoc body = %+v, err=%v", body, err)
+	}
+	if w.ap.Stats().Associations != 1 {
+		t.Fatalf("associations = %d", w.ap.Stats().Associations)
+	}
+}
+
+func TestClosedAPRejectsAuth(t *testing.T) {
+	w := newWorld(t, false)
+	c := w.newClient(dot11.MAC(1))
+	bssid := w.ap.BSSID()
+	c.send(dot11.Frame{Type: dot11.TypeAuth, Addr1: bssid, Addr3: bssid, Body: (&dot11.AuthBody{SeqNum: 1}).AppendTo(nil)})
+	w.eng.Run(100 * time.Millisecond)
+	ars := c.frames(dot11.TypeAuthResp)
+	if len(ars) != 1 {
+		t.Fatalf("auth responses = %d", len(ars))
+	}
+	body, _ := dot11.DecodeAuthBody(ars[0].Body)
+	if body.Status == 0 {
+		t.Fatal("closed AP accepted auth")
+	}
+	if w.ap.Stats().AuthRejects != 1 {
+		t.Fatal("AuthRejects not counted")
+	}
+}
+
+func TestAssocWithoutAuthRejected(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	bssid := w.ap.BSSID()
+	c.send(dot11.Frame{Type: dot11.TypeAssocReq, Addr1: bssid, Addr3: bssid})
+	w.eng.Run(100 * time.Millisecond)
+	ar := c.frames(dot11.TypeAssocResp)
+	if len(ar) != 1 {
+		t.Fatalf("assoc responses = %d", len(ar))
+	}
+	body, _ := dot11.DecodeAssocRespBody(ar[0].Body)
+	if body.Status == 0 {
+		t.Fatal("assoc before auth accepted")
+	}
+}
+
+func TestDHCPThroughAP(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	if ip.IsUnspecified() {
+		t.Fatal("no address bound")
+	}
+	if _, _, lease, _ := w.ap.StationState(dot11.MAC(1)); !lease {
+		t.Fatal("AP did not record the lease")
+	}
+}
+
+func TestGatewayPing(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	ping := ipnet.EchoRequestPacket(ip, gw, 1, 1)
+	c.send(dot11.Frame{Type: dot11.TypeData, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID(), Body: ping.Bytes()})
+	w.eng.Run(w.eng.Now() + 100*time.Millisecond)
+	found := false
+	for _, f := range c.frames(dot11.TypeData) {
+		pkt, err := ipnet.Decode(f.Body)
+		if err != nil || pkt.Proto != ipnet.ProtoICMP {
+			continue
+		}
+		e, err := ipnet.DecodeEcho(pkt.Payload)
+		if err == nil && e.Type == ipnet.ICMPEchoReply && pkt.Dst == ip {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no echo reply from gateway")
+	}
+	if w.ap.Stats().PingsAnswered != 1 {
+		t.Fatalf("PingsAnswered = %d", w.ap.Stats().PingsAnswered)
+	}
+}
+
+func TestUplinkForwarding(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	remote := ipnet.AddrFrom4(203, 0, 113, 1)
+	pkt := ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: 64, Src: ip, Dst: remote, Payload: []byte("hi")}
+	c.send(dot11.Frame{Type: dot11.TypeData, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID(), Body: pkt.Bytes()})
+	w.eng.Run(w.eng.Now() + 2*time.Second)
+	if len(w.uplink) != 1 {
+		t.Fatalf("uplink packets = %d, want 1", len(w.uplink))
+	}
+	if w.uplink[0].Dst != remote || w.uplink[0].Src != ip {
+		t.Fatalf("uplinked %+v", w.uplink[0])
+	}
+}
+
+func TestDownlinkToStation(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	before := len(c.frames(dot11.TypeData))
+	w.ap.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: 64, Src: ipnet.AddrFrom4(1, 1, 1, 1), Dst: ip, Payload: []byte("data")})
+	w.eng.Run(w.eng.Now() + 2*time.Second)
+	if got := len(c.frames(dot11.TypeData)); got != before+1 {
+		t.Fatalf("station data frames = %d, want %d", got, before+1)
+	}
+}
+
+func TestDownlinkUnknownIPDropped(t *testing.T) {
+	w := newWorld(t, true)
+	w.ap.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, Dst: ipnet.AddrFrom4(9, 9, 9, 9)})
+	w.eng.Run(w.eng.Now() + 2*time.Second) // must not panic, nothing delivered
+	if w.ap.Stats().DownPackets != 1 {
+		t.Fatal("down packet not counted")
+	}
+}
+
+func TestPSMBuffersDataAfterLease(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	// Enter PSM.
+	c.send(dot11.Frame{Type: dot11.TypeNullData, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID(), PowerMgmt: true})
+	w.eng.Run(w.eng.Now() + 50*time.Millisecond)
+	before := len(c.frames(dot11.TypeData))
+	for i := 0; i < 5; i++ {
+		w.ap.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, Dst: ip, Payload: []byte("x")})
+	}
+	w.eng.Run(w.eng.Now() + 200*time.Millisecond)
+	if got := len(c.frames(dot11.TypeData)); got != before {
+		t.Fatalf("frames delivered during PSM: %d", got-before)
+	}
+	if _, psm, _, buffered := w.ap.StationState(dot11.MAC(1)); !psm || buffered != 5 {
+		t.Fatalf("psm=%v buffered=%d, want true/5", psm, buffered)
+	}
+	// Wake with PS-Poll: buffer flushes.
+	c.send(dot11.Frame{Type: dot11.TypePSPoll, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID()})
+	w.eng.Run(w.eng.Now() + 200*time.Millisecond)
+	if got := len(c.frames(dot11.TypeData)); got != before+5 {
+		t.Fatalf("frames after wake = %d, want %d", got, before+5)
+	}
+}
+
+func TestPSMBufferCapDrops(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	c.send(dot11.Frame{Type: dot11.TypeNullData, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID(), PowerMgmt: true})
+	w.eng.Run(w.eng.Now() + 50*time.Millisecond)
+	// Feed 40 small packets (within the backhaul queue limit); the PSM
+	// buffer holds 10 and the rest must be dropped at the buffer.
+	for i := 0; i < 40; i++ {
+		w.ap.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, Dst: ip})
+	}
+	w.eng.Run(w.eng.Now() + 2*time.Second)
+	if got := w.ap.Stats().PSMDropped; got != 30 {
+		t.Fatalf("PSMDropped = %d, want 30", got)
+	}
+	if _, _, _, buffered := w.ap.StationState(dot11.MAC(1)); buffered != 10 {
+		t.Fatalf("buffered = %d, want 10", buffered)
+	}
+}
+
+func TestDHCPResponseNotPSMBuffered(t *testing.T) {
+	// A station that associates, enters PSM, and then asks for DHCP should
+	// have the response transmitted immediately (and lost if absent), not
+	// buffered: join traffic is never held by PSM.
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	c.join(w, t)
+	c.send(dot11.Frame{Type: dot11.TypeNullData, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID(), PowerMgmt: true})
+	w.eng.Run(w.eng.Now() + 50*time.Millisecond)
+	c.sendDHCP(w, dhcp.Message{Type: dhcp.Discover, XID: 5, ClientMAC: dot11.MAC(1)})
+	w.eng.Run(w.eng.Now() + time.Second)
+	// The offer must have been transmitted (station still on channel, so
+	// it arrives), not buffered.
+	if _, _, _, buffered := w.ap.StationState(dot11.MAC(1)); buffered != 0 {
+		t.Fatalf("join traffic buffered: %d frames", buffered)
+	}
+	c.findDHCP(t, dhcp.Offer)
+}
+
+func TestDeauthDropsState(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	c.send(dot11.Frame{Type: dot11.TypeDeauth, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID()})
+	w.eng.Run(w.eng.Now() + 50*time.Millisecond)
+	if assoc, _, _, _ := w.ap.StationState(dot11.MAC(1)); assoc {
+		t.Fatal("station still associated after deauth")
+	}
+	// Downlink to its old IP should now drop.
+	before := len(c.frames(dot11.TypeData))
+	w.ap.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, Dst: ip})
+	w.eng.Run(w.eng.Now() + 2*time.Second)
+	if len(c.frames(dot11.TypeData)) != before {
+		t.Fatal("packet delivered to deauthed station")
+	}
+}
+
+func TestBackhaulShapesDownlink(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	start := w.eng.Now()
+	// 2 Mbit/s backhaul: 50 × 1472 B ≈ 0.59 Mbit ≈ 0.29 s.
+	for i := 0; i < 50; i++ {
+		w.ap.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, Dst: ip, Payload: make([]byte, 1460)})
+	}
+	w.eng.Run(w.eng.Now() + 2*time.Second)
+	elapsed := w.eng.Now() - start
+	if elapsed < 250*time.Millisecond {
+		t.Fatalf("50 MTU packets crossed a 2Mbps backhaul in %v", elapsed)
+	}
+}
+
+func TestCloseSilences(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	w.ap.Close()
+	w.eng.Run(time.Second)
+	if len(c.got) != 0 {
+		t.Fatalf("closed AP emitted %d frames", len(c.got))
+	}
+}
+
+func TestCaptivePortalBlocksWAN(t *testing.T) {
+	eng := sim.NewEngine()
+	params := phy.Defaults()
+	params.Loss = func(float64) float64 { return 0 }
+	medium := phy.NewMedium(eng, sim.NewRNG(1).Stream("phy"), params)
+	cfg := DefaultConfig("captive", dot11.Channel6, gw)
+	cfg.BlockWAN = true
+	cfg.MgmtDelayMin, cfg.MgmtDelayMax = time.Millisecond, 2*time.Millisecond
+	cfg.DHCP.RespDelayMin, cfg.DHCP.RespDelayMax = 10*time.Millisecond, 20*time.Millisecond
+	var uplinked []ipnet.Packet
+	w := &world{eng: eng, medium: medium}
+	w.ap = New(eng, sim.NewRNG(2), medium, geo.Point{}, dot11.MAC(1000), cfg,
+		func(p ipnet.Packet) { uplinked = append(uplinked, p) })
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t) // DHCP still works behind the portal
+
+	// Gateway ping still answered locally.
+	ping := ipnet.EchoRequestPacket(ip, gw, 1, 1)
+	c.send(dot11.Frame{Type: dot11.TypeData, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID(), Body: ping.Bytes()})
+	w.eng.Run(w.eng.Now() + 200*time.Millisecond)
+	if w.ap.Stats().PingsAnswered != 1 {
+		t.Fatal("gateway ping blocked by captive portal")
+	}
+	// WAN traffic is dropped.
+	pkt := ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: 64, Src: ip, Dst: ipnet.AddrFrom4(8, 8, 8, 8)}
+	c.send(dot11.Frame{Type: dot11.TypeData, Addr1: w.ap.BSSID(), Addr3: w.ap.BSSID(), Body: pkt.Bytes()})
+	w.eng.Run(w.eng.Now() + 500*time.Millisecond)
+	if len(uplinked) != 0 {
+		t.Fatalf("captive portal leaked %d packets upstream", len(uplinked))
+	}
+	if w.ap.Stats().WANBlocked != 1 {
+		t.Fatalf("WANBlocked = %d, want 1", w.ap.Stats().WANBlocked)
+	}
+}

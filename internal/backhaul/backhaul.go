@@ -1,0 +1,79 @@
+// Package backhaul models the wired side of an access point: a rate-limited
+// FIFO link with propagation delay and a bounded drop-tail queue. The
+// paper's APs bottleneck on exactly this link — backhaul bandwidth is
+// typically far below the 11 Mbit/s wireless rate — which is why
+// aggregating several APs pays off.
+package backhaul
+
+import (
+	"spider/internal/ipnet"
+	"spider/internal/sim"
+)
+
+// Config describes one direction of a backhaul link.
+type Config struct {
+	// RateBps is the link bandwidth in bits/s. Zero means unlimited.
+	RateBps float64
+	// Delay is the one-way propagation/processing delay.
+	Delay sim.Time
+	// QueueLimit caps queued-but-not-transmitting packets; beyond it the
+	// link drops (drop-tail). Zero means DefaultQueueLimit.
+	QueueLimit int
+}
+
+// DefaultQueueLimit is a typical residential-gateway buffer.
+const DefaultQueueLimit = 50
+
+// Link is one direction of a wired path. Packets serialize at RateBps,
+// then arrive Delay later at the deliver callback.
+type Link struct {
+	eng     *sim.Engine
+	cfg     Config
+	deliver func(ipnet.Packet)
+
+	busyUntil sim.Time
+	queued    int
+
+	// Counters.
+	Sent    uint64
+	Dropped uint64
+}
+
+// NewLink creates a link that hands received packets to deliver.
+func NewLink(eng *sim.Engine, cfg Config, deliver func(ipnet.Packet)) *Link {
+	if deliver == nil {
+		panic("backhaul: NewLink with nil deliver")
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	return &Link{eng: eng, cfg: cfg, deliver: deliver}
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// QueueDepth returns the packets currently queued ahead of new arrivals.
+func (l *Link) QueueDepth() int { return l.queued }
+
+// Send enqueues a packet. It is dropped if the queue is full.
+func (l *Link) Send(p ipnet.Packet) {
+	now := l.eng.Now()
+	if l.busyUntil < now {
+		l.busyUntil = now
+	}
+	if l.queued >= l.cfg.QueueLimit {
+		l.Dropped++
+		return
+	}
+	var txTime sim.Time
+	if l.cfg.RateBps > 0 {
+		txTime = sim.Time(float64(p.WireLen()*8) / l.cfg.RateBps * 1e9)
+	}
+	l.queued++
+	l.busyUntil += txTime
+	l.Sent++
+	txDone := l.busyUntil - now
+	l.eng.Schedule(txDone, func() { l.queued-- })
+	l.eng.Schedule(txDone+l.cfg.Delay, func() { l.deliver(p) })
+}

@@ -1,0 +1,114 @@
+package backhaul
+
+import (
+	"testing"
+	"time"
+
+	"spider/internal/ipnet"
+	"spider/internal/sim"
+)
+
+func pkt(n int) ipnet.Packet {
+	return ipnet.Packet{Proto: ipnet.ProtoTCP, Payload: make([]byte, n)}
+}
+
+func TestDeliveryWithDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	var at sim.Time = -1
+	l := NewLink(eng, Config{Delay: 20 * time.Millisecond}, func(ipnet.Packet) { at = eng.Now() })
+	l.Send(pkt(100))
+	eng.RunAll()
+	if at != 20*time.Millisecond {
+		t.Fatalf("delivered at %v, want 20ms (rate unlimited)", at)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	eng := sim.NewEngine()
+	var times []sim.Time
+	// 1 Mbit/s; a 1250-byte packet costs 10 ms on the wire.
+	l := NewLink(eng, Config{RateBps: 1e6}, func(ipnet.Packet) { times = append(times, eng.Now()) })
+	p := pkt(1250 - 12) // ipnet header is 12 bytes
+	l.Send(p)
+	l.Send(p)
+	l.Send(p)
+	eng.RunAll()
+	if len(times) != 3 {
+		t.Fatalf("delivered %d, want 3", len(times))
+	}
+	for i, want := range []sim.Time{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		if times[i] != want {
+			t.Fatalf("packet %d delivered at %v, want %v", i, times[i], want)
+		}
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	eng := sim.NewEngine()
+	delivered := 0
+	l := NewLink(eng, Config{RateBps: 1e6, QueueLimit: 5}, func(ipnet.Packet) { delivered++ })
+	for i := 0; i < 20; i++ {
+		l.Send(pkt(1000))
+	}
+	eng.RunAll()
+	if delivered != 5 {
+		t.Fatalf("delivered = %d, want 5 (queue limit)", delivered)
+	}
+	if l.Dropped != 15 {
+		t.Fatalf("Dropped = %d, want 15", l.Dropped)
+	}
+	if l.Sent != 5 {
+		t.Fatalf("Sent = %d, want 5", l.Sent)
+	}
+}
+
+func TestQueueDrainsOverTime(t *testing.T) {
+	eng := sim.NewEngine()
+	delivered := 0
+	l := NewLink(eng, Config{RateBps: 1e6, QueueLimit: 2}, func(ipnet.Packet) { delivered++ })
+	// Send two now, two after the queue drains.
+	l.Send(pkt(1000))
+	l.Send(pkt(1000))
+	eng.ScheduleAt(time.Second, func() {
+		l.Send(pkt(1000))
+		l.Send(pkt(1000))
+	})
+	eng.RunAll()
+	if delivered != 4 {
+		t.Fatalf("delivered = %d, want 4", delivered)
+	}
+	if l.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0", l.Dropped)
+	}
+}
+
+func TestThroughputMatchesRate(t *testing.T) {
+	eng := sim.NewEngine()
+	bytes := 0
+	l := NewLink(eng, Config{RateBps: 2e6, QueueLimit: 10}, func(p ipnet.Packet) { bytes += p.WireLen() })
+	// Keep the queue fed for one simulated second.
+	stop := eng.Ticker(time.Millisecond, func() {
+		for l.QueueDepth() < 10 {
+			l.Send(pkt(1488))
+		}
+	})
+	eng.Run(time.Second)
+	stop()
+	eng.Run(2 * time.Second)
+	got := float64(bytes*8) / 2 // bits over ~2s of draining+1s feed... measure loosely
+	_ = got
+	// With a saturated 2 Mbit/s link over the first second, at least
+	// ~240 kB must have arrived in total.
+	if bytes < 240000 {
+		t.Fatalf("delivered %d bytes, want >= 240000", bytes)
+	}
+}
+
+func TestNilDeliverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLink(nil deliver) did not panic")
+		}
+	}()
+	NewLink(sim.NewEngine(), Config{}, nil)
+}

@@ -1,0 +1,570 @@
+// Package core assembles complete Spider scenarios: a mobile client (radio,
+// virtual driver, link management module, TCP receivers) moving through a
+// deployment of simulated access points, with bulk TCP downloads flowing
+// through every established link. It is the engine behind all of the
+// paper's system experiments (Tables 1-4, Figures 5-17).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"spider/internal/ap"
+	"spider/internal/capture"
+	"spider/internal/dhcp"
+	"spider/internal/dot11"
+	"spider/internal/driver"
+	"spider/internal/energy"
+	"spider/internal/geo"
+	"spider/internal/ipnet"
+	"spider/internal/lmm"
+	"spider/internal/mobility"
+	"spider/internal/phy"
+	"spider/internal/predict"
+	"spider/internal/sim"
+	"spider/internal/stats"
+	"spider/internal/tcpsim"
+)
+
+// Preset selects one of the paper's evaluated configurations.
+type Preset int
+
+// The four Spider configurations of Section 4.1, the stock-driver baseline,
+// and the future-work adaptive mode.
+const (
+	// SingleChannelMultiAP is configuration 1: park on one channel, join
+	// every usable AP there (the paper's throughput winner).
+	SingleChannelMultiAP Preset = iota
+	// SingleChannelSingleAP is configuration 2.
+	SingleChannelSingleAP
+	// MultiChannelMultiAP is configuration 3: rotate channels, join APs
+	// on all of them (the connectivity winner).
+	MultiChannelMultiAP
+	// MultiChannelSingleAP is configuration 4.
+	MultiChannelSingleAP
+	// Stock approximates an unmodified MadWiFi driver: one AP at a time,
+	// default timers, no lease cache, park-on-connect, scan when idle.
+	Stock
+	// Adaptive is the paper's future-work extension: single-channel at
+	// speed, multi-channel when slow.
+	Adaptive
+	// Predictive is the encounter-history extension: the client learns
+	// which channel carries its best APs on each stretch of road and
+	// re-plans its single-channel schedule ahead of its position,
+	// rotating channels only in unexplored territory.
+	Predictive
+)
+
+func (p Preset) String() string {
+	switch p {
+	case SingleChannelMultiAP:
+		return "single-channel/multi-AP"
+	case SingleChannelSingleAP:
+		return "single-channel/single-AP"
+	case MultiChannelMultiAP:
+		return "multi-channel/multi-AP"
+	case MultiChannelSingleAP:
+		return "multi-channel/single-AP"
+	case Stock:
+		return "stock"
+	case Adaptive:
+		return "adaptive"
+	case Predictive:
+		return "predictive"
+	}
+	return fmt.Sprintf("preset-%d", int(p))
+}
+
+// TimerProfile groups the join-related timeouts the paper sweeps.
+type TimerProfile struct {
+	// LLTimeout is the link-layer handshake retransmission timeout.
+	LLTimeout sim.Time
+	// DHCPRetry is the DHCP retransmission timeout (the model's c).
+	DHCPRetry sim.Time
+	// DHCPWindow bounds one DHCP acquisition.
+	DHCPWindow sim.Time
+	// UseLeaseCache enables the per-BSSID cached-lease fast path.
+	UseLeaseCache bool
+	// FailureBackoff is the per-AP retry embargo after a failed join.
+	FailureBackoff sim.Time
+}
+
+// ReducedTimers returns Spider's tuned profile (100 ms link-layer, 200 ms
+// DHCP retransmits, lease cache on).
+func ReducedTimers() TimerProfile {
+	return TimerProfile{
+		LLTimeout:      100 * 1000 * 1000,
+		DHCPRetry:      200 * 1000 * 1000,
+		DHCPWindow:     3000 * 1000 * 1000,
+		UseLeaseCache:  true,
+		FailureBackoff: 5 * 1000 * 1000 * 1000,
+	}
+}
+
+// DefaultTimers returns the stock stack's profile: 1 s link-layer timeout,
+// 1 s DHCP retransmits in a 3 s window, 60 s idle after failure, no cache.
+func DefaultTimers() TimerProfile {
+	return TimerProfile{
+		LLTimeout:      1000 * 1000 * 1000,
+		DHCPRetry:      1000 * 1000 * 1000,
+		DHCPWindow:     3000 * 1000 * 1000,
+		UseLeaseCache:  false,
+		FailureBackoff: 60 * 1000 * 1000 * 1000,
+	}
+}
+
+// APOverrides tune every deployed AP uniformly.
+type APOverrides struct {
+	// DHCPRespMin/Max override the β response-delay distribution.
+	DHCPRespMin sim.Time
+	DHCPRespMax sim.Time
+	// MgmtDelayMin/Max override management-plane processing delays.
+	MgmtDelayMin sim.Time
+	MgmtDelayMax sim.Time
+	// BackhaulDelay overrides the one-way wired delay.
+	BackhaulDelay sim.Time
+	// BeaconInterval overrides the beacon period.
+	BeaconInterval sim.Time
+}
+
+// ScenarioConfig describes one run.
+type ScenarioConfig struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Duration is the simulated experiment length.
+	Duration sim.Time
+	// Preset picks the Spider configuration.
+	Preset Preset
+	// PrimaryChannel is the channel for single-channel presets
+	// (default channel 1, as in Table 2).
+	PrimaryChannel dot11.Channel
+	// Channels are the rotation channels for multi-channel presets
+	// (default 1, 6, 11).
+	Channels []dot11.Channel
+	// SlotDuration is the per-channel dwell for multi-channel presets
+	// (default 200 ms, as in Table 4).
+	SlotDuration sim.Time
+	// CustomSchedule, when non-empty, overrides the preset's channel
+	// schedule entirely (used for the fractional-schedule experiments of
+	// Figures 5-8).
+	CustomSchedule []driver.Slot
+	// Timers selects the join timeout profile (default ReducedTimers,
+	// except Stock which forces DefaultTimers unless explicitly set).
+	Timers *TimerProfile
+	// Mobility is the client motion model (required).
+	Mobility mobility.Model
+	// Sites are the deployed APs (required).
+	Sites []mobility.APSite
+	// Phy overrides the PHY parameters (zero fields default).
+	Phy phy.Params
+	// AP tunes all deployed APs.
+	AP APOverrides
+	// NumVIFs overrides the interface count (default 7).
+	NumVIFs int
+	// AdaptiveSpeedThreshold is the single-channel cutover speed for the
+	// Adaptive preset (default 10 m/s, the paper's dividing speed).
+	AdaptiveSpeedThreshold float64
+	// FlowBytes bounds each per-link download; <=0 means unbounded bulk
+	// (the paper's large-file HTTP downloads).
+	FlowBytes int64
+	// StripeObjectBytes, when positive, replaces bulk downloads with
+	// back-to-back object fetches block-striped across all live links
+	// (the data-striping extension).
+	StripeObjectBytes int64
+	// DisableTraffic turns off TCP flows (join-only experiments).
+	DisableTraffic bool
+	// PCAP, when non-nil, receives a pcap capture of every frame on the
+	// air (see internal/capture).
+	PCAP io.Writer
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Duration <= 0 {
+		c.Duration = 30 * 60 * 1000 * 1000 * 1000 // 30 min
+	}
+	if c.PrimaryChannel == 0 {
+		c.PrimaryChannel = dot11.Channel1
+	}
+	if len(c.Channels) == 0 {
+		c.Channels = append([]dot11.Channel(nil), dot11.OrthogonalChannels...)
+	}
+	if c.SlotDuration <= 0 {
+		c.SlotDuration = 200 * 1000 * 1000
+	}
+	if c.Timers == nil {
+		var t TimerProfile
+		if c.Preset == Stock {
+			t = DefaultTimers()
+		} else {
+			t = ReducedTimers()
+		}
+		c.Timers = &t
+	}
+	if c.NumVIFs <= 0 {
+		if c.Preset == Stock {
+			c.NumVIFs = 1
+		} else {
+			c.NumVIFs = 7
+		}
+	}
+	if c.AdaptiveSpeedThreshold <= 0 {
+		c.AdaptiveSpeedThreshold = 10
+	}
+	if c.Mobility == nil {
+		panic("core: ScenarioConfig.Mobility is required")
+	}
+	return c
+}
+
+// schedule builds the driver schedule for the preset.
+func (c ScenarioConfig) schedule() []driver.Slot {
+	if len(c.CustomSchedule) > 0 {
+		return c.CustomSchedule
+	}
+	switch c.Preset {
+	case SingleChannelMultiAP, SingleChannelSingleAP, Adaptive:
+		return []driver.Slot{{Channel: c.PrimaryChannel}}
+	case Predictive:
+		// Start exploring: rotate until the history has opinions.
+		slots := make([]driver.Slot, 0, len(c.Channels))
+		for _, ch := range c.Channels {
+			slots = append(slots, driver.Slot{Channel: ch, Duration: c.SlotDuration})
+		}
+		return slots
+	default:
+		slots := make([]driver.Slot, 0, len(c.Channels))
+		for _, ch := range c.Channels {
+			slots = append(slots, driver.Slot{Channel: ch, Duration: c.SlotDuration})
+		}
+		return slots
+	}
+}
+
+// lmmConfig builds the link-manager configuration for the preset.
+func (c ScenarioConfig) lmmConfig() lmm.Config {
+	cfg := lmm.DefaultConfig()
+	cfg.Schedule = c.schedule()
+	cfg.DHCP = dhcp.ClientConfig{RetryTimeout: c.Timers.DHCPRetry, AcquireWindow: c.Timers.DHCPWindow}
+	cfg.UseLeaseCache = c.Timers.UseLeaseCache
+	cfg.FailureBackoff = c.Timers.FailureBackoff
+	cfg.TestTarget = TestServerAddr
+	switch c.Preset {
+	case SingleChannelSingleAP, MultiChannelSingleAP:
+		cfg.SingleAP = true
+	case Stock:
+		cfg.SingleAP = true
+		cfg.ParkOnConnect = true
+		// A stock stack is slow on both ends of a connection's life:
+		// the supplicant takes a couple of seconds to scan and decide,
+		// and loss of an AP is noticed only after many seconds without
+		// progress (no aggressive 10 Hz liveness probing).
+		cfg.ReselectInterval = 4 * 1000 * 1000 * 1000
+		cfg.PingInterval = 1000 * 1000 * 1000
+		cfg.PingFailLimit = 15
+		cfg.GlobalDHCPBackoff = true
+		cfg.SelectByRSSIOnly = true
+	}
+	return cfg
+}
+
+// Result reports everything a run measured.
+type Result struct {
+	Preset   Preset
+	Seed     int64
+	Duration sim.Time
+
+	BytesReceived  int64
+	ThroughputKBps float64 // average over the whole run
+	Connectivity   float64 // fraction of seconds with data
+
+	ConnectionDurations []float64 // seconds (Figure 11)
+	DisruptionDurations []float64 // seconds (Figure 12)
+	InstRatesKBps       []float64 // per-connected-second rates (Figure 13)
+
+	Joins     []lmm.JoinRecord
+	LinkUps   int
+	LinkDowns int
+
+	// Striped-traffic results (StripeObjectBytes > 0).
+	StripeObjects    int
+	StripeObjectSecs []float64
+
+	// LinkSeconds[k] counts seconds spent with exactly k concurrent
+	// links (Section 4.4's AP-density analysis).
+	LinkSeconds map[int]int
+
+	LMM    lmm.Stats
+	Driver driver.Stats
+	Medium phy.Stats
+
+	// Energy attributes the client radio's draw over the run; see
+	// internal/energy. EnergyPerBitMicroJ is joules-per-delivered-bit ×1e6.
+	Energy             energy.Breakdown
+	EnergyPerBitMicroJ float64
+}
+
+// TestServerAddr is the well-known wired host used for end-to-end
+// connectivity tests (and answered by every non-captive AP's uplink).
+const TestServerAddr ipnet.Addr = 0xC6120001 // 198.18.0.1
+
+// flow is one per-link bulk TCP download.
+type flow struct {
+	serverIP ipnet.Addr
+	access   *ap.AP
+	link     *lmm.Link
+	snd      *tcpsim.Sender
+	rcv      *tcpsim.Receiver
+}
+
+// Run executes a scenario to completion and returns its measurements.
+func Run(cfg ScenarioConfig) Result {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+
+	medium := phy.NewMedium(eng, rng.Stream("phy"), cfg.Phy)
+	if cfg.PCAP != nil {
+		pw := capture.NewWriter(cfg.PCAP)
+		medium.SetTap(func(_ dot11.Channel, wire []byte, at sim.Time) {
+			// Capture failures only surface through the writer's error;
+			// frames keep flowing either way.
+			_ = pw.WritePacket(at, wire)
+		})
+	}
+	pos := func() geo.Point { return cfg.Mobility.PositionAt(eng.Now()) }
+
+	// Deploy APs.
+	aps := make(map[dot11.MACAddr]*ap.AP, len(cfg.Sites))
+	flows := make(map[ipnet.Addr]*flow)
+	// uplink handles packets that crossed an AP's backhaul: TCP ACKs back
+	// to flow senders, and echo requests to the well-known test server
+	// (Spider's end-to-end connectivity check).
+	uplink := func(src *ap.AP, p ipnet.Packet) {
+		switch p.Proto {
+		case ipnet.ProtoICMP:
+			if p.Dst != TestServerAddr {
+				return
+			}
+			if echo, err := ipnet.DecodeEcho(p.Payload); err == nil && echo.Type == ipnet.ICMPEchoRequest {
+				src.FromInternet(ipnet.EchoReplyPacket(p, echo))
+			}
+		case ipnet.ProtoTCP:
+			f, ok := flows[p.Dst]
+			if !ok {
+				return
+			}
+			if seg, err := tcpsim.DecodeSegment(p.Payload); err == nil {
+				f.snd.Deliver(seg)
+			}
+		}
+	}
+	for i, site := range cfg.Sites {
+		gw := ipnet.AddrFrom4(10, byte(i>>8), byte(i), 1)
+		apCfg := ap.DefaultConfig(site.SSID, site.Channel, gw)
+		apCfg.Open = site.Open
+		if site.BackhaulBps > 0 {
+			apCfg.Backhaul.RateBps = site.BackhaulBps
+		}
+		if cfg.AP.DHCPRespMin > 0 {
+			apCfg.DHCP.RespDelayMin = cfg.AP.DHCPRespMin
+		}
+		if cfg.AP.DHCPRespMax > 0 {
+			apCfg.DHCP.RespDelayMax = cfg.AP.DHCPRespMax
+		}
+		if cfg.AP.MgmtDelayMin > 0 {
+			apCfg.MgmtDelayMin = cfg.AP.MgmtDelayMin
+		}
+		if cfg.AP.MgmtDelayMax > 0 {
+			apCfg.MgmtDelayMax = cfg.AP.MgmtDelayMax
+		}
+		if cfg.AP.BackhaulDelay > 0 {
+			apCfg.Backhaul.Delay = cfg.AP.BackhaulDelay
+		}
+		if cfg.AP.BeaconInterval > 0 {
+			apCfg.BeaconInterval = cfg.AP.BeaconInterval
+		}
+		if site.DHCPDead {
+			// The server exists but never answers inside any client's
+			// acquisition window.
+			apCfg.DHCP.RespDelayMin = 120 * 1000 * 1000 * 1000
+			apCfg.DHCP.RespDelayMax = 240 * 1000 * 1000 * 1000
+		}
+		apCfg.BlockWAN = site.Captive
+		mac := dot11.MAC(uint32(0x100000 + i))
+		sitePos := site.Pos
+		var self *ap.AP
+		self = ap.New(eng, rng.Stream(site.SSID), medium, sitePos, mac, apCfg,
+			func(p ipnet.Packet) { uplink(self, p) })
+		aps[mac] = self
+	}
+
+	// Client stack.
+	drvCfg := driver.Config{
+		NumVIFs:       cfg.NumVIFs,
+		LLTimeout:     cfg.Timers.LLTimeout,
+		ProbeInterval: 500 * 1000 * 1000,
+	}
+	drv := driver.New(eng, rng.Stream("driver"), medium, dot11.MAC(1), pos, drvCfg)
+	manager := lmm.New(eng, rng.Stream("lmm"), drv, cfg.lmmConfig())
+
+	series := stats.NewTimeSeries(1000 * 1000 * 1000) // 1 s buckets
+	res := Result{Preset: cfg.Preset, Seed: cfg.Seed, Duration: cfg.Duration, LinkSeconds: map[int]int{}}
+
+	// startFlow opens one TCP download of total bytes (negative for
+	// unbounded) through the link; onDone (optional) fires when a finite
+	// flow completes.
+	var nextServer uint32
+	startFlow := func(l *lmm.Link, total int64, onDone func()) *flow {
+		access := aps[l.BSSID]
+		if access == nil {
+			return nil
+		}
+		nextServer++
+		serverIP := ipnet.AddrFrom4(198, 19, byte(nextServer>>8), byte(nextServer))
+		f := &flow{serverIP: serverIP, access: access, link: l}
+		lease := l.Lease
+		f.rcv = tcpsim.NewReceiver(eng,
+			func(seg tcpsim.Segment) {
+				l.Send(ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: ipnet.DefaultTTL,
+					Src: lease.IP, Dst: serverIP, Payload: seg.Bytes()})
+			},
+			func(n int, at sim.Time) {
+				series.Add(at, float64(n))
+				res.BytesReceived += int64(n)
+			})
+		f.snd = tcpsim.NewSender(eng, tcpsim.Config{},
+			func(seg tcpsim.Segment) {
+				access.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: ipnet.DefaultTTL,
+					Src: serverIP, Dst: lease.IP, Payload: seg.Bytes()})
+			}, func() {
+				delete(flows, serverIP)
+				if onDone != nil {
+					onDone()
+				}
+			})
+		l.OnPacket = func(p ipnet.Packet) {
+			if p.Proto != ipnet.ProtoTCP || p.Src != serverIP {
+				return
+			}
+			if seg, err := tcpsim.DecodeSegment(p.Payload); err == nil {
+				f.rcv.Deliver(seg)
+			}
+		}
+		flows[serverIP] = f
+		f.snd.Start(total)
+		return f
+	}
+	stopLinkFlows := func(l *lmm.Link) {
+		for ip, f := range flows {
+			if f.link == l {
+				f.snd.Stop()
+				delete(flows, ip)
+			}
+		}
+	}
+
+	switch {
+	case cfg.DisableTraffic:
+		manager.OnLinkUp = func(*lmm.Link) { res.LinkUps++ }
+		manager.OnLinkDown = func(*lmm.Link) { res.LinkDowns++ }
+	case cfg.StripeObjectBytes > 0:
+		wireStriping(eng, cfg, &res, manager, startFlow, stopLinkFlows)
+	default:
+		manager.OnLinkUp = func(l *lmm.Link) {
+			res.LinkUps++
+			total := cfg.FlowBytes
+			if total <= 0 {
+				total = -1
+			}
+			startFlow(l, total, nil)
+		}
+		manager.OnLinkDown = func(l *lmm.Link) {
+			res.LinkDowns++
+			stopLinkFlows(l)
+		}
+	}
+
+	// Adaptive controller (future-work extension): single channel at
+	// speed, multi-channel rotation when slow.
+	if cfg.Preset == Adaptive {
+		multi := false
+		eng.Ticker(1000*1000*1000, func() {
+			fast := cfg.Mobility.Speed() >= cfg.AdaptiveSpeedThreshold
+			if fast && multi {
+				multi = false
+				manager.SetSchedule([]driver.Slot{{Channel: c0(cfg)}})
+			} else if !fast && !multi {
+				multi = true
+				var slots []driver.Slot
+				for _, ch := range cfg.Channels {
+					slots = append(slots, driver.Slot{Channel: ch, Duration: cfg.SlotDuration})
+				}
+				manager.SetSchedule(slots)
+			}
+		})
+	}
+
+	// Predictive controller (encounter-history extension): learn per-road
+	// channel quality from join outcomes, then plan the schedule for the
+	// position a few seconds ahead; rotate channels in unexplored areas.
+	if cfg.Preset == Predictive {
+		hist := predict.New(predict.Config{})
+		manager.OnJoin = func(j lmm.JoinRecord) {
+			score := 0.0
+			switch j.Stage {
+			case lmm.StageComplete:
+				score = 1.0
+			case lmm.StagePingFailed:
+				score = -0.2 // joinable but useless (captive): steer away
+			case lmm.StageDHCPFailed:
+				score = 0.1
+			case lmm.StageAssocFailed:
+				score = -0.3
+			}
+			hist.Record(predict.Observation{
+				Pos: pos(), Channel: j.Channel, BSSID: j.BSSID, Score: score,
+			})
+		}
+		rotation := cfg.schedule()
+		const lookahead = 5 * 1000 * 1000 * 1000
+		planned := dot11.Channel(0) // 0 = rotating (exploring)
+		eng.Ticker(2*1000*1000*1000, func() {
+			ahead := cfg.Mobility.PositionAt(eng.Now() + lookahead)
+			if ch, ok := hist.BestChannel(ahead); ok {
+				if planned != ch {
+					planned = ch
+					manager.SetSchedule([]driver.Slot{{Channel: ch}})
+				}
+				return
+			}
+			if planned != 0 {
+				planned = 0
+				manager.SetSchedule(rotation)
+			}
+		})
+	}
+
+	// Sample concurrent-link counts once a second (Section 4.4).
+	eng.Ticker(1000*1000*1000, func() {
+		res.LinkSeconds[len(manager.ActiveLinks())]++
+	})
+
+	eng.Run(cfg.Duration)
+
+	res.ThroughputKBps = float64(res.BytesReceived) / 1024 / cfg.Duration.Seconds()
+	res.Connectivity = series.ConnectivityFraction(cfg.Duration)
+	res.ConnectionDurations = series.ConnectionDurations(cfg.Duration)
+	res.DisruptionDurations = series.DisruptionDurations(cfg.Duration)
+	for _, r := range series.NonzeroRates(cfg.Duration) {
+		res.InstRatesKBps = append(res.InstRatesKBps, r/1024)
+	}
+	res.Joins = manager.Joins()
+	res.LMM = manager.Stats()
+	res.Driver = drv.Stats()
+	res.Medium = medium.Stats()
+	res.Energy = energy.Compute(energy.DefaultProfile(), drv.TxAirtime(), drv.SwitchTime(), cfg.Duration)
+	res.EnergyPerBitMicroJ = res.Energy.PerBitMicroJ(res.BytesReceived)
+	return res
+}
+
+func c0(cfg ScenarioConfig) dot11.Channel { return cfg.PrimaryChannel }

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"spider/internal/capture"
+	"spider/internal/sim"
+
+	"spider/internal/dot11"
+	"spider/internal/geo"
+	"spider/internal/lmm"
+	"spider/internal/mobility"
+)
+
+// road builds a straight drive past APs on the given channels, one every
+// 200 m starting at x=150, all directly on the road.
+func road(channels ...dot11.Channel) ([]mobility.APSite, mobility.Model, time.Duration) {
+	var sites []mobility.APSite
+	for i, ch := range channels {
+		sites = append(sites, mobility.APSite{
+			Pos:         geo.Point{X: 150 + float64(i)*200, Y: 0},
+			Channel:     ch,
+			SSID:        "site-" + string(rune('a'+i)),
+			Open:        true,
+			BackhaulBps: 2e6,
+		})
+	}
+	length := 300 + float64(len(channels))*200
+	model := mobility.NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: length, Y: 0}}, 10, false)
+	dur := time.Duration(length/10) * time.Second
+	return sites, model, dur
+}
+
+func TestDriveBySingleAP(t *testing.T) {
+	sites, model, dur := road(dot11.Channel1)
+	res := Run(ScenarioConfig{
+		Seed:     1,
+		Duration: dur,
+		Preset:   SingleChannelMultiAP,
+		Mobility: model,
+		Sites:    sites,
+	})
+	if res.BytesReceived == 0 {
+		t.Fatal("no data received driving past an AP")
+	}
+	if res.Connectivity <= 0 || res.Connectivity >= 1 {
+		t.Fatalf("connectivity = %v, want in (0,1)", res.Connectivity)
+	}
+	if res.LinkUps == 0 {
+		t.Fatal("no link ever came up")
+	}
+	complete := 0
+	for _, j := range res.Joins {
+		if j.Stage == lmm.StageComplete {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no complete join recorded")
+	}
+	if res.ThroughputKBps <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sites, model, dur := road(dot11.Channel1, dot11.Channel1)
+	run := func() Result {
+		return Run(ScenarioConfig{Seed: 42, Duration: dur, Preset: SingleChannelMultiAP, Mobility: model, Sites: sites})
+	}
+	a, b := run(), run()
+	if a.BytesReceived != b.BytesReceived || a.LinkUps != b.LinkUps || a.Connectivity != b.Connectivity {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.BytesReceived, b.BytesReceived)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	sites, model, dur := road(dot11.Channel1, dot11.Channel1)
+	a := Run(ScenarioConfig{Seed: 1, Duration: dur, Preset: SingleChannelMultiAP, Mobility: model, Sites: sites})
+	b := Run(ScenarioConfig{Seed: 2, Duration: dur, Preset: SingleChannelMultiAP, Mobility: model, Sites: sites})
+	if a.BytesReceived == b.BytesReceived {
+		t.Fatal("different seeds produced byte-identical results (suspicious)")
+	}
+}
+
+func TestDisableTraffic(t *testing.T) {
+	sites, model, dur := road(dot11.Channel1)
+	res := Run(ScenarioConfig{
+		Seed: 1, Duration: dur, Preset: SingleChannelMultiAP,
+		Mobility: model, Sites: sites, DisableTraffic: true,
+	})
+	if res.BytesReceived != 0 {
+		t.Fatal("traffic flowed despite DisableTraffic")
+	}
+	if len(res.Joins) == 0 {
+		t.Fatal("no joins recorded in join-only mode")
+	}
+}
+
+func TestMultiAPBeatsSingleAPOnSameChannel(t *testing.T) {
+	// Two overlapping APs on channel 1: multi-AP aggregates both backhauls.
+	var sites []mobility.APSite
+	for i := 0; i < 2; i++ {
+		sites = append(sites, mobility.APSite{
+			Pos:     geo.Point{X: 300, Y: float64(10 * i)},
+			Channel: dot11.Channel1, SSID: "twin-" + string(rune('a'+i)),
+			Open: true, BackhaulBps: 1e6,
+		})
+	}
+	model := mobility.NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: 600, Y: 0}}, 5, false)
+	dur := 2 * time.Minute
+	multi := Run(ScenarioConfig{Seed: 3, Duration: dur, Preset: SingleChannelMultiAP, Mobility: model, Sites: sites})
+	single := Run(ScenarioConfig{Seed: 3, Duration: dur, Preset: SingleChannelSingleAP, Mobility: model, Sites: sites})
+	if multi.BytesReceived <= single.BytesReceived {
+		t.Fatalf("multi-AP %d <= single-AP %d bytes", multi.BytesReceived, single.BytesReceived)
+	}
+}
+
+func TestStockPresetRuns(t *testing.T) {
+	sites, model, dur := road(dot11.Channel1, dot11.Channel6)
+	res := Run(ScenarioConfig{Seed: 5, Duration: dur, Preset: Stock, Mobility: model, Sites: sites})
+	// Stock must at least occasionally connect somewhere.
+	if res.LinkUps == 0 {
+		t.Fatal("stock driver never connected")
+	}
+}
+
+func TestAdaptivePresetSwitchesModes(t *testing.T) {
+	// Slow client (below the 10 m/s threshold): adaptive should move to the
+	// multi-channel schedule and still work.
+	sites, _, _ := road(dot11.Channel1, dot11.Channel6, dot11.Channel11)
+	model := mobility.NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: 900, Y: 0}}, 3, false)
+	res := Run(ScenarioConfig{
+		Seed: 7, Duration: 2 * time.Minute, Preset: Adaptive,
+		Mobility: model, Sites: sites,
+	})
+	if res.Driver.Switches == 0 {
+		t.Fatal("adaptive mode never rotated channels for a slow client")
+	}
+	if res.LinkUps == 0 {
+		t.Fatal("adaptive mode never connected")
+	}
+}
+
+func TestFiniteFlows(t *testing.T) {
+	sites, model, dur := road(dot11.Channel1)
+	res := Run(ScenarioConfig{
+		Seed: 9, Duration: dur, Preset: SingleChannelMultiAP,
+		Mobility: model, Sites: sites, FlowBytes: 50_000,
+	})
+	if res.BytesReceived == 0 {
+		t.Fatal("finite flow transferred nothing")
+	}
+	if res.BytesReceived > 50_000 {
+		t.Fatalf("received %d > flow bound", res.BytesReceived)
+	}
+}
+
+func TestLinkSecondsAccounting(t *testing.T) {
+	sites, model, dur := road(dot11.Channel1, dot11.Channel1)
+	res := Run(ScenarioConfig{Seed: 11, Duration: dur, Preset: SingleChannelMultiAP, Mobility: model, Sites: sites})
+	total := 0
+	for _, secs := range res.LinkSeconds {
+		total += secs
+	}
+	want := int(dur / time.Second)
+	if total != want {
+		t.Fatalf("link-seconds total = %d, want %d", total, want)
+	}
+}
+
+func TestMissingMobilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing mobility did not panic")
+		}
+	}()
+	Run(ScenarioConfig{Seed: 1, Duration: time.Second})
+}
+
+func TestCaptiveSiteNeverBecomesALink(t *testing.T) {
+	sites := []mobility.APSite{{
+		Pos: geo.Point{X: 10, Y: 0}, Channel: dot11.Channel1,
+		SSID: "portal", Open: true, BackhaulBps: 2e6, Captive: true,
+	}}
+	res := Run(ScenarioConfig{
+		Seed: 1, Duration: 30 * time.Second, Preset: SingleChannelMultiAP,
+		Mobility: mobility.Static(geo.Point{}), Sites: sites,
+	})
+	if res.LinkUps != 0 {
+		t.Fatal("captive portal produced a usable link")
+	}
+	if res.LMM.PingFailures == 0 {
+		t.Fatal("end-to-end test never failed against the portal")
+	}
+	if res.BytesReceived != 0 {
+		t.Fatal("data flowed through a captive portal")
+	}
+}
+
+func TestDHCPDeadSiteFailsAtDHCP(t *testing.T) {
+	sites := []mobility.APSite{{
+		Pos: geo.Point{X: 10, Y: 0}, Channel: dot11.Channel1,
+		SSID: "deadhcp", Open: true, BackhaulBps: 2e6, DHCPDead: true,
+	}}
+	res := Run(ScenarioConfig{
+		Seed: 1, Duration: 30 * time.Second, Preset: SingleChannelMultiAP,
+		Mobility: mobility.Static(geo.Point{}), Sites: sites,
+	})
+	if res.LinkUps != 0 {
+		t.Fatal("dead-DHCP AP produced a link")
+	}
+	if res.LMM.DHCPFailures == 0 {
+		t.Fatal("no DHCP failures recorded against the dead server")
+	}
+	if res.LMM.AssocFailures != 0 {
+		t.Fatal("association should succeed against a dead-DHCP AP")
+	}
+}
+
+func TestPCAPCaptureDecodes(t *testing.T) {
+	sites, model, _ := road(dot11.Channel1)
+	var buf bytes.Buffer
+	res := Run(ScenarioConfig{
+		Seed: 1, Duration: 20 * time.Second, Preset: SingleChannelMultiAP,
+		Mobility: model, Sites: sites, PCAP: &buf,
+	})
+	_ = res
+	pkts, err := capture.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 100 {
+		t.Fatalf("captured only %d frames in 20s", len(pkts))
+	}
+	types := map[dot11.FrameType]int{}
+	prev := sim.Time(-1)
+	for i, p := range pkts {
+		f, err := dot11.Decode(p.Data)
+		if err != nil {
+			t.Fatalf("frame %d undecodable: %v", i, err)
+		}
+		types[f.Type]++
+		if p.At < prev {
+			t.Fatalf("capture timestamps not monotone at %d", i)
+		}
+		prev = p.At
+	}
+	if types[dot11.TypeBeacon] == 0 {
+		t.Fatal("no beacons captured")
+	}
+}
+
+// segregatedTown builds a loop where each side of the block has all its
+// usable APs on ONE channel — the environment where learned per-segment
+// channel planning shines.
+func segregatedTown() (mobility.Model, []mobility.APSite) {
+	loop := []geo.Point{{X: 0, Y: 0}, {X: 1200, Y: 0}, {X: 1200, Y: 600}, {X: 0, Y: 600}}
+	chans := []dot11.Channel{dot11.Channel1, dot11.Channel6, dot11.Channel11, dot11.Channel1}
+	var sites []mobility.APSite
+	id := 0
+	closed := append(append([]geo.Point(nil), loop...), loop[0])
+	for seg := 0; seg < 4; seg++ {
+		a, b := closed[seg], closed[seg+1]
+		for f := 0.1; f < 1; f += 0.2 {
+			p := geo.Lerp(a, b, f)
+			sites = append(sites, mobility.APSite{
+				Pos: geo.Point{X: p.X, Y: p.Y + 15}, Channel: chans[seg],
+				SSID: "seg-" + string(rune('a'+id)), Open: true, BackhaulBps: 3e6,
+			})
+			id++
+		}
+	}
+	return mobility.NewWaypoints(loop, 10, true), sites
+}
+
+func TestPredictiveLearnsSegmentChannels(t *testing.T) {
+	mob, sites := segregatedTown()
+	dur := 18 * time.Minute // ~3 laps
+	pred := Run(ScenarioConfig{Seed: 5, Duration: dur, Preset: Predictive, Mobility: mob, Sites: sites})
+	rot := Run(ScenarioConfig{Seed: 5, Duration: dur, Preset: MultiChannelMultiAP, Mobility: mob, Sites: sites})
+	if pred.LinkUps == 0 {
+		t.Fatal("predictive never connected")
+	}
+	if pred.BytesReceived <= rot.BytesReceived {
+		t.Fatalf("predictive %d bytes <= static rotation %d bytes on a segregated town",
+			pred.BytesReceived, rot.BytesReceived)
+	}
+}

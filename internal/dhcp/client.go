@@ -1,0 +1,187 @@
+package dhcp
+
+import (
+	"spider/internal/dot11"
+	"spider/internal/ipnet"
+	"spider/internal/sim"
+)
+
+// Lease is a bound DHCP lease. Spider caches these per BSSID to skip the
+// Discover/Offer exchange on re-encounter.
+type Lease struct {
+	IP        ipnet.Addr
+	Server    ipnet.Addr // gateway
+	LeaseSecs uint32
+}
+
+// ClientConfig tunes the client state machine. The paper studies exactly
+// these two knobs: the retransmission timeout and the total acquisition
+// window.
+type ClientConfig struct {
+	// RetryTimeout is the per-message retransmission interval (the model's
+	// c; default implementations use ~1 s, Spider reduces it to 100-600 ms).
+	RetryTimeout sim.Time
+	// AcquireWindow bounds the whole acquisition; the default stack tries
+	// for 3 s before going idle.
+	AcquireWindow sim.Time
+}
+
+// DefaultClientConfig mirrors a stock DHCP client.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		RetryTimeout:  1000 * 1000 * 1000, // 1 s
+		AcquireWindow: 3000 * 1000 * 1000, // 3 s
+	}
+}
+
+// ReducedClientConfig is Spider's tuned client: timeout ms retransmits
+// within the same 3 s window.
+func ReducedClientConfig(timeout sim.Time) ClientConfig {
+	return ClientConfig{RetryTimeout: timeout, AcquireWindow: 3000 * 1000 * 1000}
+}
+
+type clientState uint8
+
+const (
+	stateIdle clientState = iota
+	stateDiscovering
+	stateRequesting
+	stateBound
+	stateFailed
+)
+
+// Client runs one DHCP acquisition for one virtual interface. The owner
+// supplies the datagram transmit path and receives exactly one completion
+// callback per Start.
+type Client struct {
+	eng  *sim.Engine
+	rng  *sim.RNG
+	cfg  ClientConfig
+	mac  dot11.MACAddr
+	send func(Message)
+	done func(Lease, bool)
+
+	state    clientState
+	xid      uint32
+	pending  Message
+	deadline sim.Time
+	timer    *sim.Event
+	started  sim.Time
+
+	// Retransmits counts messages sent beyond the first of each phase.
+	Retransmits int
+}
+
+// NewClient creates a client for one interface. send transmits a message
+// toward the AP (lossily); done reports the outcome: (lease, true) on bind,
+// (zero, false) on failure.
+func NewClient(eng *sim.Engine, rng *sim.RNG, cfg ClientConfig, mac dot11.MACAddr, send func(Message), done func(Lease, bool)) *Client {
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = DefaultClientConfig().RetryTimeout
+	}
+	if cfg.AcquireWindow <= 0 {
+		cfg.AcquireWindow = DefaultClientConfig().AcquireWindow
+	}
+	if send == nil || done == nil {
+		panic("dhcp: NewClient requires send and done callbacks")
+	}
+	return &Client{eng: eng, rng: rng, cfg: cfg, mac: mac, send: send, done: done}
+}
+
+// Start begins acquisition. If cached is non-nil the client skips Discover
+// and re-requests the cached address (DHCP INIT-REBOOT), falling back to a
+// full exchange on NAK.
+func (c *Client) Start(cached *Lease) {
+	if c.state == stateDiscovering || c.state == stateRequesting {
+		return
+	}
+	c.xid = uint32(c.rng.Int63())
+	c.started = c.eng.Now()
+	c.deadline = c.eng.Now() + c.cfg.AcquireWindow
+	if cached != nil {
+		c.state = stateRequesting
+		c.pending = Message{Type: Request, XID: c.xid, ClientMAC: c.mac,
+			YourIP: cached.IP, ServerIP: cached.Server}
+	} else {
+		c.state = stateDiscovering
+		c.pending = Message{Type: Discover, XID: c.xid, ClientMAC: c.mac}
+	}
+	c.transmit(true)
+}
+
+// Active reports whether an acquisition is in progress.
+func (c *Client) Active() bool {
+	return c.state == stateDiscovering || c.state == stateRequesting
+}
+
+// Elapsed returns how long the current (or final) acquisition has run.
+func (c *Client) Elapsed() sim.Time { return c.eng.Now() - c.started }
+
+// Stop abandons the acquisition without invoking the completion callback.
+func (c *Client) Stop() {
+	c.cancelTimer()
+	c.state = stateIdle
+}
+
+func (c *Client) cancelTimer() {
+	if c.timer != nil {
+		c.eng.Cancel(c.timer)
+		c.timer = nil
+	}
+}
+
+func (c *Client) transmit(first bool) {
+	if !first {
+		c.Retransmits++
+	}
+	c.send(c.pending)
+	c.cancelTimer()
+	c.timer = c.eng.Schedule(c.cfg.RetryTimeout, c.onTimeout)
+}
+
+func (c *Client) onTimeout() {
+	c.timer = nil
+	if !c.Active() {
+		return
+	}
+	if c.eng.Now() >= c.deadline {
+		c.fail()
+		return
+	}
+	c.transmit(false)
+}
+
+func (c *Client) fail() {
+	c.cancelTimer()
+	c.state = stateFailed
+	c.done(Lease{}, false)
+}
+
+// Deliver feeds a server response into the state machine. Messages with a
+// foreign transaction id or for another MAC are ignored.
+func (c *Client) Deliver(msg Message) {
+	if !c.Active() || msg.XID != c.xid || msg.ClientMAC != c.mac {
+		return
+	}
+	switch {
+	case msg.Type == Offer && c.state == stateDiscovering:
+		c.state = stateRequesting
+		c.pending = Message{Type: Request, XID: c.xid, ClientMAC: c.mac,
+			YourIP: msg.YourIP, ServerIP: msg.ServerIP}
+		c.transmit(true)
+	case msg.Type == Ack && c.state == stateRequesting:
+		c.cancelTimer()
+		c.state = stateBound
+		c.done(Lease{IP: msg.YourIP, Server: msg.ServerIP, LeaseSecs: msg.LeaseSecs}, true)
+	case msg.Type == Nak && c.state == stateRequesting:
+		// Cached lease rejected: restart with Discover inside the same
+		// window if any time remains.
+		if c.eng.Now() >= c.deadline {
+			c.fail()
+			return
+		}
+		c.state = stateDiscovering
+		c.pending = Message{Type: Discover, XID: c.xid, ClientMAC: c.mac}
+		c.transmit(true)
+	}
+}

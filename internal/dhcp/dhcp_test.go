@@ -1,0 +1,312 @@
+package dhcp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spider/internal/dot11"
+	"spider/internal/ipnet"
+	"spider/internal/sim"
+)
+
+var gw = ipnet.AddrFrom4(192, 168, 1, 1)
+
+func instantServer(eng *sim.Engine) *Server {
+	cfg := DefaultServerConfig(gw)
+	cfg.RespDelayMin, cfg.RespDelayMax = 0, 0
+	return NewServer(eng, sim.NewRNG(1).Stream("srv"), cfg)
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := Message{Type: Offer, XID: 0xdeadbeef, ClientMAC: dot11.MAC(9),
+		YourIP: ipnet.AddrFrom4(192, 168, 1, 5), ServerIP: gw, LeaseSecs: 3600}
+	got, err := DecodeMessage(m.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip %+v != %+v", got, m)
+	}
+}
+
+func TestMessageDecodeErrors(t *testing.T) {
+	if _, err := DecodeMessage([]byte{1, 2}); err != ErrShortMessage {
+		t.Fatalf("short: %v", err)
+	}
+	m := Message{Type: Ack}
+	wire := m.Bytes()
+	wire[0] = 99
+	if _, err := DecodeMessage(wire); err != ErrBadType {
+		t.Fatalf("bad type: %v", err)
+	}
+}
+
+// Property: all message types and fields round-trip.
+func TestPropertyMessageRoundTrip(t *testing.T) {
+	f := func(typ uint8, xid uint32, mac uint32, yip, sip uint32, lease uint32) bool {
+		m := Message{Type: MessageType(typ%5) + 1, XID: xid, ClientMAC: dot11.MAC(mac),
+			YourIP: ipnet.Addr(yip), ServerIP: ipnet.Addr(sip), LeaseSecs: lease}
+		got, err := DecodeMessage(m.Bytes())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerStableLeases(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	var got []Message
+	reply := func(m Message) { got = append(got, m) }
+	s.Handle(Message{Type: Discover, XID: 1, ClientMAC: dot11.MAC(1)}, reply)
+	s.Handle(Message{Type: Discover, XID: 2, ClientMAC: dot11.MAC(2)}, reply)
+	s.Handle(Message{Type: Discover, XID: 3, ClientMAC: dot11.MAC(1)}, reply)
+	eng.RunAll()
+	if len(got) != 3 {
+		t.Fatalf("%d replies, want 3", len(got))
+	}
+	if got[0].YourIP == got[1].YourIP {
+		t.Fatal("distinct clients share a lease")
+	}
+	if got[0].YourIP != got[2].YourIP {
+		t.Fatal("same client got different leases")
+	}
+	if got[0].ServerIP != gw {
+		t.Fatalf("server ip = %v", got[0].ServerIP)
+	}
+}
+
+func TestServerPoolExhaustion(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultServerConfig(gw)
+	cfg.PoolSize = 2
+	cfg.RespDelayMin, cfg.RespDelayMax = 0, 0
+	s := NewServer(eng, sim.NewRNG(1), cfg)
+	replies := 0
+	for i := uint32(1); i <= 5; i++ {
+		s.Handle(Message{Type: Discover, XID: i, ClientMAC: dot11.MAC(i)}, func(Message) { replies++ })
+	}
+	eng.RunAll()
+	if replies != 2 {
+		t.Fatalf("replies = %d, want 2 (pool exhausted afterwards)", replies)
+	}
+}
+
+func TestServerNakOnStaleRequest(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	var resp Message
+	s.Handle(Message{Type: Request, XID: 7, ClientMAC: dot11.MAC(1),
+		YourIP: ipnet.AddrFrom4(10, 9, 9, 9)}, func(m Message) { resp = m })
+	eng.RunAll()
+	if resp.Type != Nak {
+		t.Fatalf("response = %v, want nak", resp.Type)
+	}
+}
+
+func TestServerResponseDelayWithinBounds(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultServerConfig(gw)
+	cfg.RespDelayMin = 500 * time.Millisecond
+	cfg.RespDelayMax = 2 * time.Second
+	s := NewServer(eng, sim.NewRNG(3), cfg)
+	var at sim.Time = -1
+	s.Handle(Message{Type: Discover, XID: 1, ClientMAC: dot11.MAC(1)}, func(Message) { at = eng.Now() })
+	eng.RunAll()
+	if at < cfg.RespDelayMin || at > cfg.RespDelayMax {
+		t.Fatalf("response at %v, want within [%v,%v]", at, cfg.RespDelayMin, cfg.RespDelayMax)
+	}
+}
+
+func TestServerIgnoresUnknownTypes(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	called := false
+	s.Handle(Message{Type: Offer, XID: 1, ClientMAC: dot11.MAC(1)}, func(Message) { called = true })
+	s.Handle(Message{Type: Ack, XID: 2, ClientMAC: dot11.MAC(1)}, func(Message) { called = true })
+	eng.RunAll()
+	if called {
+		t.Fatal("server replied to a server-to-client message")
+	}
+}
+
+// loopback wires a client directly to a server with a given one-way loss
+// probability, returning the client and a result capture.
+func loopback(eng *sim.Engine, s *Server, cfg ClientConfig, lossProb float64, seed int64) (*Client, *Lease, *bool, *Client) {
+	rng := sim.NewRNG(seed)
+	var lease Lease
+	var outcome *bool
+	result := new(bool)
+	var c *Client
+	c = NewClient(eng, rng.Stream("cli"), cfg, dot11.MAC(42),
+		func(m Message) {
+			if rng.Bool(lossProb) {
+				return // datagram lost
+			}
+			s.Handle(m, func(resp Message) {
+				if rng.Bool(lossProb) {
+					return
+				}
+				c.Deliver(resp)
+			})
+		},
+		func(l Lease, ok bool) { lease = l; *result = ok; outcome = result })
+	_ = outcome
+	return c, &lease, result, c
+}
+
+func TestClientFullExchange(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	c, lease, ok, _ := loopback(eng, s, DefaultClientConfig(), 0, 1)
+	c.Start(nil)
+	eng.RunAll()
+	if !*ok {
+		t.Fatal("acquisition failed on lossless path")
+	}
+	if lease.IP.IsUnspecified() || lease.Server != gw {
+		t.Fatalf("lease = %+v", lease)
+	}
+	if c.Active() {
+		t.Fatal("client still active after bind")
+	}
+}
+
+func TestClientCachedLeaseFastPath(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	// Prime the server lease table.
+	c1, lease, ok, _ := loopback(eng, s, DefaultClientConfig(), 0, 1)
+	c1.Start(nil)
+	eng.RunAll()
+	if !*ok {
+		t.Fatal("priming failed")
+	}
+	// Re-join with the cached lease: a single Request/Ack exchange.
+	c2, lease2, ok2, _ := loopback(eng, s, DefaultClientConfig(), 0, 2)
+	before := s.Offers
+	c2.Start(&Lease{IP: lease.IP, Server: lease.Server})
+	eng.RunAll()
+	if !*ok2 {
+		t.Fatal("cached-lease rejoin failed")
+	}
+	if lease2.IP != lease.IP {
+		t.Fatalf("rejoin got %v, want %v", lease2.IP, lease.IP)
+	}
+	if s.Offers != before {
+		t.Fatal("fast path should not trigger an Offer")
+	}
+}
+
+func TestClientNakFallsBackToDiscover(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	c, lease, ok, _ := loopback(eng, s, DefaultClientConfig(), 0, 3)
+	// A bogus cached lease triggers NAK, then a fresh Discover succeeds.
+	c.Start(&Lease{IP: ipnet.AddrFrom4(10, 0, 0, 99), Server: gw})
+	eng.RunAll()
+	if !*ok {
+		t.Fatal("client did not recover from NAK")
+	}
+	if lease.IP == ipnet.AddrFrom4(10, 0, 0, 99) {
+		t.Fatal("client kept the NAKed address")
+	}
+	if s.Naks != 1 {
+		t.Fatalf("naks = %d, want 1", s.Naks)
+	}
+}
+
+func TestClientFailsWhenServerSilent(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	cfg := ClientConfig{RetryTimeout: 100 * time.Millisecond, AcquireWindow: time.Second}
+	c, _, ok, _ := loopback(eng, s, cfg, 1.0, 4) // 100% loss
+	c.Start(nil)
+	eng.RunAll()
+	if *ok {
+		t.Fatal("acquisition succeeded with total loss")
+	}
+	if got := eng.Now(); got < cfg.AcquireWindow || got > cfg.AcquireWindow+2*cfg.RetryTimeout {
+		t.Fatalf("gave up at %v, want ≈%v", got, cfg.AcquireWindow)
+	}
+	if c.Retransmits < 5 {
+		t.Fatalf("retransmits = %d, want several within the window", c.Retransmits)
+	}
+}
+
+func TestClientRecoversFromModerateLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	succ := 0
+	const n = 100
+	for i := 0; i < n; i++ {
+		s := instantServer(eng)
+		cfg := ClientConfig{RetryTimeout: 100 * time.Millisecond, AcquireWindow: 3 * time.Second}
+		c, _, ok, _ := loopback(eng, s, cfg, 0.3, int64(i))
+		c.Start(nil)
+		eng.RunAll()
+		if *ok {
+			succ++
+		}
+	}
+	if succ < n*8/10 {
+		t.Fatalf("success %d/%d with 30%% loss and 100ms retries, want ≥80%%", succ, n)
+	}
+}
+
+func TestClientStopSuppressesCallback(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	fired := false
+	var c *Client
+	c = NewClient(eng, sim.NewRNG(1), DefaultClientConfig(), dot11.MAC(1),
+		func(m Message) { s.Handle(m, func(r Message) { c.Deliver(r) }) },
+		func(Lease, bool) { fired = true })
+	c.Start(nil)
+	c.Stop()
+	eng.RunAll()
+	if fired {
+		t.Fatal("completion callback fired after Stop")
+	}
+}
+
+func TestClientIgnoresForeignXID(t *testing.T) {
+	eng := sim.NewEngine()
+	bound := false
+	c := NewClient(eng, sim.NewRNG(1), DefaultClientConfig(), dot11.MAC(1),
+		func(Message) {}, func(_ Lease, ok bool) { bound = ok })
+	c.Start(nil)
+	c.Deliver(Message{Type: Ack, XID: 0xbad, ClientMAC: dot11.MAC(1), YourIP: 5, ServerIP: gw})
+	if bound {
+		t.Fatal("client accepted a response with a foreign XID")
+	}
+}
+
+func TestClientDoubleStartIgnored(t *testing.T) {
+	eng := sim.NewEngine()
+	sent := 0
+	c := NewClient(eng, sim.NewRNG(1), DefaultClientConfig(), dot11.MAC(1),
+		func(Message) { sent++ }, func(Lease, bool) {})
+	c.Start(nil)
+	c.Start(nil)
+	if sent != 1 {
+		t.Fatalf("sent = %d, want 1 (second Start ignored while active)", sent)
+	}
+}
+
+// Property: with a lossless instant path, acquisition always succeeds and
+// the lease is always from the server pool.
+func TestPropertyLosslessAlwaysBinds(t *testing.T) {
+	f := func(seed int64) bool {
+		eng := sim.NewEngine()
+		s := instantServer(eng)
+		c, lease, ok, _ := loopback(eng, s, DefaultClientConfig(), 0, seed)
+		c.Start(nil)
+		eng.RunAll()
+		return *ok && lease.IP > gw && lease.IP <= gw+64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package dhcp
+
+import (
+	"spider/internal/dot11"
+	"spider/internal/ipnet"
+	"spider/internal/sim"
+)
+
+// ServerConfig controls a simulated AP-side DHCP server.
+type ServerConfig struct {
+	// Gateway is the server/gateway address handed to clients.
+	Gateway ipnet.Addr
+	// PoolBase is the first client address; leases are PoolBase+1,
+	// PoolBase+2, ... (stable per client MAC).
+	PoolBase ipnet.Addr
+	// PoolSize caps the number of distinct leases.
+	PoolSize int
+	// RespDelayMin/Max bound the uniform per-response processing delay.
+	// The paper's β is the end-to-end join response time; residential APs
+	// show βmin ≈ 0.5 s and βmax of several seconds.
+	RespDelayMin sim.Time
+	RespDelayMax sim.Time
+	// LeaseSecs is the advertised lease duration.
+	LeaseSecs uint32
+}
+
+// DefaultServerConfig mirrors a typical open residential AP from the
+// paper's measurements.
+func DefaultServerConfig(gateway ipnet.Addr) ServerConfig {
+	return ServerConfig{
+		Gateway:      gateway,
+		PoolBase:     gateway,
+		PoolSize:     64,
+		RespDelayMin: 100 * 1000 * 1000,  // 100 ms per response;
+		RespDelayMax: 1250 * 1000 * 1000, // two responses span ≈[0.2s, 2.5s]
+		LeaseSecs:    3600,
+	}
+}
+
+// Server is a DHCP server bound to one AP. It answers Discover with Offer
+// and Request with Ack (or Nak when the pool is exhausted or the requested
+// address is stale), each after a sampled processing delay.
+type Server struct {
+	eng *sim.Engine
+	rng *sim.RNG
+	cfg ServerConfig
+
+	leases map[dot11.MACAddr]ipnet.Addr
+	next   int
+
+	// Counters for experiment reporting.
+	Offers int
+	Acks   int
+	Naks   int
+}
+
+// NewServer creates a server. rng must be a dedicated stream.
+func NewServer(eng *sim.Engine, rng *sim.RNG, cfg ServerConfig) *Server {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 64
+	}
+	if cfg.RespDelayMax < cfg.RespDelayMin {
+		cfg.RespDelayMax = cfg.RespDelayMin
+	}
+	return &Server{eng: eng, rng: rng, cfg: cfg, leases: make(map[dot11.MACAddr]ipnet.Addr)}
+}
+
+// Gateway returns the server's gateway address.
+func (s *Server) Gateway() ipnet.Addr { return s.cfg.Gateway }
+
+// leaseFor returns the stable lease for a client, allocating if needed.
+// The zero address reports pool exhaustion.
+func (s *Server) leaseFor(mac dot11.MACAddr) ipnet.Addr {
+	if ip, ok := s.leases[mac]; ok {
+		return ip
+	}
+	if s.next >= s.cfg.PoolSize {
+		return ipnet.Unspecified
+	}
+	s.next++
+	ip := s.cfg.PoolBase + ipnet.Addr(s.next)
+	s.leases[mac] = ip
+	return ip
+}
+
+// Handle processes one client message and, after the sampled processing
+// delay, invokes reply with the response. Unknown or out-of-order messages
+// are ignored, as a real server would silently drop them.
+func (s *Server) Handle(msg Message, reply func(Message)) {
+	var resp Message
+	switch msg.Type {
+	case Discover:
+		ip := s.leaseFor(msg.ClientMAC)
+		if ip.IsUnspecified() {
+			return // pool exhausted: silence, client times out
+		}
+		s.Offers++
+		resp = Message{Type: Offer, XID: msg.XID, ClientMAC: msg.ClientMAC,
+			YourIP: ip, ServerIP: s.cfg.Gateway, LeaseSecs: s.cfg.LeaseSecs}
+	case Request:
+		ip := s.leaseFor(msg.ClientMAC)
+		if ip.IsUnspecified() {
+			return
+		}
+		if msg.YourIP != ip {
+			// Stale cached lease (e.g. from a different visit): NAK so the
+			// client restarts with Discover.
+			s.Naks++
+			resp = Message{Type: Nak, XID: msg.XID, ClientMAC: msg.ClientMAC, ServerIP: s.cfg.Gateway}
+		} else {
+			s.Acks++
+			resp = Message{Type: Ack, XID: msg.XID, ClientMAC: msg.ClientMAC,
+				YourIP: ip, ServerIP: s.cfg.Gateway, LeaseSecs: s.cfg.LeaseSecs}
+		}
+	default:
+		return
+	}
+	delay := s.rng.UniformDuration(s.cfg.RespDelayMin, s.cfg.RespDelayMax+1)
+	s.eng.Schedule(delay, func() { reply(resp) })
+}
+
+// HasLease reports whether the server currently holds a lease binding mac
+// to ip, as used by the Request fast path.
+func (s *Server) HasLease(mac dot11.MACAddr, ip ipnet.Addr) bool {
+	got, ok := s.leases[mac]
+	return ok && got == ip
+}

@@ -1,0 +1,51 @@
+// Package dot11 models the subset of IEEE 802.11 framing that Spider's
+// driver, the access points, and the PHY exchange: management frames for
+// scanning and the join handshake, data and null-data frames with the
+// power-management bit, and PS-Poll frames.
+//
+// Frames follow the gopacket idiom: each frame serializes to a compact
+// binary wire format with AppendTo/Decode round-trips, and carries enough
+// header bytes that airtime accounting at the PHY is realistic.
+package dot11
+
+import "fmt"
+
+// MACAddr is a 48-bit IEEE 802 MAC address.
+type MACAddr [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String formats the address in the conventional colon-separated form.
+func (a MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (a MACAddr) IsBroadcast() bool { return a == Broadcast }
+
+// MAC derives a locally administered unicast address from a small integer
+// id, convenient for assigning stable addresses to simulated stations.
+func MAC(id uint32) MACAddr {
+	return MACAddr{0x02, 0x00, byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id)}
+}
+
+// Channel is an 802.11b/g channel number. Spider schedules among the three
+// orthogonal channels 1, 6, and 11.
+type Channel uint8
+
+// The orthogonal 2.4 GHz channels used throughout the paper.
+const (
+	Channel1  Channel = 1
+	Channel6  Channel = 6
+	Channel11 Channel = 11
+)
+
+// OrthogonalChannels lists the three non-overlapping channels in ascending
+// order.
+var OrthogonalChannels = []Channel{Channel1, Channel6, Channel11}
+
+// Valid reports whether c is a legal 2.4 GHz channel (1-14).
+func (c Channel) Valid() bool { return c >= 1 && c <= 14 }
+
+func (c Channel) String() string { return fmt.Sprintf("ch%d", uint8(c)) }

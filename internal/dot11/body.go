@@ -1,0 +1,91 @@
+package dot11
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortBody reports a management body shorter than its fixed fields.
+var ErrShortBody = errors.New("dot11: management body too short")
+
+// BeaconBody is the body of beacon and probe-response frames: the SSID plus
+// the fields the simulation needs for AP discovery.
+type BeaconBody struct {
+	SSID           string
+	BeaconInterval uint16 // in ms
+	Capabilities   uint16
+}
+
+// AppendTo serializes the body onto b.
+func (bb *BeaconBody) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, bb.BeaconInterval)
+	b = binary.BigEndian.AppendUint16(b, bb.Capabilities)
+	if len(bb.SSID) > 32 {
+		panic(fmt.Sprintf("dot11: SSID %q longer than 32 bytes", bb.SSID))
+	}
+	b = append(b, byte(len(bb.SSID)))
+	return append(b, bb.SSID...)
+}
+
+// DecodeBeaconBody parses a beacon/probe-response body.
+func DecodeBeaconBody(data []byte) (BeaconBody, error) {
+	var bb BeaconBody
+	if len(data) < 5 {
+		return bb, ErrShortBody
+	}
+	bb.BeaconInterval = binary.BigEndian.Uint16(data[0:2])
+	bb.Capabilities = binary.BigEndian.Uint16(data[2:4])
+	n := int(data[4])
+	if len(data) < 5+n {
+		return bb, ErrShortBody
+	}
+	bb.SSID = string(data[5 : 5+n])
+	return bb, nil
+}
+
+// AuthBody is the body of authentication frames (both directions).
+type AuthBody struct {
+	SeqNum uint16 // handshake sequence number (1 or 2)
+	Status uint16 // 0 = success
+}
+
+// AppendTo serializes the body onto b.
+func (ab *AuthBody) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, ab.SeqNum)
+	return binary.BigEndian.AppendUint16(b, ab.Status)
+}
+
+// DecodeAuthBody parses an authentication body.
+func DecodeAuthBody(data []byte) (AuthBody, error) {
+	if len(data) < 4 {
+		return AuthBody{}, ErrShortBody
+	}
+	return AuthBody{
+		SeqNum: binary.BigEndian.Uint16(data[0:2]),
+		Status: binary.BigEndian.Uint16(data[2:4]),
+	}, nil
+}
+
+// AssocRespBody is the body of association-response frames.
+type AssocRespBody struct {
+	Status uint16 // 0 = success
+	AID    uint16 // association id assigned by the AP
+}
+
+// AppendTo serializes the body onto b.
+func (ar *AssocRespBody) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, ar.Status)
+	return binary.BigEndian.AppendUint16(b, ar.AID)
+}
+
+// DecodeAssocRespBody parses an association-response body.
+func DecodeAssocRespBody(data []byte) (AssocRespBody, error) {
+	if len(data) < 4 {
+		return AssocRespBody{}, ErrShortBody
+	}
+	return AssocRespBody{
+		Status: binary.BigEndian.Uint16(data[0:2]),
+		AID:    binary.BigEndian.Uint16(data[2:4]),
+	}, nil
+}

@@ -1,0 +1,159 @@
+package dot11
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// FrameType identifies the management, control, or data frame subtype.
+type FrameType uint8
+
+// Frame subtypes used by the simulation. The values are stable wire
+// constants, not the raw 802.11 type/subtype bit layout.
+const (
+	TypeBeacon FrameType = iota + 1
+	TypeProbeReq
+	TypeProbeResp
+	TypeAuth
+	TypeAuthResp
+	TypeAssocReq
+	TypeAssocResp
+	TypeDeauth
+	TypeData
+	TypeNullData // data frame with no body, used to signal the PM bit
+	TypePSPoll
+	TypeAck
+)
+
+var frameTypeNames = map[FrameType]string{
+	TypeBeacon:    "beacon",
+	TypeProbeReq:  "probe-req",
+	TypeProbeResp: "probe-resp",
+	TypeAuth:      "auth",
+	TypeAuthResp:  "auth-resp",
+	TypeAssocReq:  "assoc-req",
+	TypeAssocResp: "assoc-resp",
+	TypeDeauth:    "deauth",
+	TypeData:      "data",
+	TypeNullData:  "null",
+	TypePSPoll:    "ps-poll",
+	TypeAck:       "ack",
+}
+
+func (t FrameType) String() string {
+	if s, ok := frameTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("frame-type-%d", uint8(t))
+}
+
+// IsManagement reports whether the subtype is a management frame, which is
+// never buffered by power-save mode at the AP.
+func (t FrameType) IsManagement() bool {
+	return t >= TypeBeacon && t <= TypeDeauth
+}
+
+// Frame control flag bits.
+const (
+	flagPowerMgmt = 1 << 0
+	flagMoreData  = 1 << 1
+	flagRetry     = 1 << 2
+)
+
+// headerLen is the serialized header length: 1 type + 1 flags + 3×6
+// addresses + 2 sequence.
+const headerLen = 1 + 1 + 18 + 2
+
+// fcsLen is the length of the trailing CRC-32 frame check sequence.
+const fcsLen = 4
+
+// Frame is a single 802.11 MAC frame.
+//
+// Addr1 is the receiver, Addr2 the transmitter, and Addr3 the BSSID, per
+// the usual infrastructure-mode convention.
+type Frame struct {
+	Type      FrameType
+	Addr1     MACAddr // receiver / destination
+	Addr2     MACAddr // transmitter / source
+	Addr3     MACAddr // BSSID
+	Seq       uint16
+	PowerMgmt bool // PM bit: transmitter is entering power-save mode
+	MoreData  bool // AP has more buffered frames for the station
+	Retry     bool // MAC retransmission
+	Body      []byte
+}
+
+// WireLen returns the full serialized length in bytes, including the FCS.
+// The PHY charges airtime for exactly this many bytes plus PHY preamble.
+func (f *Frame) WireLen() int { return headerLen + len(f.Body) + fcsLen }
+
+// AppendTo serializes the frame (with FCS) onto b and returns the extended
+// slice.
+func (f *Frame) AppendTo(b []byte) []byte {
+	start := len(b)
+	var flags byte
+	if f.PowerMgmt {
+		flags |= flagPowerMgmt
+	}
+	if f.MoreData {
+		flags |= flagMoreData
+	}
+	if f.Retry {
+		flags |= flagRetry
+	}
+	b = append(b, byte(f.Type), flags)
+	b = append(b, f.Addr1[:]...)
+	b = append(b, f.Addr2[:]...)
+	b = append(b, f.Addr3[:]...)
+	b = binary.BigEndian.AppendUint16(b, f.Seq)
+	b = append(b, f.Body...)
+	fcs := crc32.ChecksumIEEE(b[start:])
+	return binary.BigEndian.AppendUint32(b, fcs)
+}
+
+// Bytes serializes the frame into a fresh buffer.
+func (f *Frame) Bytes() []byte {
+	return f.AppendTo(make([]byte, 0, f.WireLen()))
+}
+
+// Decoding errors.
+var (
+	ErrShortFrame = errors.New("dot11: frame too short")
+	ErrBadFCS     = errors.New("dot11: frame check sequence mismatch")
+	ErrBadType    = errors.New("dot11: unknown frame type")
+)
+
+// Decode parses a serialized frame, verifying the FCS. The returned frame's
+// Body aliases data.
+func Decode(data []byte) (Frame, error) {
+	var f Frame
+	if len(data) < headerLen+fcsLen {
+		return f, ErrShortFrame
+	}
+	body := data[:len(data)-fcsLen]
+	want := binary.BigEndian.Uint32(data[len(data)-fcsLen:])
+	if crc32.ChecksumIEEE(body) != want {
+		return f, ErrBadFCS
+	}
+	f.Type = FrameType(data[0])
+	if _, ok := frameTypeNames[f.Type]; !ok {
+		return f, ErrBadType
+	}
+	flags := data[1]
+	f.PowerMgmt = flags&flagPowerMgmt != 0
+	f.MoreData = flags&flagMoreData != 0
+	f.Retry = flags&flagRetry != 0
+	copy(f.Addr1[:], data[2:8])
+	copy(f.Addr2[:], data[8:14])
+	copy(f.Addr3[:], data[14:20])
+	f.Seq = binary.BigEndian.Uint16(data[20:22])
+	f.Body = body[headerLen:]
+	return f, nil
+}
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("%s %s->%s bssid=%s seq=%d pm=%t len=%d",
+		f.Type, f.Addr2, f.Addr1, f.Addr3, f.Seq, f.PowerMgmt, f.WireLen())
+}

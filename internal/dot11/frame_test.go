@@ -1,0 +1,221 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMACString(t *testing.T) {
+	a := MAC(0x01020304)
+	if got, want := a.String(), "02:00:01:02:03:04"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast.IsBroadcast() = false")
+	}
+	if a.IsBroadcast() {
+		t.Fatal("unicast address reported as broadcast")
+	}
+}
+
+func TestMACUnique(t *testing.T) {
+	seen := map[MACAddr]bool{}
+	for i := uint32(0); i < 1000; i++ {
+		m := MAC(i)
+		if seen[m] {
+			t.Fatalf("MAC(%d) collides", i)
+		}
+		seen[m] = true
+	}
+}
+
+func TestChannelValid(t *testing.T) {
+	for _, c := range OrthogonalChannels {
+		if !c.Valid() {
+			t.Fatalf("%v not valid", c)
+		}
+	}
+	if Channel(0).Valid() || Channel(15).Valid() {
+		t.Fatal("out-of-range channel reported valid")
+	}
+	if Channel6.String() != "ch6" {
+		t.Fatalf("String = %q", Channel6.String())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{
+		Type:      TypeData,
+		Addr1:     MAC(1),
+		Addr2:     MAC(2),
+		Addr3:     MAC(3),
+		Seq:       4711,
+		PowerMgmt: true,
+		MoreData:  true,
+		Retry:     true,
+		Body:      []byte("hello, 802.11"),
+	}
+	wire := f.Bytes()
+	if len(wire) != f.WireLen() {
+		t.Fatalf("wire len %d, WireLen %d", len(wire), f.WireLen())
+	}
+	g, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != f.Type || g.Addr1 != f.Addr1 || g.Addr2 != f.Addr2 ||
+		g.Addr3 != f.Addr3 || g.Seq != f.Seq ||
+		g.PowerMgmt != f.PowerMgmt || g.MoreData != f.MoreData || g.Retry != f.Retry {
+		t.Fatalf("decoded %+v != original %+v", g, f)
+	}
+	if !bytes.Equal(g.Body, f.Body) {
+		t.Fatalf("body %q != %q", g.Body, f.Body)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err != ErrShortFrame {
+		t.Fatalf("nil: err = %v, want ErrShortFrame", err)
+	}
+	if _, err := Decode(make([]byte, headerLen)); err != ErrShortFrame {
+		t.Fatalf("short: err = %v, want ErrShortFrame", err)
+	}
+	f := Frame{Type: TypeBeacon, Addr1: Broadcast, Addr2: MAC(1), Addr3: MAC(1)}
+	wire := f.Bytes()
+	wire[5] ^= 0xff // corrupt an address byte
+	if _, err := Decode(wire); err != ErrBadFCS {
+		t.Fatalf("corrupt: err = %v, want ErrBadFCS", err)
+	}
+	bad := Frame{Type: FrameType(200), Addr1: MAC(1)}
+	if _, err := Decode(bad.Bytes()); err != ErrBadType {
+		t.Fatalf("bad type: err = %v, want ErrBadType", err)
+	}
+}
+
+func TestFrameTypeClasses(t *testing.T) {
+	mgmt := []FrameType{TypeBeacon, TypeProbeReq, TypeProbeResp, TypeAuth, TypeAuthResp, TypeAssocReq, TypeAssocResp, TypeDeauth}
+	for _, ft := range mgmt {
+		if !ft.IsManagement() {
+			t.Fatalf("%v not management", ft)
+		}
+	}
+	for _, ft := range []FrameType{TypeData, TypeNullData, TypePSPoll, TypeAck} {
+		if ft.IsManagement() {
+			t.Fatalf("%v reported management", ft)
+		}
+	}
+	if FrameType(99).String() != "frame-type-99" {
+		t.Fatalf("unknown type String = %q", FrameType(99).String())
+	}
+}
+
+func TestBeaconBodyRoundTrip(t *testing.T) {
+	bb := BeaconBody{SSID: "townwifi", BeaconInterval: 100, Capabilities: 0x0401}
+	got, err := DecodeBeaconBody(bb.AppendTo(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != bb {
+		t.Fatalf("round trip %+v != %+v", got, bb)
+	}
+	if _, err := DecodeBeaconBody([]byte{1, 2}); err != ErrShortBody {
+		t.Fatalf("short body: %v", err)
+	}
+	// Truncated SSID.
+	b := bb.AppendTo(nil)
+	if _, err := DecodeBeaconBody(b[:len(b)-2]); err != ErrShortBody {
+		t.Fatalf("truncated ssid: %v", err)
+	}
+}
+
+func TestBeaconBodySSIDTooLong(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized SSID did not panic")
+		}
+	}()
+	bb := BeaconBody{SSID: string(make([]byte, 33))}
+	bb.AppendTo(nil)
+}
+
+func TestAuthBodyRoundTrip(t *testing.T) {
+	ab := AuthBody{SeqNum: 2, Status: 0}
+	got, err := DecodeAuthBody(ab.AppendTo(nil))
+	if err != nil || got != ab {
+		t.Fatalf("round trip = %+v, %v", got, err)
+	}
+	if _, err := DecodeAuthBody(nil); err != ErrShortBody {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+func TestAssocRespBodyRoundTrip(t *testing.T) {
+	ar := AssocRespBody{Status: 0, AID: 7}
+	got, err := DecodeAssocRespBody(ar.AppendTo(nil))
+	if err != nil || got != ar {
+		t.Fatalf("round trip = %+v, %v", got, err)
+	}
+	if _, err := DecodeAssocRespBody([]byte{0}); err != ErrShortBody {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+// Property: every frame round-trips through the wire format.
+func TestPropertyFrameRoundTrip(t *testing.T) {
+	f := func(typ uint8, a1, a2, a3 uint32, seq uint16, pm, md, rt bool, body []byte) bool {
+		ft := FrameType(typ%12) + 1
+		orig := Frame{
+			Type: ft, Addr1: MAC(a1), Addr2: MAC(a2), Addr3: MAC(a3),
+			Seq: seq, PowerMgmt: pm, MoreData: md, Retry: rt, Body: body,
+		}
+		dec, err := Decode(orig.Bytes())
+		if err != nil {
+			return false
+		}
+		return dec.Type == orig.Type && dec.Addr1 == orig.Addr1 &&
+			dec.Addr2 == orig.Addr2 && dec.Addr3 == orig.Addr3 &&
+			dec.Seq == orig.Seq && dec.PowerMgmt == orig.PowerMgmt &&
+			dec.MoreData == orig.MoreData && dec.Retry == orig.Retry &&
+			bytes.Equal(dec.Body, orig.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: single-bit corruption anywhere in the frame is detected by the
+// FCS (CRC-32 detects all single-bit errors).
+func TestPropertyFCSDetectsBitFlips(t *testing.T) {
+	f := func(seed uint16, body []byte, pos uint16, bit uint8) bool {
+		orig := Frame{Type: TypeData, Addr1: MAC(1), Addr2: MAC(2), Addr3: MAC(3), Seq: seed, Body: body}
+		wire := orig.Bytes()
+		p := int(pos) % len(wire)
+		wire[p] ^= 1 << (bit % 8)
+		_, err := Decode(wire)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFrameEncode(b *testing.B) {
+	f := Frame{Type: TypeData, Addr1: MAC(1), Addr2: MAC(2), Addr3: MAC(3), Body: make([]byte, 1460)}
+	buf := make([]byte, 0, f.WireLen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = f.AppendTo(buf[:0])
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	f := Frame{Type: TypeData, Addr1: MAC(1), Addr2: MAC(2), Addr3: MAC(3), Body: make([]byte, 1460)}
+	wire := f.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

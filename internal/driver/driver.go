@@ -1,0 +1,378 @@
+// Package driver implements Spider's virtualized Wi-Fi driver: a single
+// physical radio time-sliced across 802.11 *channels* (design choice 1 of
+// the paper), exposing multiple virtual interfaces (design choice 3), with
+// per-channel transmit queues, PSM-announced switches, and opportunistic
+// background scanning.
+//
+// The driver knows nothing about AP selection policy; the link management
+// module (package lmm) drives it. A single-slot schedule degenerates to a
+// stock single-channel driver, which is how the baselines are built.
+package driver
+
+import (
+	"fmt"
+
+	"spider/internal/dot11"
+	"spider/internal/geo"
+	"spider/internal/phy"
+	"spider/internal/sim"
+)
+
+// Config tunes the driver.
+type Config struct {
+	// NumVIFs is the number of virtual interfaces (the paper uses 7).
+	NumVIFs int
+	// LLTimeout is the link-layer retransmission timeout for join
+	// handshake messages (default 1 s; Spider reduces it to 100 ms).
+	LLTimeout sim.Time
+	// JoinWindow bounds one link-layer join attempt.
+	JoinWindow sim.Time
+	// TxQueueLimit caps buffered outgoing frames per channel.
+	TxQueueLimit int
+	// ProbeInterval, when positive, broadcasts probe requests on the
+	// active channel at this period (active scanning). Passive beacon
+	// collection is always on.
+	ProbeInterval sim.Time
+	// ScanEntryTTL ages out scan-table entries not heard from.
+	ScanEntryTTL sim.Time
+}
+
+// DefaultConfig returns Spider's deployed settings.
+func DefaultConfig() Config {
+	return Config{
+		NumVIFs:       7,
+		LLTimeout:     100 * 1000 * 1000,  // 100 ms
+		JoinWindow:    3000 * 1000 * 1000, // 3 s
+		TxQueueLimit:  100,
+		ProbeInterval: 500 * 1000 * 1000,      // 500 ms
+		ScanEntryTTL:  5 * 1000 * 1000 * 1000, // 5 s
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.NumVIFs <= 0 {
+		c.NumVIFs = d.NumVIFs
+	}
+	if c.LLTimeout <= 0 {
+		c.LLTimeout = d.LLTimeout
+	}
+	if c.JoinWindow <= 0 {
+		c.JoinWindow = d.JoinWindow
+	}
+	if c.TxQueueLimit <= 0 {
+		c.TxQueueLimit = d.TxQueueLimit
+	}
+	if c.ScanEntryTTL <= 0 {
+		c.ScanEntryTTL = d.ScanEntryTTL
+	}
+	return c
+}
+
+// Slot is one entry in the channel schedule.
+type Slot struct {
+	Channel  dot11.Channel
+	Duration sim.Time
+}
+
+// ScanEntry is one AP heard during opportunistic scanning.
+type ScanEntry struct {
+	BSSID    dot11.MACAddr
+	SSID     string
+	Channel  dot11.Channel
+	RSSI     float64
+	Open     bool
+	LastSeen sim.Time
+}
+
+// Stats aggregates driver counters.
+type Stats struct {
+	Switches     uint64
+	PSMSent      uint64
+	PollsSent    uint64
+	TxQueued     uint64
+	TxQueueDrops uint64
+	ProbesSent   uint64
+}
+
+// Driver is the virtual Wi-Fi driver.
+type Driver struct {
+	eng *sim.Engine
+	rng *sim.RNG
+	cfg Config
+
+	radio *phy.Radio
+	vifs  []*VIF
+
+	schedule  []Slot
+	slotIdx   int
+	slotTimer *sim.Event
+	switching bool
+
+	txq  map[dot11.Channel][]dot11.Frame
+	scan map[dot11.MACAddr]ScanEntry
+
+	stopProbe func()
+	stats     Stats
+
+	// OnChannelActive, if set, fires each time the radio settles on a
+	// channel (after the PS-Poll flush).
+	OnChannelActive func(ch dot11.Channel)
+}
+
+// New creates a driver with its radio attached to medium at the mobile
+// position pos. The radio starts on channel 1 with an empty (single-slot)
+// schedule.
+func New(eng *sim.Engine, rng *sim.RNG, medium *phy.Medium, mac dot11.MACAddr, pos func() geo.Point, cfg Config) *Driver {
+	cfg = cfg.withDefaults()
+	d := &Driver{
+		eng:  eng,
+		rng:  rng,
+		cfg:  cfg,
+		txq:  make(map[dot11.Channel][]dot11.Frame),
+		scan: make(map[dot11.MACAddr]ScanEntry),
+	}
+	d.radio = medium.NewRadio(mac, pos)
+	d.radio.SetReceiver(d.onFrame)
+	for i := 0; i < cfg.NumVIFs; i++ {
+		d.vifs = append(d.vifs, &VIF{id: i, drv: d})
+	}
+	d.schedule = []Slot{{Channel: d.radio.Channel(), Duration: 0}}
+	if cfg.ProbeInterval > 0 {
+		d.stopProbe = eng.Ticker(cfg.ProbeInterval, d.probe)
+	}
+	return d
+}
+
+// Close shuts the driver down.
+func (d *Driver) Close() {
+	if d.stopProbe != nil {
+		d.stopProbe()
+	}
+	if d.slotTimer != nil {
+		d.eng.Cancel(d.slotTimer)
+	}
+	d.radio.Close()
+}
+
+// MAC returns the radio's MAC address.
+func (d *Driver) MAC() dot11.MACAddr { return d.radio.MAC() }
+
+// Config returns the effective configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the driver counters.
+func (d *Driver) Stats() Stats { return d.stats }
+
+// TxAirtime returns the radio's cumulative transmit airtime.
+func (d *Driver) TxAirtime() sim.Time { return d.radio.TxAirtime() }
+
+// SwitchTime returns the total time spent in hardware resets.
+func (d *Driver) SwitchTime() sim.Time {
+	return sim.Time(d.stats.Switches) * d.radio.SwitchLatency()
+}
+
+// VIFs returns the virtual interfaces.
+func (d *Driver) VIFs() []*VIF { return d.vifs }
+
+// CurrentChannel returns the channel the radio is tuned to (the target
+// channel while a switch is in flight).
+func (d *Driver) CurrentChannel() dot11.Channel { return d.radio.Channel() }
+
+// Switching reports whether a hardware reset is in progress.
+func (d *Driver) Switching() bool { return d.switching }
+
+// Channels returns the distinct channels in the active schedule.
+func (d *Driver) Channels() []dot11.Channel {
+	seen := map[dot11.Channel]bool{}
+	var out []dot11.Channel
+	for _, s := range d.schedule {
+		if !seen[s.Channel] {
+			seen[s.Channel] = true
+			out = append(out, s.Channel)
+		}
+	}
+	return out
+}
+
+// Schedule returns a copy of the active schedule.
+func (d *Driver) Schedule() []Slot { return append([]Slot(nil), d.schedule...) }
+
+// SetSchedule installs a channel schedule. A single slot (any duration)
+// parks the radio on that channel with no switching. Multi-slot schedules
+// cycle round-robin; each duration is the dwell time on that channel,
+// excluding the hardware switch cost. Durations must be positive for
+// multi-slot schedules.
+func (d *Driver) SetSchedule(slots []Slot) {
+	if len(slots) == 0 {
+		panic("driver: SetSchedule with empty schedule")
+	}
+	for _, s := range slots {
+		if !s.Channel.Valid() {
+			panic(fmt.Sprintf("driver: invalid channel %d in schedule", s.Channel))
+		}
+		if len(slots) > 1 && s.Duration <= 0 {
+			panic("driver: multi-slot schedule needs positive durations")
+		}
+	}
+	d.schedule = append([]Slot(nil), slots...)
+	d.slotIdx = 0
+	if d.slotTimer != nil {
+		d.eng.Cancel(d.slotTimer)
+		d.slotTimer = nil
+	}
+	if d.radio.Channel() == slots[0].Channel && !d.radio.Switching() {
+		d.enterSlot()
+		return
+	}
+	d.switchTo(slots[0].Channel)
+}
+
+// ScanTable returns live scan entries, most recently seen first is NOT
+// guaranteed; callers rank as needed. Entries older than ScanEntryTTL are
+// dropped.
+func (d *Driver) ScanTable() []ScanEntry {
+	cutoff := d.eng.Now() - d.cfg.ScanEntryTTL
+	var out []ScanEntry
+	for b, e := range d.scan {
+		if e.LastSeen < cutoff {
+			delete(d.scan, b)
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// probe broadcasts an active probe request on the current channel.
+func (d *Driver) probe() {
+	if d.switching {
+		return
+	}
+	d.stats.ProbesSent++
+	d.radio.Send(dot11.Frame{
+		Type:  dot11.TypeProbeReq,
+		Addr1: dot11.Broadcast,
+		Seq:   d.radio.NextSeq(),
+	}, nil)
+}
+
+// enterSlot arms the dwell timer for the current slot (multi-slot only).
+func (d *Driver) enterSlot() {
+	if len(d.schedule) <= 1 {
+		return
+	}
+	dur := d.schedule[d.slotIdx].Duration
+	d.slotTimer = d.eng.Schedule(dur, d.nextSlot)
+}
+
+func (d *Driver) nextSlot() {
+	d.slotTimer = nil
+	d.slotIdx = (d.slotIdx + 1) % len(d.schedule)
+	next := d.schedule[d.slotIdx].Channel
+	if next == d.radio.Channel() && !d.radio.Switching() {
+		// Adjacent slots on the same channel: no switch needed.
+		d.enterSlot()
+		return
+	}
+	d.switchTo(next)
+}
+
+// switchTo performs the full Spider switch sequence: PSM announcements to
+// associated APs on the old channel, hardware reset, then PS-Polls on the
+// new channel and a flush of its queued frames.
+func (d *Driver) switchTo(ch dot11.Channel) {
+	old := d.radio.Channel()
+	if !d.switching {
+		for _, v := range d.vifs {
+			if v.state == vifAssociated && v.channel == old {
+				d.stats.PSMSent++
+				d.radio.Send(dot11.Frame{
+					Type:      dot11.TypeNullData,
+					Addr1:     v.bssid,
+					Addr3:     v.bssid,
+					Seq:       d.radio.NextSeq(),
+					PowerMgmt: true,
+				}, nil)
+			}
+		}
+	}
+	d.switching = true
+	d.stats.Switches++
+	d.radio.SetChannel(ch, func() {
+		d.switching = false
+		d.arriveOn(ch)
+	})
+}
+
+// arriveOn completes a switch: wake associated APs and drain the queue.
+func (d *Driver) arriveOn(ch dot11.Channel) {
+	for _, v := range d.vifs {
+		if v.state == vifAssociated && v.channel == ch {
+			d.stats.PollsSent++
+			d.radio.Send(dot11.Frame{
+				Type:  dot11.TypePSPoll,
+				Addr1: v.bssid,
+				Addr3: v.bssid,
+				Seq:   d.radio.NextSeq(),
+			}, nil)
+		}
+	}
+	q := d.txq[ch]
+	d.txq[ch] = nil
+	for _, f := range q {
+		d.radio.Send(f, nil)
+	}
+	if d.OnChannelActive != nil {
+		d.OnChannelActive(ch)
+	}
+	d.enterSlot()
+}
+
+// sendOrQueue transmits on the frame's channel immediately when tuned
+// there, otherwise buffers it in that channel's queue.
+func (d *Driver) sendOrQueue(ch dot11.Channel, f dot11.Frame) {
+	if d.radio.Channel() == ch && !d.switching {
+		d.radio.Send(f, nil)
+		return
+	}
+	if len(d.txq[ch]) >= d.cfg.TxQueueLimit {
+		d.stats.TxQueueDrops++
+		return
+	}
+	d.stats.TxQueued++
+	d.txq[ch] = append(d.txq[ch], f)
+}
+
+// onFrame dispatches received frames to the scan table and the VIFs.
+func (d *Driver) onFrame(f dot11.Frame, info phy.RxInfo) {
+	switch f.Type {
+	case dot11.TypeBeacon, dot11.TypeProbeResp:
+		if body, err := dot11.DecodeBeaconBody(f.Body); err == nil {
+			d.scan[f.Addr3] = ScanEntry{
+				BSSID:    f.Addr3,
+				SSID:     body.SSID,
+				Channel:  info.Channel,
+				RSSI:     info.RSSI,
+				Open:     body.Capabilities&0x0010 == 0,
+				LastSeen: info.At,
+			}
+		}
+	case dot11.TypeAuthResp, dot11.TypeAssocResp:
+		for _, v := range d.vifs {
+			if v.bssid == f.Addr3 && v.state != vifIdle {
+				v.onMgmt(f)
+			}
+		}
+	case dot11.TypeData:
+		if f.Addr1 != d.MAC() {
+			return
+		}
+		for _, v := range d.vifs {
+			if v.bssid == f.Addr3 && v.state == vifAssociated {
+				v.onData(f)
+				return
+			}
+		}
+	}
+}

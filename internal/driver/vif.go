@@ -1,0 +1,231 @@
+package driver
+
+import (
+	"fmt"
+
+	"spider/internal/dot11"
+	"spider/internal/ipnet"
+	"spider/internal/sim"
+)
+
+type vifState uint8
+
+const (
+	vifIdle vifState = iota
+	vifAuthWait
+	vifAssocWait
+	vifAssociated
+)
+
+// VIF is one virtual interface — the driver-level analogue of the per-AP
+// Linux network device Spider exposes. Each VIF binds to at most one AP and
+// carries an independent link-layer join state machine.
+type VIF struct {
+	id  int
+	drv *Driver
+
+	state   vifState
+	bssid   dot11.MACAddr
+	channel dot11.Channel
+
+	deadline sim.Time
+	timer    *sim.Event
+
+	// OnJoinResult reports the outcome of Associate: true once the
+	// four-way handshake completes, false on window expiry or rejection.
+	OnJoinResult func(ok bool)
+	// OnPacket receives decoded IP packets addressed to this interface.
+	OnPacket func(ipnet.Packet)
+
+	// Stats.
+	AuthAttempts  int
+	AssocAttempts int
+}
+
+// ID returns the interface index.
+func (v *VIF) ID() int { return v.id }
+
+// Associated reports whether the four-way handshake has completed.
+func (v *VIF) Associated() bool { return v.state == vifAssociated }
+
+// Joining reports whether a link-layer join is in progress.
+func (v *VIF) Joining() bool { return v.state == vifAuthWait || v.state == vifAssocWait }
+
+// BSSID returns the bound AP, or the zero address when idle.
+func (v *VIF) BSSID() dot11.MACAddr {
+	if v.state == vifIdle {
+		return dot11.MACAddr{}
+	}
+	return v.bssid
+}
+
+// Channel returns the channel of the bound AP.
+func (v *VIF) Channel() dot11.Channel { return v.channel }
+
+// Associate starts the link-layer join (auth + assoc) to an AP on the given
+// channel. The channel need not be the radio's current one: handshake
+// frames transmit only while the radio dwells there, exactly the
+// fractional-time dynamic the paper models. Panics if the VIF is busy.
+func (v *VIF) Associate(bssid dot11.MACAddr, ch dot11.Channel) {
+	if v.state != vifIdle {
+		panic(fmt.Sprintf("driver: Associate on busy vif %d", v.id))
+	}
+	if !ch.Valid() {
+		panic("driver: Associate with invalid channel")
+	}
+	v.state = vifAuthWait
+	v.bssid = bssid
+	v.channel = ch
+	v.deadline = v.drv.eng.Now() + v.drv.cfg.JoinWindow
+	v.sendAuth()
+}
+
+// Disassociate releases the binding, notifying the AP when reachable.
+func (v *VIF) Disassociate() {
+	if v.state == vifIdle {
+		return
+	}
+	if v.state == vifAssociated && v.drv.radio.Channel() == v.channel && !v.drv.switching {
+		v.drv.radio.Send(dot11.Frame{
+			Type:  dot11.TypeDeauth,
+			Addr1: v.bssid,
+			Addr3: v.bssid,
+			Seq:   v.drv.radio.NextSeq(),
+		}, nil)
+	}
+	v.reset()
+}
+
+func (v *VIF) reset() {
+	v.cancelTimer()
+	v.state = vifIdle
+	v.bssid = dot11.MACAddr{}
+	v.channel = 0
+}
+
+func (v *VIF) cancelTimer() {
+	if v.timer != nil {
+		v.drv.eng.Cancel(v.timer)
+		v.timer = nil
+	}
+}
+
+func (v *VIF) armTimer() {
+	v.cancelTimer()
+	v.timer = v.drv.eng.Schedule(v.drv.cfg.LLTimeout, v.onTimeout)
+}
+
+func (v *VIF) onTimeout() {
+	v.timer = nil
+	switch v.state {
+	case vifAuthWait:
+		if v.drv.eng.Now() >= v.deadline {
+			v.fail()
+			return
+		}
+		v.sendAuth()
+	case vifAssocWait:
+		if v.drv.eng.Now() >= v.deadline {
+			v.fail()
+			return
+		}
+		v.sendAssoc()
+	}
+}
+
+func (v *VIF) fail() {
+	cb := v.OnJoinResult
+	v.reset()
+	if cb != nil {
+		cb(false)
+	}
+}
+
+// sendAuth transmits an authentication request if the radio is on the AP's
+// channel; either way the retransmission timer is armed, so attempts recur
+// every LLTimeout while the join window lasts.
+func (v *VIF) sendAuth() {
+	if v.drv.radio.Channel() == v.channel && !v.drv.switching {
+		v.AuthAttempts++
+		body := dot11.AuthBody{SeqNum: 1}
+		v.drv.radio.Send(dot11.Frame{
+			Type:  dot11.TypeAuth,
+			Addr1: v.bssid,
+			Addr3: v.bssid,
+			Seq:   v.drv.radio.NextSeq(),
+			Body:  body.AppendTo(nil),
+		}, nil)
+	}
+	v.armTimer()
+}
+
+func (v *VIF) sendAssoc() {
+	if v.drv.radio.Channel() == v.channel && !v.drv.switching {
+		v.AssocAttempts++
+		v.drv.radio.Send(dot11.Frame{
+			Type:  dot11.TypeAssocReq,
+			Addr1: v.bssid,
+			Addr3: v.bssid,
+			Seq:   v.drv.radio.NextSeq(),
+		}, nil)
+	}
+	v.armTimer()
+}
+
+// onMgmt handles auth/assoc responses from the bound AP.
+func (v *VIF) onMgmt(f dot11.Frame) {
+	switch {
+	case f.Type == dot11.TypeAuthResp && v.state == vifAuthWait:
+		body, err := dot11.DecodeAuthBody(f.Body)
+		if err != nil {
+			return
+		}
+		if body.Status != 0 {
+			v.fail()
+			return
+		}
+		v.state = vifAssocWait
+		v.sendAssoc()
+	case f.Type == dot11.TypeAssocResp && v.state == vifAssocWait:
+		body, err := dot11.DecodeAssocRespBody(f.Body)
+		if err != nil {
+			return
+		}
+		if body.Status != 0 {
+			v.fail()
+			return
+		}
+		v.cancelTimer()
+		v.state = vifAssociated
+		if v.OnJoinResult != nil {
+			v.OnJoinResult(true)
+		}
+	}
+}
+
+// onData decodes and delivers a data frame's IP payload.
+func (v *VIF) onData(f dot11.Frame) {
+	pkt, err := ipnet.Decode(f.Body)
+	if err != nil {
+		return
+	}
+	if v.OnPacket != nil {
+		v.OnPacket(pkt)
+	}
+}
+
+// SendPacket transmits an IP packet to the bound AP, buffering it in the
+// per-channel queue while the radio is elsewhere. Packets on idle VIFs are
+// dropped.
+func (v *VIF) SendPacket(p ipnet.Packet) {
+	if v.state != vifAssociated {
+		return
+	}
+	v.drv.sendOrQueue(v.channel, dot11.Frame{
+		Type:  dot11.TypeData,
+		Addr1: v.bssid,
+		Addr3: v.bssid,
+		Seq:   v.drv.radio.NextSeq(),
+		Body:  p.Bytes(),
+	})
+}

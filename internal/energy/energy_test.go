@@ -1,0 +1,85 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spider/internal/sim"
+)
+
+func TestComputeBasic(t *testing.T) {
+	p := Profile{TxW: 2, ListenW: 1, SwitchW: 3}
+	b := Compute(p, 10*time.Second, 5*time.Second, 100*time.Second)
+	if b.TxJ != 20 {
+		t.Fatalf("TxJ = %v, want 20", b.TxJ)
+	}
+	if b.SwitchJ != 15 {
+		t.Fatalf("SwitchJ = %v, want 15", b.SwitchJ)
+	}
+	if b.ListenJ != 85 {
+		t.Fatalf("ListenJ = %v, want 85", b.ListenJ)
+	}
+	if b.TotalJ() != 120 {
+		t.Fatalf("TotalJ = %v", b.TotalJ())
+	}
+}
+
+func TestComputeClamps(t *testing.T) {
+	p := DefaultProfile()
+	// tx+switch exceeding total must clamp without negative listen time.
+	b := Compute(p, 90*time.Second, 30*time.Second, 100*time.Second)
+	if b.ListenJ < 0 {
+		t.Fatalf("negative listen energy: %v", b.ListenJ)
+	}
+	if b.TotalJ() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if z := Compute(p, time.Second, time.Second, 0); z.TotalJ() != 0 {
+		t.Fatalf("zero-duration energy = %v", z.TotalJ())
+	}
+	neg := Compute(p, -time.Second, -time.Second, 10*time.Second)
+	if neg.TxJ != 0 || neg.SwitchJ != 0 {
+		t.Fatal("negative inputs not clamped")
+	}
+}
+
+func TestPerBit(t *testing.T) {
+	b := Breakdown{TxJ: 1, ListenJ: 1}
+	// 2 J over 1 Mbit = 2 µJ/bit.
+	if got := b.PerBitMicroJ(125_000); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("per-bit = %v, want 2", got)
+	}
+	if !math.IsInf(b.PerBitMicroJ(0), 1) {
+		t.Fatal("zero bytes should be +Inf")
+	}
+}
+
+func TestDefaultProfileSane(t *testing.T) {
+	p := DefaultProfile()
+	if p.TxW <= p.ListenW {
+		t.Fatal("transmit should cost more than listening")
+	}
+	if p.ListenW <= 0 || p.SwitchW <= 0 {
+		t.Fatal("non-positive draws")
+	}
+}
+
+// Property: total energy is bounded by max-power × duration and never
+// negative.
+func TestPropertyEnergyBounds(t *testing.T) {
+	f := func(txMs, swMs, totMs uint16) bool {
+		p := DefaultProfile()
+		total := sim.Time(totMs) * time.Millisecond
+		b := Compute(p, sim.Time(txMs)*time.Millisecond, sim.Time(swMs)*time.Millisecond, total)
+		maxW := math.Max(p.TxW, math.Max(p.ListenW, p.SwitchW))
+		if b.TxJ < 0 || b.SwitchJ < 0 || b.ListenJ < -1e-9 {
+			return false
+		}
+		return b.TotalJ() <= maxW*total.Seconds()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"spider/internal/core"
+	"spider/internal/stats"
+)
+
+// ablationRun executes a ch1 multi-AP town run with a mutated config.
+func ablationRun(o Options, seed int64, mut func(*core.ScenarioConfig)) core.Result {
+	mob, sites := townLoop(seed, 10, 0.45)
+	cfg := core.ScenarioConfig{
+		Seed:     seed,
+		Duration: o.dur(20*time.Minute, 2*time.Minute),
+		Preset:   core.SingleChannelMultiAP,
+		Mobility: mob,
+		Sites:    sites,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return core.Run(cfg)
+}
+
+// meanOver runs an ablation config over several seeds and averages
+// throughput, connectivity, and completed joins.
+func meanOver(o Options, base int64, mut func(*core.ScenarioConfig)) (tput, conn float64, joins float64) {
+	seeds := o.n(3, 2)
+	var tputs, conns, joinCounts []float64
+	for s := 0; s < seeds; s++ {
+		res := ablationRun(o, base+int64(s)*331, mut)
+		tputs = append(tputs, res.ThroughputKBps)
+		conns = append(conns, res.Connectivity*100)
+		joinCounts = append(joinCounts, float64(res.LMM.JoinsComplete))
+	}
+	return stats.Summarize(tputs).Mean, stats.Summarize(conns).Mean, stats.Summarize(joinCounts).Mean
+}
+
+// AblationLeaseCache isolates design element "per-BSSID DHCP lease
+// caching": identical runs with the cache on and off.
+func AblationLeaseCache(o Options) Table {
+	t := Table{
+		ID:      "ablation-leasecache",
+		Title:   "Ablation: per-BSSID DHCP lease cache",
+		Columns: []string{"configuration", "throughput", "connectivity", "joins completed"},
+	}
+	for _, cache := range []bool{true, false} {
+		cache := cache
+		tput, conn, joins := meanOver(o, o.seed(), func(c *core.ScenarioConfig) {
+			timers := core.ReducedTimers()
+			timers.UseLeaseCache = cache
+			c.Timers = &timers
+		})
+		name := "lease cache on (Spider)"
+		if !cache {
+			name = "lease cache off"
+		}
+		t.Rows = append(t.Rows, []string{name,
+			fmt.Sprintf("%.1f KB/s", tput), fmt.Sprintf("%.1f%%", conn), fmt.Sprintf("%.1f", joins)})
+	}
+	return t
+}
+
+// AblationTimers isolates design element "reduced join timeouts".
+func AblationTimers(o Options) Table {
+	t := Table{
+		ID:      "ablation-timers",
+		Title:   "Ablation: reduced vs default join timers",
+		Columns: []string{"configuration", "throughput", "connectivity", "joins completed"},
+	}
+	profiles := []struct {
+		name   string
+		timers core.TimerProfile
+	}{
+		{"reduced timers (Spider)", core.ReducedTimers()},
+		{"default timers", func() core.TimerProfile {
+			p := core.DefaultTimers()
+			p.FailureBackoff = 5 * time.Second // isolate the timer effect
+			p.UseLeaseCache = true
+			return p
+		}()},
+	}
+	for _, pr := range profiles {
+		timers := pr.timers
+		tput, conn, joins := meanOver(o, o.seed(), func(c *core.ScenarioConfig) { c.Timers = &timers })
+		t.Rows = append(t.Rows, []string{pr.name,
+			fmt.Sprintf("%.1f KB/s", tput), fmt.Sprintf("%.1f%%", conn), fmt.Sprintf("%.1f", joins)})
+	}
+	return t
+}
+
+// AblationInterfaces sweeps the virtual-interface count (design choice 3's
+// "one interface per AP" needs enough interfaces to matter).
+func AblationInterfaces(o Options) Table {
+	t := Table{
+		ID:      "ablation-vifs",
+		Title:   "Ablation: number of virtual interfaces",
+		Columns: []string{"interfaces", "throughput", "connectivity", "joins completed"},
+	}
+	for _, n := range []int{1, 2, 4, 7} {
+		n := n
+		tput, conn, joins := meanOver(o, o.seed(), func(c *core.ScenarioConfig) { c.NumVIFs = n })
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f KB/s", tput), fmt.Sprintf("%.1f%%", conn), fmt.Sprintf("%.1f", joins)})
+	}
+	return t
+}
+
+// AblationStriping compares bulk per-link downloads against the
+// data-striping extension fetching 2 MiB objects across live links.
+func AblationStriping(o Options) Table {
+	t := Table{
+		ID:      "ablation-striping",
+		Title:   "Ablation: data striping across concurrent links (2 MiB objects)",
+		Columns: []string{"configuration", "objects fetched", "median object time", "throughput"},
+	}
+	const object = 2 << 20
+	for _, cs := range []struct {
+		name string
+		mut  func(*core.ScenarioConfig)
+	}{
+		{"striped, multi-AP", func(c *core.ScenarioConfig) { c.StripeObjectBytes = object }},
+		{"striped, single-AP", func(c *core.ScenarioConfig) {
+			c.StripeObjectBytes = object
+			c.Preset = core.SingleChannelSingleAP
+		}},
+	} {
+		seeds := o.n(3, 2)
+		objects := 0
+		var times []float64
+		var tput float64
+		for s := 0; s < seeds; s++ {
+			res := ablationRun(o, o.seed()+int64(s)*331, cs.mut)
+			objects += res.StripeObjects
+			times = append(times, res.StripeObjectSecs...)
+			tput += res.ThroughputKBps
+		}
+		med := stats.Summarize(times).Median
+		t.Rows = append(t.Rows, []string{cs.name,
+			fmt.Sprintf("%.1f", float64(objects)/float64(seeds)),
+			fmt.Sprintf("%.1f s", med),
+			fmt.Sprintf("%.1f KB/s", tput/float64(seeds))})
+	}
+	return t
+}
+
+// AblationAdaptive compares the future-work adaptive scheduler against
+// both static modes at a slow and a fast speed.
+func AblationAdaptive(o Options) Table {
+	t := Table{
+		ID:      "ablation-adaptive",
+		Title:   "Ablation: adaptive scheduling vs static modes",
+		Columns: []string{"speed", "mode", "throughput", "connectivity"},
+	}
+	for _, speed := range []float64{3, 15} {
+		for _, cs := range []struct {
+			name   string
+			preset core.Preset
+		}{
+			{"single-channel", core.SingleChannelMultiAP},
+			{"multi-channel", core.MultiChannelMultiAP},
+			{"adaptive", core.Adaptive},
+		} {
+			mob, sites := townLoop(o.seed(), speed, 0.45)
+			res := core.Run(core.ScenarioConfig{
+				Seed:     o.seed(),
+				Duration: o.dur(15*time.Minute, 2*time.Minute),
+				Preset:   cs.preset,
+				Mobility: mob,
+				Sites:    sites,
+			})
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.0f m/s", speed), cs.name,
+				fmt.Sprintf("%.1f KB/s", res.ThroughputKBps),
+				fmt.Sprintf("%.1f%%", res.Connectivity*100)})
+		}
+	}
+	return t
+}
+
+// AblationPredictive evaluates the encounter-history extension: on a town
+// whose channels differ by road segment, the predictive planner should
+// converge past the static schedules as laps accumulate.
+func AblationPredictive(o Options) Table {
+	t := Table{
+		ID:      "ablation-predictive",
+		Title:   "Ablation: encounter-history channel planning",
+		Columns: []string{"mode", "throughput", "connectivity", "joins completed"},
+	}
+	mob, sites := townLoop(o.seed(), 10, 0.45)
+	for _, cs := range []struct {
+		name   string
+		preset core.Preset
+	}{
+		{"static single-channel (ch1)", core.SingleChannelMultiAP},
+		{"static rotation (3 channels)", core.MultiChannelMultiAP},
+		{"predictive planner", core.Predictive},
+	} {
+		res := core.Run(core.ScenarioConfig{
+			Seed:     o.seed(),
+			Duration: o.dur(20*time.Minute, 3*time.Minute),
+			Preset:   cs.preset,
+			Mobility: mob,
+			Sites:    sites,
+		})
+		t.Rows = append(t.Rows, []string{cs.name,
+			fmt.Sprintf("%.1f KB/s", res.ThroughputKBps),
+			fmt.Sprintf("%.1f%%", res.Connectivity*100),
+			fmt.Sprintf("%d", res.LMM.JoinsComplete)})
+	}
+	return t
+}
+
+// AblationEnergy compares configurations by radio energy per delivered
+// bit, the offload-efficiency motivation from the paper's introduction.
+func AblationEnergy(o Options) Table {
+	t := Table{
+		ID:      "ablation-energy",
+		Title:   "Energy efficiency by configuration",
+		Columns: []string{"configuration", "throughput", "total energy", "per-bit"},
+	}
+	mob, sites := townLoop(o.seed(), 10, 0.45)
+	for _, cs := range []struct {
+		name   string
+		preset core.Preset
+	}{
+		{"single-channel, multi-AP", core.SingleChannelMultiAP},
+		{"multi-channel, multi-AP", core.MultiChannelMultiAP},
+		{"stock", core.Stock},
+	} {
+		res := core.Run(core.ScenarioConfig{
+			Seed:     o.seed(),
+			Duration: o.dur(15*time.Minute, 2*time.Minute),
+			Preset:   cs.preset,
+			Mobility: mob,
+			Sites:    sites,
+		})
+		t.Rows = append(t.Rows, []string{cs.name,
+			fmt.Sprintf("%.1f KB/s", res.ThroughputKBps),
+			fmt.Sprintf("%.0f J", res.Energy.TotalJ()),
+			fmt.Sprintf("%.2f µJ/bit", res.EnergyPerBitMicroJ)})
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"spider/internal/model"
+	"spider/internal/opt"
+	"spider/internal/sim"
+)
+
+// Figure2 reproduces the model-validation figure: join success probability
+// versus the fraction of time spent on the AP's channel, for the closed
+// form and a Monte-Carlo simulation, at βmax = 5 s and 10 s.
+func Figure2(o Options) Figure {
+	rng := sim.NewRNG(o.seed())
+	trials := o.n(10000, 500) // paper: 100 runs × 100 trials
+	fig := Figure{
+		ID:     "fig2",
+		Title:  "Join success probability vs fraction of time on channel",
+		XLabel: "fraction of time on channel",
+		YLabel: "probability of join success",
+	}
+	t := 4 * time.Second
+	for _, betaMax := range []time.Duration{5 * time.Second, 10 * time.Second} {
+		p := model.PaperParams(betaMax)
+		mdl := Series{Name: fmt.Sprintf("model(βmax=%ds)", betaMax/time.Second)}
+		mc := Series{Name: fmt.Sprintf("sim(βmax=%ds)", betaMax/time.Second)}
+		for fi := 0.05; fi <= 1.0001; fi += 0.05 {
+			mdl.X = append(mdl.X, fi)
+			mdl.Y = append(mdl.Y, p.JoinProbability(fi, t))
+			mc.X = append(mc.X, fi)
+			mc.Y = append(mc.Y, p.SimulateJoinProbability(rng, fi, t, trials))
+		}
+		fig.Series = append(fig.Series, mdl, mc)
+	}
+	return fig
+}
+
+// Figure3 reproduces the βmax sensitivity figure: join probability versus
+// the maximum AP response time for four channel fractions.
+func Figure3(o Options) Figure {
+	fig := Figure{
+		ID:     "fig3",
+		Title:  "Join success probability vs maximum AP response time",
+		XLabel: "βmax (s)",
+		YLabel: "probability of join success",
+	}
+	t := 4 * time.Second
+	for _, fi := range []float64{0.10, 0.25, 0.40, 0.50} {
+		s := Series{Name: fmt.Sprintf("fi=%.2f", fi)}
+		for bmax := 1; bmax <= 10; bmax++ {
+			p := model.PaperParams(time.Duration(bmax) * time.Second)
+			s.X = append(s.X, float64(bmax))
+			s.Y = append(s.Y, p.JoinProbability(fi, t))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// fig4Speeds are the node speeds the paper evaluates (m/s).
+var fig4Speeds = []float64{2.5, 3.3, 5, 6.6, 10, 20}
+
+// Figure4 reproduces the optimal-schedule figure: maximum aggregated
+// bandwidth per channel versus node speed for three offered-bandwidth
+// splits between a joined channel (ch1) and an unjoined channel (ch2).
+func Figure4(o Options) []Figure {
+	const bw = 11e6
+	splits := []struct {
+		name   string
+		joined float64
+		avail  float64
+	}{
+		{"25/75", 0.25, 0.75},
+		{"50/50", 0.50, 0.50},
+		{"75/25", 0.75, 0.25},
+	}
+	m := model.PaperParams(10 * time.Second)
+	step := 0.02
+	if o.scale() < 1 {
+		step = 0.05
+	}
+	var figs []Figure
+	for _, sp := range splits {
+		fig := Figure{
+			ID:     "fig4-" + sp.name,
+			Title:  fmt.Sprintf("Optimal per-channel bandwidth vs speed (offered %s)", sp.name),
+			XLabel: "speed (m/s)",
+			YLabel: "bandwidth (kbps)",
+		}
+		ch1 := Series{Name: "ch1 bw"}
+		ch2 := Series{Name: "ch2 bw"}
+		for _, v := range fig4Speeds {
+			T := sim.Time(2 * 100 / v * 1e9) // 100 m Wi-Fi range
+			sol := opt.Problem{
+				Model: m,
+				Bw:    bw,
+				T:     T,
+				Channels: []opt.ChannelInput{
+					{Joined: sp.joined * bw},
+					{Available: sp.avail * bw},
+				},
+			}.Solve(step)
+			ch1.X = append(ch1.X, v)
+			ch1.Y = append(ch1.Y, sol.PerChannelBps[0]/1000)
+			ch2.X = append(ch2.X, v)
+			ch2.Y = append(ch2.Y, sol.PerChannelBps[1]/1000)
+		}
+		fig.Series = append(fig.Series, ch1, ch2)
+		figs = append(figs, fig)
+	}
+	return figs
+}
+
+// DividingSpeeds summarizes Figure 4's headline: the speed above which the
+// optimizer stops using the second channel, per split.
+func DividingSpeeds(o Options) Table {
+	const bw = 11e6
+	m := model.PaperParams(10 * time.Second)
+	t := Table{
+		ID:      "fig4-dividing",
+		Title:   "Dividing speed per offered-bandwidth split",
+		Columns: []string{"split (joined/available)", "dividing speed (m/s)"},
+	}
+	for _, sp := range []struct {
+		name          string
+		joined, avail float64
+	}{{"25/75", 0.25, 0.75}, {"50/50", 0.5, 0.5}, {"75/25", 0.75, 0.25}} {
+		div := opt.DividingSpeed(m, bw,
+			[]opt.ChannelInput{{Joined: sp.joined * bw}, {Available: sp.avail * bw}},
+			100, 2.5, 25, 1.25, 0.02)
+		t.Rows = append(t.Rows, []string{sp.name, fmt.Sprintf("%.2f", div)})
+	}
+	return t
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spider/internal/core"
+)
+
+// sscanF parses the first float out of a rendered cell like "23.0% ±6.4%".
+func sscanF(cell string, dst *float64) (int, error) {
+	cell = strings.TrimSpace(cell)
+	return fmt.Sscanf(cell, "%g", dst)
+}
+
+// ReducedTimersForTest exposes the tuned profile to tests without
+// re-deriving it.
+func ReducedTimersForTest() core.TimerProfile { return core.ReducedTimers() }

@@ -1,0 +1,198 @@
+// Package ipnet models the minimal IPv4 layer the simulation needs: 32-bit
+// addresses, a compact packet header, ICMP echo for Spider's liveness
+// probes, and a UDP header for DHCP.
+package ipnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Addr is an IPv4 address.
+type Addr uint32
+
+// Unspecified is the zero address 0.0.0.0, used by DHCP clients before they
+// hold a lease.
+const Unspecified Addr = 0
+
+// BroadcastAddr is the limited broadcast address 255.255.255.255.
+const BroadcastAddr Addr = 0xffffffff
+
+// AddrFrom4 assembles an address from dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String formats the address in dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// IsUnspecified reports whether a is 0.0.0.0.
+func (a Addr) IsUnspecified() bool { return a == Unspecified }
+
+// Protocol is the IPv4 protocol number of a packet's payload.
+type Protocol uint8
+
+// Protocols used by the simulation.
+const (
+	ProtoICMP Protocol = 1
+	ProtoTCP  Protocol = 6
+	ProtoUDP  Protocol = 17
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	}
+	return fmt.Sprintf("proto-%d", uint8(p))
+}
+
+// headerLen is the serialized IPv4-lite header length.
+const headerLen = 1 + 1 + 4 + 4 + 2
+
+// Packet is an IPv4-lite packet.
+type Packet struct {
+	Proto   Protocol
+	TTL     uint8
+	Src     Addr
+	Dst     Addr
+	Payload []byte
+}
+
+// DefaultTTL is the initial time-to-live for locally originated packets.
+const DefaultTTL = 64
+
+// ErrShortPacket reports a truncated serialized packet.
+var ErrShortPacket = errors.New("ipnet: packet too short")
+
+// AppendTo serializes the packet onto b.
+func (p *Packet) AppendTo(b []byte) []byte {
+	b = append(b, byte(p.Proto), p.TTL)
+	b = binary.BigEndian.AppendUint32(b, uint32(p.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(p.Dst))
+	if len(p.Payload) > 0xffff {
+		panic("ipnet: payload exceeds 64KiB")
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p.Payload)))
+	return append(b, p.Payload...)
+}
+
+// Bytes serializes the packet into a fresh buffer.
+func (p *Packet) Bytes() []byte {
+	return p.AppendTo(make([]byte, 0, headerLen+len(p.Payload)))
+}
+
+// WireLen returns the serialized length in bytes.
+func (p *Packet) WireLen() int { return headerLen + len(p.Payload) }
+
+// Decode parses a serialized packet. The Payload aliases data.
+func Decode(data []byte) (Packet, error) {
+	var p Packet
+	if len(data) < headerLen {
+		return p, ErrShortPacket
+	}
+	p.Proto = Protocol(data[0])
+	p.TTL = data[1]
+	p.Src = Addr(binary.BigEndian.Uint32(data[2:6]))
+	p.Dst = Addr(binary.BigEndian.Uint32(data[6:10]))
+	n := int(binary.BigEndian.Uint16(data[10:12]))
+	if len(data) < headerLen+n {
+		return p, ErrShortPacket
+	}
+	p.Payload = data[headerLen : headerLen+n]
+	return p, nil
+}
+
+// ICMP echo message types.
+const (
+	ICMPEchoRequest uint8 = 8
+	ICMPEchoReply   uint8 = 0
+)
+
+// Echo is an ICMP echo request or reply.
+type Echo struct {
+	Type uint8 // ICMPEchoRequest or ICMPEchoReply
+	ID   uint16
+	Seq  uint16
+}
+
+// ErrShortICMP reports a truncated echo message.
+var ErrShortICMP = errors.New("ipnet: icmp message too short")
+
+// AppendTo serializes the echo message onto b.
+func (e *Echo) AppendTo(b []byte) []byte {
+	b = append(b, e.Type)
+	b = binary.BigEndian.AppendUint16(b, e.ID)
+	return binary.BigEndian.AppendUint16(b, e.Seq)
+}
+
+// DecodeEcho parses an ICMP echo message.
+func DecodeEcho(data []byte) (Echo, error) {
+	if len(data) < 5 {
+		return Echo{}, ErrShortICMP
+	}
+	return Echo{
+		Type: data[0],
+		ID:   binary.BigEndian.Uint16(data[1:3]),
+		Seq:  binary.BigEndian.Uint16(data[3:5]),
+	}, nil
+}
+
+// EchoRequestPacket builds a ready-to-send ping packet.
+func EchoRequestPacket(src, dst Addr, id, seq uint16) Packet {
+	e := Echo{Type: ICMPEchoRequest, ID: id, Seq: seq}
+	return Packet{Proto: ProtoICMP, TTL: DefaultTTL, Src: src, Dst: dst, Payload: e.AppendTo(nil)}
+}
+
+// EchoReplyPacket builds the reply to a ping.
+func EchoReplyPacket(req Packet, e Echo) Packet {
+	r := Echo{Type: ICMPEchoReply, ID: e.ID, Seq: e.Seq}
+	return Packet{Proto: ProtoICMP, TTL: DefaultTTL, Src: req.Dst, Dst: req.Src, Payload: r.AppendTo(nil)}
+}
+
+// UDP is a minimal UDP header plus payload.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// Well-known ports used by the simulation.
+const (
+	PortDHCPServer uint16 = 67
+	PortDHCPClient uint16 = 68
+)
+
+// ErrShortUDP reports a truncated UDP datagram.
+var ErrShortUDP = errors.New("ipnet: udp datagram too short")
+
+// AppendTo serializes the datagram onto b.
+func (u *UDP) AppendTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(u.Payload)))
+	return append(b, u.Payload...)
+}
+
+// DecodeUDP parses a UDP datagram. The Payload aliases data.
+func DecodeUDP(data []byte) (UDP, error) {
+	var u UDP
+	if len(data) < 6 {
+		return u, ErrShortUDP
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	n := int(binary.BigEndian.Uint16(data[4:6]))
+	if len(data) < 6+n {
+		return u, ErrShortUDP
+	}
+	u.Payload = data[6 : 6+n]
+	return u, nil
+}

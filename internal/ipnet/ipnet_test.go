@@ -1,0 +1,131 @@
+package ipnet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrString(t *testing.T) {
+	a := AddrFrom4(192, 168, 1, 42)
+	if a.String() != "192.168.1.42" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if !Unspecified.IsUnspecified() {
+		t.Fatal("Unspecified not unspecified")
+	}
+	if a.IsUnspecified() {
+		t.Fatal("real address reported unspecified")
+	}
+	if BroadcastAddr.String() != "255.255.255.255" {
+		t.Fatalf("broadcast = %q", BroadcastAddr.String())
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	cases := map[Protocol]string{ProtoICMP: "icmp", ProtoTCP: "tcp", ProtoUDP: "udp", Protocol(99): "proto-99"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{Proto: ProtoTCP, TTL: 64, Src: AddrFrom4(10, 0, 0, 1), Dst: AddrFrom4(10, 0, 0, 2), Payload: []byte("segment")}
+	got, err := Decode(p.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Proto != p.Proto || got.TTL != p.TTL || got.Src != p.Src || got.Dst != p.Dst || !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("round trip %+v != %+v", got, p)
+	}
+	if p.WireLen() != len(p.Bytes()) {
+		t.Fatalf("WireLen %d != %d", p.WireLen(), len(p.Bytes()))
+	}
+}
+
+func TestPacketDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err != ErrShortPacket {
+		t.Fatalf("short header: %v", err)
+	}
+	p := Packet{Proto: ProtoUDP, Payload: []byte("abcdef")}
+	wire := p.Bytes()
+	if _, err := Decode(wire[:len(wire)-1]); err != ErrShortPacket {
+		t.Fatalf("truncated payload: %v", err)
+	}
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	req := EchoRequestPacket(AddrFrom4(10, 0, 0, 9), AddrFrom4(10, 0, 0, 1), 7, 42)
+	if req.Proto != ProtoICMP {
+		t.Fatalf("proto = %v", req.Proto)
+	}
+	e, err := DecodeEcho(req.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != ICMPEchoRequest || e.ID != 7 || e.Seq != 42 {
+		t.Fatalf("echo = %+v", e)
+	}
+	rep := EchoReplyPacket(req, e)
+	if rep.Src != req.Dst || rep.Dst != req.Src {
+		t.Fatal("reply addressing wrong")
+	}
+	re, err := DecodeEcho(rep.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Type != ICMPEchoReply || re.ID != 7 || re.Seq != 42 {
+		t.Fatalf("reply echo = %+v", re)
+	}
+	if _, err := DecodeEcho([]byte{1}); err != ErrShortICMP {
+		t.Fatalf("short echo: %v", err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{SrcPort: PortDHCPClient, DstPort: PortDHCPServer, Payload: []byte("dhcp")}
+	got, err := DecodeUDP(u.AppendTo(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != u.SrcPort || got.DstPort != u.DstPort || !bytes.Equal(got.Payload, u.Payload) {
+		t.Fatalf("round trip %+v != %+v", got, u)
+	}
+	if _, err := DecodeUDP([]byte{0, 1}); err != ErrShortUDP {
+		t.Fatalf("short: %v", err)
+	}
+	wire := u.AppendTo(nil)
+	if _, err := DecodeUDP(wire[:len(wire)-1]); err != ErrShortUDP {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+// Property: packets of any payload round-trip.
+func TestPropertyPacketRoundTrip(t *testing.T) {
+	f := func(proto, ttl uint8, src, dst uint32, payload []byte) bool {
+		p := Packet{Proto: Protocol(proto), TTL: ttl, Src: Addr(src), Dst: Addr(dst), Payload: payload}
+		got, err := Decode(p.Bytes())
+		if err != nil {
+			return false
+		}
+		return got.Proto == p.Proto && got.TTL == p.TTL && got.Src == p.Src &&
+			got.Dst == p.Dst && bytes.Equal(got.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: addresses round-trip through dotted-quad formatting digits.
+func TestPropertyAddrOctets(t *testing.T) {
+	f := func(a, b, c, d byte) bool {
+		addr := AddrFrom4(a, b, c, d)
+		back := AddrFrom4(byte(addr>>24), byte(addr>>16), byte(addr>>8), byte(addr))
+		return back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,721 @@
+// Package lmm implements Spider's user-space Link Management Module: it
+// drives the virtual Wi-Fi driver, selecting APs by join-success utility
+// (design choice 2 of the paper), running the three-step join pipeline
+// (link-layer association, DHCP with per-BSSID lease caching, end-to-end
+// connectivity test), monitoring liveness with 10 pings/s, and recycling
+// interfaces when connections die.
+package lmm
+
+import (
+	"sort"
+
+	"spider/internal/dhcp"
+	"spider/internal/dot11"
+	"spider/internal/driver"
+	"spider/internal/ipnet"
+	"spider/internal/sim"
+)
+
+// Config tunes the module. Zero fields take defaults.
+type Config struct {
+	// Schedule is the operation mode: the channel schedule handed to the
+	// driver. A single slot means single-channel operation.
+	Schedule []driver.Slot
+	// SingleAP caps the module at one concurrent connection (the paper's
+	// single-AP configurations).
+	SingleAP bool
+	// ParkOnConnect pins the driver to the connected AP's channel while a
+	// link is up and restores the configured scan schedule once all links
+	// drop. Combined with SingleAP and default timers this reproduces a
+	// stock MadWiFi-style driver.
+	ParkOnConnect bool
+	// DHCP configures the DHCP client timers.
+	DHCP dhcp.ClientConfig
+	// UseLeaseCache enables per-BSSID cached leases (DHCP fast path).
+	UseLeaseCache bool
+	// PingInterval is the liveness probe period (paper: 100 ms).
+	PingInterval sim.Time
+	// PingFailLimit is the consecutive-failure threshold (paper: 30).
+	PingFailLimit int
+	// PingTimeout is how long a probe may remain unanswered.
+	PingTimeout sim.Time
+	// ReselectInterval is how often idle interfaces look for APs.
+	ReselectInterval sim.Time
+	// FailureBackoff blocks re-attempts to an AP after a failed join
+	// (stock DHCP clients idle for 60 s; Spider uses a short backoff).
+	FailureBackoff sim.Time
+	// GlobalDHCPBackoff makes a DHCP failure suppress ALL join attempts
+	// for FailureBackoff, as a stock dhclient does when it goes idle
+	// after a failed acquisition. Spider's per-interface clients leave
+	// this off.
+	GlobalDHCPBackoff bool
+	// MinRSSI filters scan entries with insufficient signal.
+	MinRSSI float64
+	// TestTarget is the address pinged by the end-to-end connectivity
+	// test after DHCP binds. Zero means ping the gateway, which cannot
+	// detect captive portals; the paper's Spider pings an external host
+	// and falls back to the gateway only when ICMP is filtered.
+	TestTarget ipnet.Addr
+	// SelectByRSSIOnly disables the join-history utility and ranks
+	// candidates purely by signal strength, as a stock driver does.
+	SelectByRSSIOnly bool
+	// Va, Vb, Vc are the join-score values for reaching association,
+	// DHCP, and end-to-end connectivity respectively (va < vb < vc).
+	Va, Vb, Vc float64
+	// RecencyAlpha is the exponential weight given to the newest join
+	// attempt when updating utility.
+	RecencyAlpha float64
+}
+
+// DefaultConfig returns Spider's deployed settings: single channel 1,
+// reduced timers, lease caching on.
+func DefaultConfig() Config {
+	return Config{
+		Schedule:         []driver.Slot{{Channel: dot11.Channel1}},
+		DHCP:             dhcp.ReducedClientConfig(200 * 1000 * 1000),
+		UseLeaseCache:    true,
+		PingInterval:     100 * 1000 * 1000,
+		PingFailLimit:    30,
+		PingTimeout:      500 * 1000 * 1000,
+		ReselectInterval: 100 * 1000 * 1000,
+		FailureBackoff:   5 * 1000 * 1000 * 1000,
+		MinRSSI:          -96,
+		Va:               0.3,
+		Vb:               0.6,
+		Vc:               1.0,
+		RecencyAlpha:     0.3,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if len(c.Schedule) == 0 {
+		c.Schedule = d.Schedule
+	}
+	if c.DHCP.RetryTimeout <= 0 {
+		c.DHCP = d.DHCP
+	}
+	if c.PingInterval <= 0 {
+		c.PingInterval = d.PingInterval
+	}
+	if c.PingFailLimit <= 0 {
+		c.PingFailLimit = d.PingFailLimit
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = d.PingTimeout
+	}
+	if c.ReselectInterval <= 0 {
+		c.ReselectInterval = d.ReselectInterval
+	}
+	if c.FailureBackoff <= 0 {
+		c.FailureBackoff = d.FailureBackoff
+	}
+	if c.MinRSSI == 0 {
+		c.MinRSSI = d.MinRSSI
+	}
+	if c.Vc <= 0 {
+		c.Va, c.Vb, c.Vc = d.Va, d.Vb, d.Vc
+	}
+	if c.RecencyAlpha <= 0 || c.RecencyAlpha > 1 {
+		c.RecencyAlpha = d.RecencyAlpha
+	}
+	return c
+}
+
+// JoinStage records how far a join attempt progressed.
+type JoinStage uint8
+
+// Stages in order of progress.
+const (
+	StageAssocFailed JoinStage = iota
+	StageDHCPFailed
+	StagePingFailed
+	StageComplete
+)
+
+func (s JoinStage) String() string {
+	switch s {
+	case StageAssocFailed:
+		return "assoc-failed"
+	case StageDHCPFailed:
+		return "dhcp-failed"
+	case StagePingFailed:
+		return "ping-failed"
+	case StageComplete:
+		return "complete"
+	}
+	return "unknown"
+}
+
+// JoinRecord captures the timing of one join attempt; the evaluation's
+// Figures 5, 6, 14, 15 and Table 3 are built from these.
+type JoinRecord struct {
+	BSSID     dot11.MACAddr
+	Channel   dot11.Channel
+	Start     sim.Time
+	Stage     JoinStage
+	AssocDur  sim.Time // link-layer association duration (when reached)
+	DHCPDur   sim.Time // DHCP acquisition duration (when reached)
+	TotalDur  sim.Time // start → final outcome
+	UsedCache bool
+}
+
+// Link is an established connection through one virtual interface. The
+// upper layer (package core) attaches its packet handler and sends through
+// it; it corresponds to the per-AP Linux interface Spider exposes.
+type Link struct {
+	VIF   *driver.VIF
+	BSSID dot11.MACAddr
+	SSID  string
+	Lease dhcp.Lease
+	Since sim.Time
+
+	// OnPacket receives non-DHCP, non-liveness packets for this link.
+	OnPacket func(ipnet.Packet)
+
+	conn *conn
+}
+
+// Send transmits an IP packet through the link's interface.
+func (l *Link) Send(p ipnet.Packet) { l.VIF.SendPacket(p) }
+
+// Up reports whether the link is still established.
+func (l *Link) Up() bool { return l.conn != nil && l.conn.state == connUp }
+
+type connState uint8
+
+const (
+	connIdle connState = iota
+	connAssoc
+	connDHCP
+	connPing
+	connUp
+)
+
+// conn is the per-VIF controller.
+type conn struct {
+	m     *LMM
+	vif   *driver.VIF
+	state connState
+
+	bssid   dot11.MACAddr
+	ssid    string
+	channel dot11.Channel
+
+	started  sim.Time // join start
+	assocDur sim.Time
+	dhcpDur  sim.Time
+	cacheHit bool
+
+	dhcpCli *dhcp.Client
+	lease   dhcp.Lease
+	link    *Link
+
+	pingSeq      uint16
+	pingPending  map[uint16]*sim.Event
+	pingFails    int
+	stopPinger   func()
+	testAttempts int
+}
+
+type utilState struct {
+	value float64
+	seen  bool
+}
+
+// Stats aggregates module counters.
+type Stats struct {
+	JoinsStarted   int
+	JoinsComplete  int
+	AssocFailures  int
+	DHCPFailures   int
+	PingFailures   int
+	LinksDropped   int
+	CacheHits      int
+	CacheFastJoins int
+}
+
+// LMM is the link management module.
+type LMM struct {
+	eng *sim.Engine
+	rng *sim.RNG
+	drv *driver.Driver
+	cfg Config
+
+	conns        []*conn
+	inUse        map[dot11.MACAddr]bool
+	utility      map[dot11.MACAddr]*utilState
+	backoffUntil map[dot11.MACAddr]sim.Time
+	leaseCache   map[dot11.MACAddr]dhcp.Lease
+	schedChans   map[dot11.Channel]bool
+
+	joins         []JoinRecord
+	stats         Stats
+	stopSelect    func()
+	globalBackoff sim.Time
+
+	// OnLinkUp and OnLinkDown notify the upper layer.
+	OnLinkUp   func(*Link)
+	OnLinkDown func(*Link)
+	// OnJoin observes every join attempt's outcome as it is recorded
+	// (used by the encounter-history predictor).
+	OnJoin func(JoinRecord)
+}
+
+// New creates the module and installs the schedule into the driver. It
+// begins selecting APs immediately.
+func New(eng *sim.Engine, rng *sim.RNG, drv *driver.Driver, cfg Config) *LMM {
+	cfg = cfg.withDefaults()
+	m := &LMM{
+		eng:          eng,
+		rng:          rng,
+		drv:          drv,
+		cfg:          cfg,
+		inUse:        make(map[dot11.MACAddr]bool),
+		utility:      make(map[dot11.MACAddr]*utilState),
+		backoffUntil: make(map[dot11.MACAddr]sim.Time),
+		leaseCache:   make(map[dot11.MACAddr]dhcp.Lease),
+		schedChans:   make(map[dot11.Channel]bool),
+	}
+	drv.SetSchedule(cfg.Schedule)
+	for _, s := range cfg.Schedule {
+		m.schedChans[s.Channel] = true
+	}
+	for _, v := range drv.VIFs() {
+		m.conns = append(m.conns, &conn{m: m, vif: v})
+	}
+	m.stopSelect = eng.Ticker(cfg.ReselectInterval, m.reselect)
+	return m
+}
+
+// Close stops the module.
+func (m *LMM) Close() {
+	m.stopSelect()
+	for _, c := range m.conns {
+		if c.state == connUp {
+			c.down(false)
+		}
+	}
+}
+
+// Config returns the effective configuration.
+func (m *LMM) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the counters.
+func (m *LMM) Stats() Stats { return m.stats }
+
+// Joins returns the join attempt records collected so far.
+func (m *LMM) Joins() []JoinRecord { return append([]JoinRecord(nil), m.joins...) }
+
+// ActiveLinks returns all currently established links.
+func (m *LMM) ActiveLinks() []*Link {
+	var out []*Link
+	for _, c := range m.conns {
+		if c.state == connUp {
+			out = append(out, c.link)
+		}
+	}
+	return out
+}
+
+// Utility returns the current utility for an AP and whether it has history.
+func (m *LMM) Utility(bssid dot11.MACAddr) (float64, bool) {
+	u, ok := m.utility[bssid]
+	if !ok {
+		return m.cfg.Vc, false
+	}
+	return u.value, true
+}
+
+// SetSchedule switches the operation mode at runtime (used by the adaptive
+// extension). Connections to APs on channels no longer scheduled are torn
+// down.
+func (m *LMM) SetSchedule(slots []driver.Slot) {
+	m.cfg.Schedule = append([]driver.Slot(nil), slots...)
+	m.drv.SetSchedule(slots)
+	m.schedChans = make(map[dot11.Channel]bool)
+	for _, s := range slots {
+		m.schedChans[s.Channel] = true
+	}
+	for _, c := range m.conns {
+		if c.state != connIdle && !m.schedChans[c.channel] {
+			c.abort()
+		}
+	}
+}
+
+// scoreJoin folds a join outcome into the AP's utility.
+func (m *LMM) scoreJoin(bssid dot11.MACAddr, stage JoinStage) {
+	var score float64
+	switch stage {
+	case StageAssocFailed:
+		score = 0
+	case StageDHCPFailed:
+		score = m.cfg.Va
+	case StagePingFailed:
+		score = m.cfg.Vb
+	case StageComplete:
+		score = m.cfg.Vc
+	}
+	u, ok := m.utility[bssid]
+	if !ok {
+		// First real outcome replaces the optimistic bootstrap entirely.
+		m.utility[bssid] = &utilState{value: score, seen: true}
+		return
+	}
+	u.value = (1-m.cfg.RecencyAlpha)*u.value + m.cfg.RecencyAlpha*score
+	u.seen = true
+}
+
+// reselect assigns idle interfaces to the best candidate APs.
+func (m *LMM) reselect() {
+	active := 0
+	var idle []*conn
+	for _, c := range m.conns {
+		if c.state == connIdle {
+			idle = append(idle, c)
+		} else {
+			active++
+		}
+	}
+	if len(idle) == 0 || (m.cfg.SingleAP && active >= 1) {
+		return
+	}
+	now := m.eng.Now()
+	if now < m.globalBackoff {
+		return // stock dhclient idling after a failed acquisition
+	}
+	var cands []driver.ScanEntry
+	for _, e := range m.drv.ScanTable() {
+		if !e.Open || !m.schedChans[e.Channel] || e.RSSI < m.cfg.MinRSSI {
+			continue
+		}
+		if m.inUse[e.BSSID] || m.backoffUntil[e.BSSID] > now {
+			continue
+		}
+		if m.cfg.ParkOnConnect && active > 0 && e.Channel != m.drv.CurrentChannel() {
+			continue // parked on a live link's channel; don't join elsewhere
+		}
+		cands = append(cands, e)
+	}
+	// Rank: utility first (unknown APs bootstrap at max), RSSI breaks
+	// ties. A stock driver ranks by RSSI alone.
+	sort.Slice(cands, func(i, j int) bool {
+		if !m.cfg.SelectByRSSIOnly {
+			ui, _ := m.Utility(cands[i].BSSID)
+			uj, _ := m.Utility(cands[j].BSSID)
+			if ui != uj {
+				return ui > uj
+			}
+		}
+		if cands[i].RSSI != cands[j].RSSI {
+			return cands[i].RSSI > cands[j].RSSI
+		}
+		// Stable order for determinism.
+		return cands[i].BSSID.String() < cands[j].BSSID.String()
+	})
+	for _, e := range cands {
+		if len(idle) == 0 {
+			break
+		}
+		if m.cfg.SingleAP && active >= 1 {
+			break
+		}
+		c := idle[0]
+		idle = idle[1:]
+		active++
+		c.startJoin(e)
+	}
+}
+
+// startJoin begins the three-step pipeline for a selected AP.
+func (c *conn) startJoin(e driver.ScanEntry) {
+	m := c.m
+	m.stats.JoinsStarted++
+	m.inUse[e.BSSID] = true
+	c.state = connAssoc
+	c.bssid = e.BSSID
+	c.ssid = e.SSID
+	c.channel = e.Channel
+	c.started = m.eng.Now()
+	c.cacheHit = false
+	if m.cfg.ParkOnConnect {
+		// A stock driver stops scanning and camps on the candidate's
+		// channel for the whole join, not just once the link is up.
+		m.drv.SetSchedule([]driver.Slot{{Channel: e.Channel}})
+	}
+	c.vif.OnPacket = c.onPacket
+	c.vif.OnJoinResult = func(ok bool) {
+		if c.state != connAssoc {
+			return
+		}
+		if !ok {
+			m.stats.AssocFailures++
+			c.finishJoin(StageAssocFailed)
+			return
+		}
+		c.assocDur = m.eng.Now() - c.started
+		c.startDHCP()
+	}
+	c.vif.Associate(e.BSSID, e.Channel)
+}
+
+func (c *conn) startDHCP() {
+	m := c.m
+	c.state = connDHCP
+	dhcpStart := m.eng.Now()
+	var cached *dhcp.Lease
+	if m.cfg.UseLeaseCache {
+		if l, ok := m.leaseCache[c.bssid]; ok {
+			cached = &l
+			c.cacheHit = true
+			m.stats.CacheHits++
+		}
+	}
+	c.dhcpCli = dhcp.NewClient(m.eng, m.rng.Stream("dhcp"), m.cfg.DHCP, m.drv.MAC(),
+		func(msg dhcp.Message) {
+			u := ipnet.UDP{SrcPort: ipnet.PortDHCPClient, DstPort: ipnet.PortDHCPServer, Payload: msg.Bytes()}
+			c.vif.SendPacket(ipnet.Packet{
+				Proto: ipnet.ProtoUDP, TTL: ipnet.DefaultTTL,
+				Src: ipnet.Unspecified, Dst: ipnet.BroadcastAddr,
+				Payload: u.AppendTo(nil),
+			})
+		},
+		func(lease dhcp.Lease, ok bool) {
+			if c.state != connDHCP {
+				return
+			}
+			if !ok {
+				m.stats.DHCPFailures++
+				c.finishJoin(StageDHCPFailed)
+				return
+			}
+			c.dhcpDur = m.eng.Now() - dhcpStart
+			c.lease = lease
+			if m.cfg.UseLeaseCache {
+				m.leaseCache[c.bssid] = lease
+				if c.cacheHit {
+					m.stats.CacheFastJoins++
+				}
+			}
+			c.startConnTest()
+		})
+	c.dhcpCli.Start(cached)
+}
+
+// startConnTest verifies end-to-end connectivity with gateway pings before
+// declaring the link up.
+func (c *conn) startConnTest() {
+	c.state = connPing
+	c.testAttempts = 0
+	c.pingPending = make(map[uint16]*sim.Event)
+	c.sendTestPing()
+}
+
+func (c *conn) sendTestPing() {
+	m := c.m
+	if c.state != connPing {
+		return
+	}
+	if c.testAttempts >= 10 {
+		m.stats.PingFailures++
+		c.finishJoin(StagePingFailed)
+		return
+	}
+	c.testAttempts++
+	target := m.cfg.TestTarget
+	if target.IsUnspecified() {
+		target = c.lease.Server
+	}
+	c.sendPingTo(target)
+	// Retry every PingTimeout until an answer arrives or attempts cap.
+	m.eng.Schedule(m.cfg.PingTimeout, c.sendTestPing)
+}
+
+func (c *conn) sendPing() { c.sendPingTo(c.lease.Server) }
+
+func (c *conn) sendPingTo(target ipnet.Addr) {
+	c.pingSeq++
+	seq := c.pingSeq
+	ping := ipnet.EchoRequestPacket(c.lease.IP, target, uint16(c.vif.ID()), seq)
+	c.vif.SendPacket(ping)
+	// Arm the liveness timeout for this probe (used in the up state).
+	if c.state == connUp {
+		ev := c.m.eng.Schedule(c.m.cfg.PingTimeout, func() {
+			delete(c.pingPending, seq)
+			c.pingFails++
+			if c.pingFails >= c.m.cfg.PingFailLimit && c.state == connUp {
+				c.m.stats.LinksDropped++
+				c.down(true)
+			}
+		})
+		c.pingPending[seq] = ev
+	}
+}
+
+// finishJoin records a terminal join outcome (success handled in goUp).
+func (c *conn) finishJoin(stage JoinStage) {
+	m := c.m
+	rec := JoinRecord{
+		BSSID:     c.bssid,
+		Channel:   c.channel,
+		Start:     c.started,
+		Stage:     stage,
+		AssocDur:  c.assocDur,
+		DHCPDur:   c.dhcpDur,
+		TotalDur:  m.eng.Now() - c.started,
+		UsedCache: c.cacheHit,
+	}
+	m.joins = append(m.joins, rec)
+	if m.OnJoin != nil {
+		m.OnJoin(rec)
+	}
+	m.scoreJoin(c.bssid, stage)
+	m.backoffUntil[c.bssid] = m.eng.Now() + m.cfg.FailureBackoff
+	if m.cfg.GlobalDHCPBackoff && stage == StageDHCPFailed {
+		m.globalBackoff = m.eng.Now() + m.cfg.FailureBackoff
+	}
+	c.reset()
+	if m.cfg.ParkOnConnect && len(m.ActiveLinks()) == 0 {
+		m.drv.SetSchedule(m.cfg.Schedule)
+	}
+}
+
+func (c *conn) goUp() {
+	m := c.m
+	m.stats.JoinsComplete++
+	rec := JoinRecord{
+		BSSID:     c.bssid,
+		Channel:   c.channel,
+		Start:     c.started,
+		Stage:     StageComplete,
+		AssocDur:  c.assocDur,
+		DHCPDur:   c.dhcpDur,
+		TotalDur:  m.eng.Now() - c.started,
+		UsedCache: c.cacheHit,
+	}
+	m.joins = append(m.joins, rec)
+	if m.OnJoin != nil {
+		m.OnJoin(rec)
+	}
+	m.scoreJoin(c.bssid, StageComplete)
+	c.state = connUp
+	c.pingFails = 0
+	c.link = &Link{
+		VIF:   c.vif,
+		BSSID: c.bssid,
+		SSID:  c.ssid,
+		Lease: c.lease,
+		Since: m.eng.Now(),
+		conn:  c,
+	}
+	c.stopPinger = m.eng.Ticker(m.cfg.PingInterval, c.sendPing)
+	if m.cfg.ParkOnConnect {
+		m.drv.SetSchedule([]driver.Slot{{Channel: c.channel}})
+	}
+	if m.OnLinkUp != nil {
+		m.OnLinkUp(c.link)
+	}
+}
+
+// down tears an established link down. notify controls the OnLinkDown
+// callback (suppressed during Close).
+func (c *conn) down(notify bool) {
+	m := c.m
+	link := c.link
+	if c.stopPinger != nil {
+		c.stopPinger()
+		c.stopPinger = nil
+	}
+	for _, ev := range c.pingPending {
+		m.eng.Cancel(ev)
+	}
+	c.pingPending = nil
+	m.backoffUntil[c.bssid] = m.eng.Now() + m.cfg.FailureBackoff
+	c.reset()
+	if m.cfg.ParkOnConnect && len(m.ActiveLinks()) == 0 {
+		// All links gone: resume the configured scan rotation.
+		m.drv.SetSchedule(m.cfg.Schedule)
+	}
+	if notify && m.OnLinkDown != nil && link != nil {
+		m.OnLinkDown(link)
+	}
+}
+
+// abort cancels a connection in any state without recording a join outcome
+// (used on schedule changes).
+func (c *conn) abort() {
+	if c.state == connUp {
+		c.down(true)
+		return
+	}
+	if c.dhcpCli != nil {
+		c.dhcpCli.Stop()
+	}
+	c.reset()
+}
+
+func (c *conn) reset() {
+	m := c.m
+	if c.dhcpCli != nil {
+		c.dhcpCli.Stop()
+		c.dhcpCli = nil
+	}
+	if c.stopPinger != nil {
+		c.stopPinger()
+		c.stopPinger = nil
+	}
+	delete(m.inUse, c.bssid)
+	c.vif.OnJoinResult = nil
+	c.vif.OnPacket = nil
+	c.vif.Disassociate()
+	c.state = connIdle
+	c.bssid = dot11.MACAddr{}
+	c.link = nil
+	c.lease = dhcp.Lease{}
+	c.assocDur, c.dhcpDur = 0, 0
+}
+
+// onPacket dispatches packets arriving on the interface.
+func (c *conn) onPacket(p ipnet.Packet) {
+	switch p.Proto {
+	case ipnet.ProtoUDP:
+		u, err := ipnet.DecodeUDP(p.Payload)
+		if err != nil || u.DstPort != ipnet.PortDHCPClient {
+			return
+		}
+		if msg, err := dhcp.DecodeMessage(u.Payload); err == nil && c.dhcpCli != nil {
+			c.dhcpCli.Deliver(msg)
+		}
+	case ipnet.ProtoICMP:
+		echo, err := ipnet.DecodeEcho(p.Payload)
+		if err != nil {
+			return
+		}
+		if echo.Type == ipnet.ICMPEchoReply && echo.ID == uint16(c.vif.ID()) {
+			c.onPingReply(echo.Seq)
+			return
+		}
+		// Foreign ICMP flows to the application.
+		if c.state == connUp && c.link.OnPacket != nil {
+			c.link.OnPacket(p)
+		}
+	default:
+		if c.state == connUp && c.link.OnPacket != nil {
+			c.link.OnPacket(p)
+		}
+	}
+}
+
+func (c *conn) onPingReply(seq uint16) {
+	switch c.state {
+	case connPing:
+		c.goUp()
+	case connUp:
+		if ev, ok := c.pingPending[seq]; ok {
+			c.m.eng.Cancel(ev)
+			delete(c.pingPending, seq)
+		}
+		c.pingFails = 0
+	}
+}

@@ -1,0 +1,210 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spider/internal/dot11"
+	"spider/internal/geo"
+	"spider/internal/sim"
+)
+
+func TestStatic(t *testing.T) {
+	m := Static(geo.Point{X: 3, Y: 4})
+	if m.PositionAt(0) != m.PositionAt(time.Hour) {
+		t.Fatal("static model moved")
+	}
+	if m.Speed() != 0 {
+		t.Fatal("static model has nonzero speed")
+	}
+}
+
+func TestWaypointsStraightLine(t *testing.T) {
+	w := NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}}, 10, false)
+	if w.Speed() != 10 || w.Length() != 1000 {
+		t.Fatalf("speed=%v length=%v", w.Speed(), w.Length())
+	}
+	p := w.PositionAt(50 * time.Second)
+	if math.Abs(p.X-500) > 1e-9 || p.Y != 0 {
+		t.Fatalf("position at 50s = %v, want (500,0)", p)
+	}
+	// Parks at the end.
+	end := w.PositionAt(time.Hour)
+	if end != (geo.Point{X: 1000, Y: 0}) {
+		t.Fatalf("end position = %v", end)
+	}
+}
+
+func TestWaypointsMultiSegment(t *testing.T) {
+	w := NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 100, Y: 100}}, 10, false)
+	p := w.PositionAt(15 * time.Second) // 150 m: 50 m into second segment
+	if math.Abs(p.X-100) > 1e-9 || math.Abs(p.Y-50) > 1e-9 {
+		t.Fatalf("position = %v, want (100,50)", p)
+	}
+}
+
+func TestWaypointsLoop(t *testing.T) {
+	// 400 m square loop at 10 m/s: one lap every 40 s.
+	w := NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 100, Y: 100}, {X: 0, Y: 100}}, 10, true)
+	if w.Length() != 400 {
+		t.Fatalf("loop length = %v, want 400 (closed)", w.Length())
+	}
+	p0 := w.PositionAt(5 * time.Second)
+	p1 := w.PositionAt(45 * time.Second) // one lap later
+	if p0.Distance(p1) > 1e-6 {
+		t.Fatalf("loop positions differ: %v vs %v", p0, p1)
+	}
+}
+
+func TestWaypointsValidation(t *testing.T) {
+	for _, tc := range []func(){
+		func() { NewWaypoints([]geo.Point{{X: 0, Y: 0}}, 10, false) },
+		func() { NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}, 0, false) },
+		func() { NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: 0, Y: 0}}, 5, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid waypoints did not panic")
+				}
+			}()
+			tc()
+		}()
+	}
+}
+
+// Property: motion is continuous — over small dt, displacement ≈ speed·dt.
+func TestPropertyWaypointsContinuity(t *testing.T) {
+	w := NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: 500, Y: 0}, {X: 500, Y: 500}, {X: 0, Y: 500}}, 15, true)
+	f := func(ms uint16) bool {
+		t0 := sim.Time(ms) * time.Millisecond * 10
+		dt := 20 * time.Millisecond
+		d := w.PositionAt(t0).Distance(w.PositionAt(t0 + dt))
+		// Displacement can be shorter at corners but never longer than
+		// speed*dt (plus epsilon).
+		return d <= 15*dt.Seconds()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployAlongRouteDensity(t *testing.T) {
+	rng := sim.NewRNG(42)
+	route := []geo.Point{{X: 0, Y: 0}, {X: 10000, Y: 0}} // 10 km
+	cfg := DefaultDeployConfig()
+	cfg.APsPerKm = 10
+	sites := DeployAlongRoute(rng, route, cfg)
+	// Expect ≈100 APs; Poisson sd is 10, allow ±40%.
+	if len(sites) < 60 || len(sites) > 140 {
+		t.Fatalf("deployed %d APs on 10 km at 10/km", len(sites))
+	}
+	for _, s := range sites {
+		if s.Pos.X < 0 || s.Pos.X > 10000 {
+			t.Fatalf("AP beyond route: %v", s.Pos)
+		}
+		if math.Abs(s.Pos.Y) > cfg.MaxOffset {
+			t.Fatalf("AP offset %v beyond max %v", s.Pos.Y, cfg.MaxOffset)
+		}
+		if !s.Channel.Valid() {
+			t.Fatalf("invalid channel %v", s.Channel)
+		}
+		if s.BackhaulBps < cfg.BackhaulMinBps || s.BackhaulBps > cfg.BackhaulMaxBps {
+			t.Fatalf("backhaul %v out of range", s.BackhaulBps)
+		}
+	}
+}
+
+func TestDeployChannelMix(t *testing.T) {
+	rng := sim.NewRNG(7)
+	route := []geo.Point{{X: 0, Y: 0}, {X: 200000, Y: 0}} // long route for statistics
+	cfg := DefaultDeployConfig()
+	cfg.APsPerKm = 10
+	sites := DeployAlongRoute(rng, route, cfg)
+	counts := map[dot11.Channel]int{}
+	for _, s := range sites {
+		counts[s.Channel]++
+	}
+	n := float64(len(sites))
+	for ch, want := range map[dot11.Channel]float64{dot11.Channel1: 0.28, dot11.Channel6: 0.33, dot11.Channel11: 0.34} {
+		got := float64(counts[ch]) / n
+		if math.Abs(got-want) > 0.04 {
+			t.Fatalf("channel %v fraction = %.3f, want ≈%.2f", ch, got, want)
+		}
+	}
+}
+
+func TestDeployOpenFraction(t *testing.T) {
+	rng := sim.NewRNG(3)
+	cfg := DefaultDeployConfig()
+	cfg.OpenFraction = 0.4
+	sites := DeployAlongRoute(rng, []geo.Point{{X: 0, Y: 0}, {X: 100000, Y: 0}}, cfg)
+	open := 0
+	for _, s := range sites {
+		if s.Open {
+			open++
+		}
+	}
+	frac := float64(open) / float64(len(sites))
+	if math.Abs(frac-0.4) > 0.05 {
+		t.Fatalf("open fraction = %.3f, want ≈0.40", frac)
+	}
+}
+
+func TestDeploySSIDsUnique(t *testing.T) {
+	rng := sim.NewRNG(5)
+	sites := DeployAlongRoute(rng, []geo.Point{{X: 0, Y: 0}, {X: 5000, Y: 0}}, DefaultDeployConfig())
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if seen[s.SSID] {
+			t.Fatalf("duplicate SSID %q", s.SSID)
+		}
+		seen[s.SSID] = true
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero density did not panic")
+		}
+	}()
+	DeployAlongRoute(sim.NewRNG(1), []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}, DeployConfig{})
+}
+
+func TestCoverageFraction(t *testing.T) {
+	m := NewWaypoints([]geo.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}}, 10, false)
+	// One AP covering x∈[400,600] (range 100 at x=500).
+	sites := []APSite{{Pos: geo.Point{X: 500, Y: 0}, Channel: dot11.Channel1, Open: true}}
+	frac := CoverageFraction(m, 100*time.Second, time.Second, sites, 100, nil)
+	if math.Abs(frac-0.2) > 0.05 {
+		t.Fatalf("coverage = %.3f, want ≈0.2", frac)
+	}
+	// A filter that rejects everything yields zero coverage.
+	if f := CoverageFraction(m, 100*time.Second, time.Second, sites, 100, func(APSite) bool { return false }); f != 0 {
+		t.Fatalf("filtered coverage = %v, want 0", f)
+	}
+	if CoverageFraction(m, 0, time.Second, sites, 100, nil) != 0 {
+		t.Fatal("zero duration should report 0")
+	}
+}
+
+// Property: encounter duration at a given offset matches the chord length
+// divided by speed.
+func TestPropertyEncounterDuration(t *testing.T) {
+	f := func(off uint8, spd uint8) bool {
+		offset := float64(off % 99)
+		speed := float64(spd%20) + 1
+		m := NewWaypoints([]geo.Point{{X: -1000, Y: 0}, {X: 1000, Y: 0}}, speed, false)
+		sites := []APSite{{Pos: geo.Point{X: 0, Y: offset}}}
+		total := sim.Time(float64(2000/speed) * float64(time.Second))
+		frac := CoverageFraction(m, total, 10*time.Millisecond, sites, 100, nil)
+		wantFrac := geo.ChordLength(100, offset) / 2000
+		return math.Abs(frac-wantFrac) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

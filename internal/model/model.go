@@ -1,0 +1,244 @@
+// Package model implements the paper's analytical join model (Section 2.1,
+// Equations 5-7): the probability that a mobile node associates and obtains
+// a DHCP lease from an AP on channel i as a function of the fraction of
+// time f_i scheduled on that channel, the scheduling period D, the switch
+// overhead w, the request spacing c, the AP response time β ∈ [βmin, βmax],
+// the message loss rate h, and the time t spent in range.
+//
+// A Monte-Carlo simulator with identical assumptions validates the closed
+// form (the paper's Figure 2).
+package model
+
+import (
+	"math"
+
+	"spider/internal/sim"
+)
+
+// Params are the model inputs, named as in the paper.
+type Params struct {
+	// D is the scheduling period.
+	D sim.Time
+	// W is the channel-switch overhead w.
+	W sim.Time
+	// C is the spacing between consecutive join requests.
+	C sim.Time
+	// BetaMin and BetaMax bound the uniform AP join-response time.
+	BetaMin sim.Time
+	BetaMax sim.Time
+	// Loss is the per-message loss probability h.
+	Loss float64
+}
+
+// PaperParams returns the parameter set used in the paper's Figure 2:
+// D=500 ms, w=7 ms, c=100 ms, βmin=500 ms, h=0.10 (βmax is a figure
+// parameter).
+func PaperParams(betaMax sim.Time) Params {
+	return Params{
+		D:       500 * 1000 * 1000,
+		W:       7 * 1000 * 1000,
+		C:       100 * 1000 * 1000,
+		BetaMin: 500 * 1000 * 1000,
+		BetaMax: betaMax,
+		Loss:    0.10,
+	}
+}
+
+func (p Params) validate() {
+	if p.D <= 0 || p.C <= 0 || p.BetaMax < p.BetaMin || p.Loss < 0 || p.Loss > 1 {
+		panic("model: invalid parameters")
+	}
+}
+
+// segments returns the number of join requests per round, ⌈(D·fi − w)/c⌉.
+func (p Params) segments(fi float64) int {
+	window := float64(p.D)*fi - float64(p.W)
+	if window <= 0 {
+		return 0
+	}
+	return int(math.Ceil(window / float64(p.C)))
+}
+
+// qSegment is Equation 5: the probability that the request sent in segment
+// k of round m is answered within the on-channel window of round n, on a
+// lossless channel.
+func (p Params) qSegment(m, n, k int, fi float64) float64 {
+	alphaMin := float64(k)*float64(p.C) + float64(p.BetaMin)
+	alphaMax := float64(k)*float64(p.C) + float64(p.BetaMax)
+	delta := float64(n-m) * float64(p.D)
+	deltaMin := delta + float64(p.C) - float64(p.W)
+	deltaMax := delta + fi*float64(p.D) + float64(p.C) - float64(p.W)
+	if deltaMin > alphaMax || deltaMax < alphaMin {
+		return 0
+	}
+	if alphaMax == alphaMin {
+		// Degenerate β distribution: success iff the point falls inside.
+		if alphaMin >= deltaMin && alphaMin <= deltaMax {
+			return 1
+		}
+		return 0
+	}
+	return (math.Min(alphaMax, deltaMax) - math.Max(alphaMin, deltaMin)) / (alphaMax - alphaMin)
+}
+
+// qRoundGap is Equation 6 rewritten in terms of Δ = n − m: the probability
+// that no request made in a round leads to a successful join Δ rounds
+// later, on a channel with loss h.
+func (p Params) qRoundGap(delta int, fi float64) float64 {
+	k := p.segments(fi)
+	surv := (1 - p.Loss) * (1 - p.Loss)
+	q := 1.0
+	for i := 1; i <= k; i++ {
+		q *= 1 - p.qSegment(0, delta, i, fi)*surv
+	}
+	return q
+}
+
+// JoinProbability is Equation 7: the probability of obtaining at least one
+// successful join within the first t seconds in range, given the fraction
+// f_i of each period spent on the AP's channel.
+func (p Params) JoinProbability(fi float64, t sim.Time) float64 {
+	p.validate()
+	if fi <= 0 {
+		return 0
+	}
+	if fi > 1 {
+		fi = 1
+	}
+	rounds := int(t / p.D)
+	if rounds <= 0 {
+		return 0
+	}
+	// Π_{m=1..M} Π_{n=m..M} q(m,n) = Π_{Δ=0..M-1} qΔ^(M−Δ), since q
+	// depends only on the round gap.
+	logNone := 0.0
+	for delta := 0; delta < rounds; delta++ {
+		q := p.qRoundGap(delta, fi)
+		if q <= 0 {
+			return 1
+		}
+		logNone += float64(rounds-delta) * math.Log(q)
+	}
+	return 1 - math.Exp(logNone)
+}
+
+// ExpectedJoinFraction returns E[X_i]/T: the expected fraction of the
+// residence time T spent not yet joined, which the optimization framework's
+// constraint (Eq. 9) uses as (1 − E[X_i]). Evaluated per scheduling round.
+func (p Params) ExpectedJoinFraction(fi float64, T sim.Time) float64 {
+	p.validate()
+	rounds := int(T / p.D)
+	if rounds <= 0 {
+		return 1
+	}
+	if fi <= 0 {
+		return 1
+	}
+	// Incrementally accumulate log Π over round gaps as t grows.
+	qs := make([]float64, rounds)
+	for delta := 0; delta < rounds; delta++ {
+		qs[delta] = p.qRoundGap(delta, fi)
+	}
+	notJoined := 0.0
+	logNone := 0.0
+	joinedAlready := false
+	for m := 1; m <= rounds; m++ {
+		if !joinedAlready {
+			// Adding round m multiplies by Π_{Δ} q(Δ) for Δ = 0..m-1
+			// applied to the new pairs (i, m), i ≤ m.
+			for delta := 0; delta < m; delta++ {
+				if qs[delta] <= 0 {
+					joinedAlready = true
+					break
+				}
+				logNone += math.Log(qs[delta])
+			}
+		}
+		pJoin := 1.0
+		if !joinedAlready {
+			pJoin = 1 - math.Exp(logNone)
+		}
+		notJoined += 1 - pJoin
+	}
+	return notJoined / float64(rounds)
+}
+
+// CorrelatedJoinFraction is the pessimistic counterpart of
+// ExpectedJoinFraction used by the throughput optimizer. Equations 5-7
+// redraw β independently for every retransmission, which is optimistic: a
+// slow AP answers *every* request slowly. Treating β as a property of the
+// visit, the client — on-channel a fraction f_i of the time — completes
+// the join after roughly β/f_i. This returns E[min(β/f_i, T)]/T, the
+// expected fraction of the residence time spent unjoined. The paper itself
+// notes its model "is optimistic: multi-channel switching performs better
+// in the model than can be expected in a real scenario"; this variant is
+// what lets the optimizer reproduce Figure 4's dividing speed.
+func (p Params) CorrelatedJoinFraction(fi float64, T sim.Time) float64 {
+	p.validate()
+	if T <= 0 {
+		return 1
+	}
+	if fi <= 0 {
+		return 1
+	}
+	if fi > 1 {
+		fi = 1
+	}
+	a := float64(p.BetaMin)
+	b := float64(p.BetaMax)
+	t := float64(T)
+	g := fi * t // β beyond g means the stretched join exceeds T
+	if b == a {
+		if a >= g {
+			return 1
+		}
+		return (a / fi) / t
+	}
+	if g <= a {
+		return 1
+	}
+	hi := math.Min(b, g)
+	// ∫_a^hi (x/fi) dx = (hi² − a²) / (2 fi)
+	e := (hi*hi - a*a) / (2 * fi)
+	e += (b - hi) * t // joins that never complete within T cost all of T
+	e /= b - a
+	return math.Min(1, e/t)
+}
+
+// SimulateJoinProbability estimates p(f_i, t) by Monte-Carlo under the
+// model's exact assumptions; used to validate the closed form (Figure 2).
+func (p Params) SimulateJoinProbability(rng *sim.RNG, fi float64, t sim.Time, trials int) float64 {
+	p.validate()
+	if trials <= 0 {
+		panic("model: SimulateJoinProbability needs trials > 0")
+	}
+	rounds := int(t / p.D)
+	k := p.segments(fi)
+	if rounds <= 0 || k <= 0 {
+		return 0
+	}
+	success := 0
+trial:
+	for i := 0; i < trials; i++ {
+		for m := 1; m <= rounds; m++ {
+			for seg := 1; seg <= k; seg++ {
+				// Request and response must each survive loss h.
+				if rng.Bool(p.Loss) || rng.Bool(p.Loss) {
+					continue
+				}
+				beta := rng.UniformDuration(p.BetaMin, p.BetaMax+1)
+				// Arrival offset from the start of round m, per Eq. 1-2.
+				arrive := float64(p.W) + float64(seg-1)*float64(p.C) + float64(beta)
+				for n := m; n <= rounds; n++ {
+					lo := float64(n-m) * float64(p.D)
+					hi := lo + fi*float64(p.D)
+					if arrive >= lo && arrive <= hi {
+						success++
+						continue trial
+					}
+				}
+			}
+		}
+	}
+	return float64(success) / float64(trials)
+}

@@ -1,0 +1,188 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spider/internal/sim"
+)
+
+func params5s() Params { return PaperParams(5 * time.Second) }
+
+func TestJoinProbabilityBounds(t *testing.T) {
+	p := params5s()
+	for _, fi := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+		v := p.JoinProbability(fi, 4*time.Second)
+		if v < 0 || v > 1 {
+			t.Fatalf("p(%v) = %v out of [0,1]", fi, v)
+		}
+	}
+	if p.JoinProbability(0, 4*time.Second) != 0 {
+		t.Fatal("p(0) != 0")
+	}
+	if p.JoinProbability(0.5, 0) != 0 {
+		t.Fatal("p with t=0 != 0")
+	}
+}
+
+func TestJoinProbabilityMonotoneInFraction(t *testing.T) {
+	p := params5s()
+	prev := -1.0
+	for fi := 0.05; fi <= 1.0; fi += 0.05 {
+		v := p.JoinProbability(fi, 4*time.Second)
+		if v < prev-1e-9 {
+			t.Fatalf("p not monotone at fi=%.2f: %v < %v", fi, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestJoinProbabilityMonotoneInTime(t *testing.T) {
+	p := params5s()
+	prev := -1.0
+	for secs := 1; secs <= 20; secs++ {
+		v := p.JoinProbability(0.3, time.Duration(secs)*time.Second)
+		if v < prev-1e-9 {
+			t.Fatalf("p not monotone in t at %ds", secs)
+		}
+		prev = v
+	}
+}
+
+func TestShorterBetaMaxHelps(t *testing.T) {
+	// Figure 3: with a fixed fraction, shorter maximum join times give
+	// higher success probability.
+	for _, fi := range []float64{0.10, 0.25, 0.40, 0.50} {
+		p5 := PaperParams(5*time.Second).JoinProbability(fi, 4*time.Second)
+		p10 := PaperParams(10*time.Second).JoinProbability(fi, 4*time.Second)
+		if p10 > p5+1e-9 {
+			t.Fatalf("fi=%.2f: βmax=10s gives %v > βmax=5s gives %v", fi, p10, p5)
+		}
+	}
+}
+
+func TestNearFullTimeNearCertainJoin(t *testing.T) {
+	// The paper: the node must spend nearly 100% of its time on the
+	// channel for an assured join (with βmax=5s, t=4s keeps some mass out
+	// of range, so compare at a longer t).
+	p := params5s()
+	if v := p.JoinProbability(1.0, 20*time.Second); v < 0.99 {
+		t.Fatalf("p(1.0, 20s) = %v, want ≈1", v)
+	}
+	if v := p.JoinProbability(0.1, 4*time.Second); v > 0.6 {
+		t.Fatalf("p(0.1, 4s) = %v, unexpectedly high", v)
+	}
+}
+
+func TestPaperFigure2Shape(t *testing.T) {
+	// In Fig. 2 (βmax=5s, t=4s) the curve rises steeply: p at fi=0.3 is
+	// several times p at fi=0.1, and p(1.0) is large.
+	p := params5s()
+	p10 := p.JoinProbability(0.10, 4*time.Second)
+	p30 := p.JoinProbability(0.30, 4*time.Second)
+	p100 := p.JoinProbability(1.0, 4*time.Second)
+	if p30 < 2*p10 {
+		t.Fatalf("p(0.3)=%v not ≫ p(0.1)=%v", p30, p10)
+	}
+	if p100 < 0.7 {
+		t.Fatalf("p(1.0, 4s) = %v, want high", p100)
+	}
+}
+
+func TestModelMatchesSimulation(t *testing.T) {
+	// The paper's Figure 2 validation: closed form vs Monte-Carlo under
+	// identical assumptions, for both βmax values.
+	rng := sim.NewRNG(1234)
+	for _, betaMax := range []time.Duration{5 * time.Second, 10 * time.Second} {
+		p := PaperParams(betaMax)
+		for _, fi := range []float64{0.1, 0.3, 0.5, 0.8, 1.0} {
+			analytic := p.JoinProbability(fi, 4*time.Second)
+			simulated := p.SimulateJoinProbability(rng, fi, 4*time.Second, 4000)
+			if math.Abs(analytic-simulated) > 0.06 {
+				t.Fatalf("βmax=%v fi=%.1f: model %.3f vs sim %.3f", betaMax, fi, analytic, simulated)
+			}
+		}
+	}
+}
+
+func TestExpectedJoinFraction(t *testing.T) {
+	p := params5s()
+	// fi=0 never joins: fraction 1. High fi for a long residence: near 0.
+	if got := p.ExpectedJoinFraction(0, 30*time.Second); got != 1 {
+		t.Fatalf("E[X]/T at fi=0 = %v, want 1", got)
+	}
+	lo := p.ExpectedJoinFraction(1.0, 60*time.Second)
+	if lo > 0.25 {
+		t.Fatalf("E[X]/T at fi=1, T=60s = %v, want small", lo)
+	}
+	// Monotone: more channel time joins sooner.
+	prev := 2.0
+	for _, fi := range []float64{0.1, 0.3, 0.6, 1.0} {
+		v := p.ExpectedJoinFraction(fi, 30*time.Second)
+		if v > prev+1e-9 {
+			t.Fatalf("E[X]/T not decreasing at fi=%v", fi)
+		}
+		prev = v
+	}
+	// Shorter residence leaves a larger unjoined fraction.
+	short := p.ExpectedJoinFraction(0.5, 5*time.Second)
+	long := p.ExpectedJoinFraction(0.5, 60*time.Second)
+	if short < long {
+		t.Fatalf("E[X]/T: T=5s %v < T=60s %v", short, long)
+	}
+}
+
+func TestSegments(t *testing.T) {
+	p := params5s()
+	// D·fi − w = 500·0.5 − 7 = 243 ms → ⌈243/100⌉ = 3 requests.
+	if got := p.segments(0.5); got != 3 {
+		t.Fatalf("segments(0.5) = %d, want 3", got)
+	}
+	if got := p.segments(0.01); got != 0 {
+		t.Fatalf("segments below switch overhead = %d, want 0", got)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	bad := Params{D: 0, C: 1, BetaMin: 0, BetaMax: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params did not panic")
+		}
+	}()
+	bad.JoinProbability(0.5, time.Second)
+}
+
+// Property: probabilities stay in [0,1] for arbitrary parameters.
+func TestPropertyProbabilityBounds(t *testing.T) {
+	f := func(fiRaw uint8, tSecs uint8, betaMaxSecs uint8, lossRaw uint8) bool {
+		p := Params{
+			D:       500 * time.Millisecond,
+			W:       7 * time.Millisecond,
+			C:       100 * time.Millisecond,
+			BetaMin: 200 * time.Millisecond,
+			BetaMax: 200*time.Millisecond + time.Duration(betaMaxSecs%10)*time.Second,
+			Loss:    float64(lossRaw%100) / 100,
+		}
+		fi := float64(fiRaw) / 255
+		v := p.JoinProbability(fi, time.Duration(tSecs%30)*time.Second)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return false
+		}
+		e := p.ExpectedJoinFraction(fi, time.Duration(tSecs%30)*time.Second)
+		return e >= 0 && e <= 1+1e-9 && !math.IsNaN(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkJoinProbability(b *testing.B) {
+	p := params5s()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.JoinProbability(0.4, 30*time.Second)
+	}
+}

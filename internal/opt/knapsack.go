@@ -1,0 +1,181 @@
+package opt
+
+import (
+	"math"
+	"sort"
+
+	"spider/internal/sim"
+)
+
+// APOption is one candidate AP in the Appendix A selection problem.
+type APOption struct {
+	// Value is the connectivity/throughput payoff of joining (V_i = T_i·W_i).
+	Value float64
+	// Cost is the time spent on the AP including switching and queue
+	// overheads (C_i).
+	Cost float64
+	// Utility is Spider's join-history signal: a noisy, cheaply available
+	// proxy for Value/Cost used by the deployed heuristic.
+	Utility float64
+}
+
+// SelectionResult is the outcome of one selection algorithm.
+type SelectionResult struct {
+	Picked []int
+	Value  float64
+	Cost   float64
+}
+
+// SolveExact maximizes total value within the time budget with the classic
+// 0-1 knapsack dynamic program, discretizing costs into resolution buckets.
+// Appendix A reduces multi-AP selection to exactly this problem; the DP is
+// pseudo-polynomial, which is why Spider cannot run it online.
+func SolveExact(items []APOption, budget float64, resolution int) SelectionResult {
+	if resolution <= 0 {
+		panic("opt: SolveExact needs positive resolution")
+	}
+	if budget <= 0 || len(items) == 0 {
+		return SelectionResult{}
+	}
+	scale := float64(resolution) / budget
+	cap := resolution
+	// best[c] = max value using cost ≤ c; choice tracking for backtrace.
+	best := make([]float64, cap+1)
+	take := make([][]bool, len(items))
+	for i := range take {
+		take[i] = make([]bool, cap+1)
+	}
+	for i, it := range items {
+		w := int(math.Ceil(it.Cost * scale))
+		if w > cap || it.Value <= 0 {
+			continue
+		}
+		for c := cap; c >= w; c-- {
+			if v := best[c-w] + it.Value; v > best[c] {
+				best[c] = v
+				take[i][c] = true
+			}
+		}
+	}
+	res := SelectionResult{Value: best[cap]}
+	c := cap
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][c] {
+			res.Picked = append(res.Picked, i)
+			res.Cost += items[i].Cost
+			c -= int(math.Ceil(items[i].Cost * scale))
+		}
+	}
+	sort.Ints(res.Picked)
+	return res
+}
+
+// SolveGreedy picks items by value density (value/cost) until the budget is
+// exhausted — the standard knapsack approximation.
+func SolveGreedy(items []APOption, budget float64) SelectionResult {
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da := density(items[idx[a]])
+		db := density(items[idx[b]])
+		if da != db {
+			return da > db
+		}
+		return idx[a] < idx[b]
+	})
+	return takeInOrder(items, idx, budget)
+}
+
+// SolveByUtility is Spider's deployed heuristic: rank APs by join-history
+// utility and take them while they fit. It never inspects Value, which is
+// unobservable before joining — that is the whole point of the design.
+func SolveByUtility(items []APOption, budget float64) SelectionResult {
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if items[idx[a]].Utility != items[idx[b]].Utility {
+			return items[idx[a]].Utility > items[idx[b]].Utility
+		}
+		return idx[a] < idx[b]
+	})
+	return takeInOrder(items, idx, budget)
+}
+
+func density(it APOption) float64 {
+	if it.Cost <= 0 {
+		return math.Inf(1)
+	}
+	return it.Value / it.Cost
+}
+
+func takeInOrder(items []APOption, order []int, budget float64) SelectionResult {
+	var res SelectionResult
+	for _, i := range order {
+		it := items[i]
+		if it.Cost > budget-res.Cost || it.Value <= 0 {
+			continue
+		}
+		res.Picked = append(res.Picked, i)
+		res.Value += it.Value
+		res.Cost += it.Cost
+	}
+	sort.Ints(res.Picked)
+	return res
+}
+
+// SolveBruteForce enumerates all 2^n subsets — the exponential baseline the
+// Appendix's NP-hardness argument rules out for online use. Only sensible
+// for small n.
+func SolveBruteForce(items []APOption, budget float64) SelectionResult {
+	n := len(items)
+	if n > 24 {
+		panic("opt: SolveBruteForce limited to 24 items")
+	}
+	var best SelectionResult
+	for mask := 0; mask < 1<<n; mask++ {
+		cost, value := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cost += items[i].Cost
+				value += items[i].Value
+			}
+		}
+		if cost <= budget && value > best.Value {
+			best.Value = value
+			best.Cost = cost
+			best.Picked = best.Picked[:0]
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					best.Picked = append(best.Picked, i)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// RandomInstance generates a selection problem resembling a road segment:
+// encounter times T_i uniform in [2 s, 30 s], offered bandwidths in
+// [0.25, 3] Mbit/s, costs including a per-AP join overhead, and utilities
+// that track true value with multiplicative noise (join history is
+// informative but imperfect).
+func RandomInstance(rng *sim.RNG, n int, utilityNoise float64) []APOption {
+	items := make([]APOption, n)
+	for i := range items {
+		encounter := rng.Uniform(2, 30)     // seconds
+		bw := rng.Uniform(0.25e6, 3e6)      // bits/s
+		joinOverhead := rng.Uniform(0.5, 4) // seconds
+		value := encounter * bw             // bits
+		noise := 1 + utilityNoise*(rng.Float64()*2-1)
+		items[i] = APOption{
+			Value:   value,
+			Cost:    encounter + joinOverhead,
+			Utility: density(APOption{Value: value, Cost: encounter + joinOverhead}) * noise,
+		}
+	}
+	return items
+}

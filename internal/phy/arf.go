@@ -1,0 +1,99 @@
+package phy
+
+import (
+	"spider/internal/dot11"
+)
+
+// Dot11bRates are the 802.11b data rates in bits/s, lowest first.
+var Dot11bRates = []float64{1e6, 2e6, 5.5e6, 11e6}
+
+// ARF constants: the classic Auto Rate Fallback policy steps a peer's rate
+// down after two consecutive transmission failures and back up after ten
+// consecutive successes.
+const (
+	arfUpAfter   = 10
+	arfDownAfter = 2
+)
+
+// arfState tracks the transmit rate toward one peer.
+type arfState struct {
+	idx      int // index into the rate table
+	okStreak int
+	koStreak int
+}
+
+// rates returns the effective rate table.
+func (p Params) rates() []float64 {
+	if len(p.Rates) > 0 {
+		return p.Rates
+	}
+	return Dot11bRates
+}
+
+// maxRate returns the top of the rate table.
+func (p Params) maxRate() float64 {
+	r := p.rates()
+	return r[len(r)-1]
+}
+
+// broadcastRate returns the rate used for broadcast frames: the basic rate
+// (second-lowest entry, per the usual 802.11b basic set) when adaptation is
+// on, the full bit rate otherwise.
+func (p Params) broadcastRate() float64 {
+	if !p.RateAdaptation {
+		return p.BitRate
+	}
+	r := p.rates()
+	if len(r) > 1 {
+		return r[1]
+	}
+	return r[0]
+}
+
+// rateFor returns the radio's current unicast transmit rate toward dst.
+func (r *Radio) rateFor(dst dot11.MACAddr) float64 {
+	if !r.m.params.RateAdaptation {
+		return r.m.params.BitRate
+	}
+	rates := r.m.params.rates()
+	st := r.arf[dst]
+	if st == nil {
+		// ARF starts optimistic at the top rate.
+		st = &arfState{idx: len(rates) - 1}
+		r.arf[dst] = st
+	}
+	return rates[st.idx]
+}
+
+// arfReport feeds a transmission outcome into the peer's ARF state.
+func (r *Radio) arfReport(dst dot11.MACAddr, ok bool) {
+	if !r.m.params.RateAdaptation {
+		return
+	}
+	st := r.arf[dst]
+	if st == nil {
+		return
+	}
+	rates := r.m.params.rates()
+	if ok {
+		st.koStreak = 0
+		st.okStreak++
+		if st.okStreak >= arfUpAfter && st.idx < len(rates)-1 {
+			st.idx++
+			st.okStreak = 0
+			r.m.stats.RateUps++
+		}
+		return
+	}
+	st.okStreak = 0
+	st.koStreak++
+	if st.koStreak >= arfDownAfter && st.idx > 0 {
+		st.idx--
+		st.koStreak = 0
+		r.m.stats.RateDowns++
+	}
+}
+
+// CurrentRate reports the radio's transmit rate toward dst (tests and
+// diagnostics).
+func (r *Radio) CurrentRate(dst dot11.MACAddr) float64 { return r.rateFor(dst) }

@@ -1,0 +1,451 @@
+// Package phy simulates the 802.11 physical layer: radios attached to a
+// shared per-channel medium, distance-dependent frame loss, airtime
+// accounting at a configurable bit rate, MAC-level retransmission of
+// unicast frames, and the hardware-reset latency a channel switch costs.
+//
+// The model deliberately mirrors the factors the Spider paper isolates —
+// loss rate h, switching overhead w, channel airtime — rather than
+// symbol-level detail. Each channel is a single collision domain whose
+// transmissions serialize, which matches the paper's single-client,
+// several-AP roadside scenarios.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"spider/internal/dot11"
+	"spider/internal/geo"
+	"spider/internal/sim"
+)
+
+// Params configures the PHY model. ZeroValue fields are replaced by
+// Defaults() values in NewMedium.
+type Params struct {
+	// Range is the usable communication radius in metres (paper: 100 m).
+	Range float64
+	// BitRate is the channel bit rate in bits/s (paper: 11 Mbit/s).
+	BitRate float64
+	// BaseLoss is the frame loss probability at zero distance (paper h≈0.10).
+	BaseLoss float64
+	// PerFrameOverhead is the PHY preamble + IFS + ACK time charged per
+	// transmission attempt.
+	PerFrameOverhead sim.Time
+	// SwitchLatency is the hardware reset time for a channel change
+	// (paper Table 1: ≈5 ms).
+	SwitchLatency sim.Time
+	// RetryLimit is the number of MAC retransmissions for unicast frames.
+	RetryLimit int
+	// Loss optionally overrides the distance-loss curve. It receives the
+	// transmitter-receiver distance in metres and returns a per-try loss
+	// probability in [0,1] (ignoring the transmit rate).
+	Loss func(distance float64) float64
+	// RateAdaptation enables per-peer ARF rate control over Rates; lower
+	// rates are more robust near the range edge but cost airtime.
+	RateAdaptation bool
+	// Rates is the data-rate table in bits/s, lowest first (default
+	// 802.11b: 1, 2, 5.5, 11 Mbit/s).
+	Rates []float64
+}
+
+// Defaults returns the parameter set used throughout the evaluation, chosen
+// to match the paper's testbed numbers.
+func Defaults() Params {
+	return Params{
+		Range:            100,
+		BitRate:          11e6,
+		BaseLoss:         0.10,
+		PerFrameOverhead: 400 * 1000, // 400µs: preamble+DIFS+SIFS+ACK
+		SwitchLatency:    5 * 1000 * 1000,
+		RetryLimit:       3,
+		RateAdaptation:   true,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := Defaults()
+	if p.Range <= 0 {
+		p.Range = d.Range
+	}
+	if p.BitRate <= 0 {
+		p.BitRate = d.BitRate
+	}
+	if p.BaseLoss < 0 {
+		p.BaseLoss = 0
+	}
+	if p.PerFrameOverhead <= 0 {
+		p.PerFrameOverhead = d.PerFrameOverhead
+	}
+	if p.SwitchLatency < 0 {
+		p.SwitchLatency = 0
+	} else if p.SwitchLatency == 0 {
+		p.SwitchLatency = d.SwitchLatency
+	}
+	if p.RetryLimit <= 0 {
+		p.RetryLimit = d.RetryLimit
+	}
+	return p
+}
+
+// lossAt returns the per-try loss probability at distance d for a frame
+// sent at the given rate. Lower rates flatten the distance term — the
+// robustness that makes ARF fallback worthwhile at the range edge — but
+// the hard range cutoff is rate-independent.
+func (p Params) lossAt(d, rate float64) float64 {
+	if p.Loss != nil {
+		return clamp01(p.Loss(d))
+	}
+	if d >= p.Range {
+		return 1
+	}
+	frac := d / p.Range
+	robust := 1.0
+	if p.RateAdaptation && rate > 0 {
+		robust = math.Sqrt(rate / p.maxRate())
+	}
+	return clamp01(p.BaseLoss + (1-p.BaseLoss)*math.Pow(frac, 4)*robust)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// RxInfo carries reception metadata alongside a decoded frame.
+type RxInfo struct {
+	Channel dot11.Channel
+	RSSI    float64 // dBm, from a simple log-distance model
+	At      sim.Time
+}
+
+// Stats aggregates medium-level counters for debugging and benchmarks.
+type Stats struct {
+	FramesSent       uint64 // transmission attempts, including retries
+	FramesDelivered  uint64
+	FramesLost       uint64 // unicast tries lost to channel error
+	Broadcasts       uint64
+	UnicastFailed    uint64 // unicast gave up after all retries
+	RateUps          uint64 // ARF rate increases
+	RateDowns        uint64 // ARF rate decreases
+	AirtimeByChannel map[dot11.Channel]sim.Time
+}
+
+// Medium is the shared wireless medium. All radios in a scenario attach to
+// one Medium; each 802.11 channel is an independent, serialized collision
+// domain.
+type Medium struct {
+	eng    *sim.Engine
+	rng    *sim.RNG
+	params Params
+
+	radios    map[*Radio]struct{}
+	byChannel map[dot11.Channel]map[*Radio]struct{}
+	busyUntil map[dot11.Channel]sim.Time
+	stats     Stats
+	tap       func(ch dot11.Channel, wire []byte, at sim.Time)
+}
+
+// NewMedium creates a medium on the given engine. rng must be a dedicated
+// stream; the medium draws from it for loss sampling and backoff jitter.
+func NewMedium(eng *sim.Engine, rng *sim.RNG, params Params) *Medium {
+	return &Medium{
+		eng:       eng,
+		rng:       rng,
+		params:    params.withDefaults(),
+		radios:    make(map[*Radio]struct{}),
+		byChannel: make(map[dot11.Channel]map[*Radio]struct{}),
+		busyUntil: make(map[dot11.Channel]sim.Time),
+		stats:     Stats{AirtimeByChannel: make(map[dot11.Channel]sim.Time)},
+	}
+}
+
+// Params returns the effective (defaulted) parameter set.
+func (m *Medium) Params() Params { return m.params }
+
+// Stats returns a snapshot of the medium counters.
+func (m *Medium) Stats() Stats {
+	s := m.stats
+	s.AirtimeByChannel = make(map[dot11.Channel]sim.Time, len(m.stats.AirtimeByChannel))
+	for k, v := range m.stats.AirtimeByChannel {
+		s.AirtimeByChannel[k] = v
+	}
+	return s
+}
+
+// SetTap installs a monitor callback observing every frame as its airtime
+// completes — transmissions and retransmissions alike, regardless of
+// delivery outcome. Used by the pcap capture facility.
+func (m *Medium) SetTap(fn func(ch dot11.Channel, wire []byte, at sim.Time)) { m.tap = fn }
+
+// Airtime returns the on-air duration of a frame of the given wire length
+// at the full bit rate, excluding queueing.
+func (m *Medium) Airtime(wireLen int) sim.Time {
+	return m.airtimeAt(wireLen, m.params.BitRate)
+}
+
+// airtimeAt charges a frame's on-air time at a specific rate.
+func (m *Medium) airtimeAt(wireLen int, rate float64) sim.Time {
+	bits := float64(wireLen * 8)
+	return sim.Time(bits/rate*1e9) + m.params.PerFrameOverhead
+}
+
+// rssiAt converts distance to a log-distance RSSI in dBm; used only for
+// ranking APs, not for loss.
+func rssiAt(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return -30 - 35*math.Log10(d)
+}
+
+// Radio is a single physical 802.11 interface: it is tuned to one channel
+// at a time, transmits frames onto the medium, and delivers received frames
+// to its receiver callback.
+type Radio struct {
+	m       *Medium
+	mac     dot11.MACAddr
+	channel dot11.Channel
+	pos     func() geo.Point
+	recv    func(dot11.Frame, RxInfo)
+
+	switching bool
+	closed    bool
+	seq       uint16
+	arf       map[dot11.MACAddr]*arfState
+	txAirtime sim.Time
+}
+
+// NewRadio attaches a radio to the medium. pos is sampled at delivery time,
+// so mobile nodes simply pass a closure over their mobility model. The
+// radio starts tuned to channel 1 with no receiver.
+func (m *Medium) NewRadio(mac dot11.MACAddr, pos func() geo.Point) *Radio {
+	if pos == nil {
+		panic("phy: NewRadio with nil position func")
+	}
+	r := &Radio{m: m, mac: mac, channel: dot11.Channel1, pos: pos, arf: make(map[dot11.MACAddr]*arfState)}
+	m.radios[r] = struct{}{}
+	m.index(r, dot11.Channel1)
+	return r
+}
+
+// index moves a radio into a channel's lookup set.
+func (m *Medium) index(r *Radio, ch dot11.Channel) {
+	set := m.byChannel[ch]
+	if set == nil {
+		set = make(map[*Radio]struct{})
+		m.byChannel[ch] = set
+	}
+	set[r] = struct{}{}
+}
+
+func (m *Medium) unindex(r *Radio, ch dot11.Channel) {
+	if set := m.byChannel[ch]; set != nil {
+		delete(set, r)
+	}
+}
+
+// MAC returns the radio's MAC address.
+func (r *Radio) MAC() dot11.MACAddr { return r.mac }
+
+// Channel returns the channel the radio is currently tuned to.
+func (r *Radio) Channel() dot11.Channel { return r.channel }
+
+// Switching reports whether the radio is mid hardware reset.
+func (r *Radio) Switching() bool { return r.switching }
+
+// Position returns the radio's current position.
+func (r *Radio) Position() geo.Point { return r.pos() }
+
+// SetReceiver installs the frame delivery callback.
+func (r *Radio) SetReceiver(fn func(dot11.Frame, RxInfo)) { r.recv = fn }
+
+// Close detaches the radio from the medium. Frames in flight to it are
+// dropped.
+func (r *Radio) Close() {
+	r.closed = true
+	delete(r.m.radios, r)
+	r.m.unindex(r, r.channel)
+}
+
+// SetChannel retunes the radio, costing the hardware-reset latency during
+// which the radio neither sends nor receives. done, if non-nil, runs when
+// the switch completes. Switching to the current channel is free and done
+// runs immediately.
+func (r *Radio) SetChannel(ch dot11.Channel, done func()) {
+	if !ch.Valid() {
+		panic(fmt.Sprintf("phy: invalid channel %d", ch))
+	}
+	if ch == r.channel && !r.switching {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	r.switching = true
+	r.m.eng.Schedule(r.m.params.SwitchLatency, func() {
+		if r.closed {
+			return
+		}
+		r.m.unindex(r, r.channel)
+		r.channel = ch
+		r.m.index(r, ch)
+		r.switching = false
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// SwitchLatency returns the hardware reset cost of a channel change.
+func (r *Radio) SwitchLatency() sim.Time { return r.m.params.SwitchLatency }
+
+// TxAirtime returns the cumulative on-air transmit time of this radio
+// (including retries), for energy accounting.
+func (r *Radio) TxAirtime() sim.Time { return r.txAirtime }
+
+// NextSeq returns a fresh MAC sequence number.
+func (r *Radio) NextSeq() uint16 {
+	r.seq++
+	return r.seq
+}
+
+// Send transmits a frame on the radio's current channel. Broadcast frames
+// (Addr1 == Broadcast) are delivered lossily to every in-range radio on the
+// channel and status reports true once the frame has been on air. Unicast
+// frames are retried up to the MAC retry limit; status reports whether the
+// receiver acknowledged. status may be nil.
+//
+// The transmission serializes with other traffic on the channel: it starts
+// when the channel is free.
+func (r *Radio) Send(f dot11.Frame, status func(ok bool)) {
+	if r.closed || r.switching {
+		if status != nil {
+			r.m.eng.Schedule(0, func() { status(false) })
+		}
+		return
+	}
+	f.Addr2 = r.mac
+	wire := f.Bytes()
+	r.m.transmit(r, r.channel, f, wire, 0, status)
+}
+
+// transmit performs one on-air attempt (attempt is the retry index). The
+// rate is re-evaluated per attempt so ARF fallback applies to retries.
+func (m *Medium) transmit(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byte, attempt int, status func(ok bool)) {
+	now := m.eng.Now()
+	start := now
+	if bu := m.busyUntil[ch]; bu > start {
+		start = bu
+	}
+	var rate float64
+	if f.Addr1.IsBroadcast() {
+		rate = m.params.broadcastRate()
+	} else {
+		rate = src.rateFor(f.Addr1)
+	}
+	// Small random backoff decorrelates contending senders.
+	start += m.rng.UniformDuration(0, 100*1000) // 0-100µs
+	air := m.airtimeAt(len(wire), rate)
+	m.busyUntil[ch] = start + air
+	src.txAirtime += air
+	m.stats.FramesSent++
+	m.stats.AirtimeByChannel[ch] += air
+	end := start + air - now
+	m.eng.Schedule(end, func() {
+		m.deliver(src, ch, f, wire, rate, attempt, status)
+	})
+}
+
+func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byte, rate float64, attempt int, status func(ok bool)) {
+	if m.tap != nil {
+		m.tap(ch, wire, m.eng.Now())
+	}
+	if src.closed {
+		return
+	}
+	srcPos := src.pos()
+	if f.Addr1.IsBroadcast() {
+		m.stats.Broadcasts++
+		for rx := range m.byChannel[ch] {
+			if rx == src || rx.closed || rx.switching || rx.recv == nil {
+				continue
+			}
+			d := rx.pos().Distance(srcPos)
+			if d > m.params.Range {
+				continue
+			}
+			if m.rng.Bool(m.params.lossAt(d, rate)) {
+				m.stats.FramesLost++
+				continue
+			}
+			m.deliverTo(rx, wire, ch, d)
+		}
+		if status != nil {
+			status(true)
+		}
+		return
+	}
+
+	// Unicast: locate the addressed radio on this channel.
+	var target *Radio
+	for rx := range m.byChannel[ch] {
+		if rx.mac == f.Addr1 && !rx.closed && !rx.switching {
+			target = rx
+			break
+		}
+	}
+	ok := false
+	if target != nil {
+		d := target.pos().Distance(srcPos)
+		if d <= m.params.Range {
+			// Success requires the data frame and the returning ACK to
+			// both survive, hence the squared survival probability.
+			p := 1 - m.params.lossAt(d, rate)
+			ok = m.rng.Bool(p * p)
+			if ok && target.recv != nil {
+				m.deliverTo(target, wire, ch, d)
+			}
+		}
+	}
+	src.arfReport(f.Addr1, ok)
+	if ok {
+		if status != nil {
+			status(true)
+		}
+		return
+	}
+	m.stats.FramesLost++
+	if attempt < m.params.RetryLimit && !src.closed && !src.switching && src.channel == ch {
+		retry := f
+		retry.Retry = true
+		m.transmit(src, ch, retry, retryWire(retry, wire), attempt+1, status)
+		return
+	}
+	m.stats.UnicastFailed++
+	if status != nil {
+		status(false)
+	}
+}
+
+// retryWire re-serializes only when the retry flag changes the wire image.
+func retryWire(f dot11.Frame, prev []byte) []byte {
+	if f.Retry {
+		return f.Bytes()
+	}
+	return prev
+}
+
+func (m *Medium) deliverTo(rx *Radio, wire []byte, ch dot11.Channel, dist float64) {
+	decoded, err := dot11.Decode(wire)
+	if err != nil {
+		// The codec produced the bytes, so this indicates a bug.
+		panic(fmt.Sprintf("phy: frame failed to decode on delivery: %v", err))
+	}
+	m.stats.FramesDelivered++
+	rx.recv(decoded, RxInfo{Channel: ch, RSSI: rssiAt(dist), At: m.eng.Now()})
+}

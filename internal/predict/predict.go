@@ -1,0 +1,164 @@
+// Package predict implements encounter-history prediction, the
+// related-work thread (BreadCrumbs, Deshpande et al.) the paper points at
+// for improving AP selection: a position-indexed database of past join
+// outcomes that lets a commuting client choose, for each stretch of road,
+// the channel that historically carried its best APs — before it even
+// hears their beacons.
+//
+// The history is a sparse grid of square cells. Each observation deposits
+// a score (the LMM's join-outcome value) for the AP's channel into the
+// client's current cell; queries aggregate a cell and its neighbours with
+// exponential decay, so stale knowledge fades as the radio environment
+// changes.
+package predict
+
+import (
+	"math"
+	"sort"
+
+	"spider/internal/dot11"
+	"spider/internal/geo"
+)
+
+// Config tunes the history grid.
+type Config struct {
+	// CellSize is the grid granularity in metres (default 100, matching
+	// the radio range).
+	CellSize float64
+	// Decay is the multiplicative factor applied to a cell-channel score
+	// when a new observation for the same pair arrives (recency bias).
+	Decay float64
+	// MinScore is the aggregate score a channel needs before BestChannel
+	// will recommend it.
+	MinScore float64
+}
+
+// DefaultConfig returns the deployed settings.
+func DefaultConfig() Config {
+	return Config{CellSize: 100, Decay: 0.7, MinScore: 0.5}
+}
+
+// Observation is one join outcome at a position.
+type Observation struct {
+	Pos     geo.Point
+	Channel dot11.Channel
+	BSSID   dot11.MACAddr
+	// Score is the join outcome value (0 for failed association up to 1
+	// for full end-to-end connectivity), negative to penalize.
+	Score float64
+}
+
+type cellKey struct{ x, y int32 }
+
+type cellStats struct {
+	byChannel map[dot11.Channel]float64
+	visits    int
+}
+
+// History is the position-indexed join-outcome database.
+type History struct {
+	cfg   Config
+	cells map[cellKey]*cellStats
+
+	// Observations counts records ever made.
+	Observations int
+}
+
+// New creates an empty history.
+func New(cfg Config) *History {
+	d := DefaultConfig()
+	if cfg.CellSize <= 0 {
+		cfg.CellSize = d.CellSize
+	}
+	if cfg.Decay <= 0 || cfg.Decay > 1 {
+		cfg.Decay = d.Decay
+	}
+	if cfg.MinScore <= 0 {
+		cfg.MinScore = d.MinScore
+	}
+	return &History{cfg: cfg, cells: make(map[cellKey]*cellStats)}
+}
+
+func (h *History) key(p geo.Point) cellKey {
+	return cellKey{
+		x: int32(math.Floor(p.X / h.cfg.CellSize)),
+		y: int32(math.Floor(p.Y / h.cfg.CellSize)),
+	}
+}
+
+// Record deposits an observation into the cell containing its position.
+func (h *History) Record(obs Observation) {
+	if !obs.Channel.Valid() {
+		return
+	}
+	h.Observations++
+	k := h.key(obs.Pos)
+	c := h.cells[k]
+	if c == nil {
+		c = &cellStats{byChannel: make(map[dot11.Channel]float64)}
+		h.cells[k] = c
+	}
+	c.visits++
+	prev := c.byChannel[obs.Channel]
+	c.byChannel[obs.Channel] = prev*h.cfg.Decay + obs.Score
+}
+
+// Cells returns the number of populated grid cells.
+func (h *History) Cells() int { return len(h.cells) }
+
+// scoreAround aggregates a channel's score over the cell containing p and
+// its 8 neighbours (APs straddle cell boundaries).
+func (h *History) scoreAround(p geo.Point, ch dot11.Channel) float64 {
+	k := h.key(p)
+	total := 0.0
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			if c := h.cells[cellKey{k.x + dx, k.y + dy}]; c != nil {
+				total += c.byChannel[ch]
+			}
+		}
+	}
+	return total
+}
+
+// ExpectedScore reports the aggregate historical score for a channel near
+// a position.
+func (h *History) ExpectedScore(p geo.Point, ch dot11.Channel) float64 {
+	return h.scoreAround(p, ch)
+}
+
+// BestChannel recommends the historically best channel near p, or false if
+// no channel clears MinScore (unexplored territory).
+func (h *History) BestChannel(p geo.Point) (dot11.Channel, bool) {
+	scores := make(map[dot11.Channel]float64)
+	k := h.key(p)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			if c := h.cells[cellKey{k.x + dx, k.y + dy}]; c != nil {
+				for ch, s := range c.byChannel {
+					scores[ch] += s
+				}
+			}
+		}
+	}
+	var channels []dot11.Channel
+	for ch := range scores {
+		channels = append(channels, ch)
+	}
+	sort.Slice(channels, func(i, j int) bool {
+		if scores[channels[i]] != scores[channels[j]] {
+			return scores[channels[i]] > scores[channels[j]]
+		}
+		return channels[i] < channels[j]
+	})
+	if len(channels) == 0 || scores[channels[0]] < h.cfg.MinScore {
+		return 0, false
+	}
+	return channels[0], true
+}
+
+// Explored reports whether the cell containing p has any recorded visits.
+func (h *History) Explored(p geo.Point) bool {
+	c := h.cells[h.key(p)]
+	return c != nil && c.visits > 0
+}

@@ -1,0 +1,197 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other substrate in this repository: a virtual clock, a cancellable event
+// scheduler with deterministic ordering, and seeded random-number streams.
+//
+// All simulated components (radios, APs, DHCP servers, TCP endpoints,
+// drivers) schedule callbacks on a shared *Engine. Events at equal virtual
+// times fire in scheduling order, so a run is a pure function of its seed
+// and parameters.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an absolute virtual time measured from the start of the run.
+type Time = time.Duration
+
+// Infinity is a time later than any event a run can schedule.
+const Infinity Time = math.MaxInt64
+
+// Event is a handle to a scheduled callback. It may be cancelled until it
+// has fired.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once fired or cancelled
+	cancel bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; simulations are deterministic and single-goroutine by
+// design.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay. A negative delay is treated as zero: the
+// event fires at the current time, after events already scheduled for that
+// time.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. Cancelling a fired or already-cancelled
+// event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.cancel = true
+	return true
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until no events remain or the clock would pass until.
+// The clock is left at min(until, time of last event) — or exactly until if
+// the queue drains earlier, so that repeated Run calls advance monotonically.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.fired++
+		fn := next.fn
+		next.fn = nil
+		fn()
+	}
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes every remaining event. It panics after a very large number
+// of events as a runaway-loop backstop.
+func (e *Engine) RunAll() {
+	const backstop = 1 << 34
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*Event)
+		e.now = next.at
+		e.fired++
+		fn := next.fn
+		next.fn = nil
+		fn()
+		if e.fired > backstop {
+			panic(fmt.Sprintf("sim: runaway event loop: %d events fired", e.fired))
+		}
+	}
+}
+
+// Ticker invokes fn every period until cancelled via the returned stop
+// function. The first tick fires one period from now.
+func (e *Engine) Ticker(period Time, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: Ticker with non-positive period")
+	}
+	var ev *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = e.Schedule(period, tick)
+		}
+	}
+	ev = e.Schedule(period, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("events at equal time fired out of order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(-time.Second, func() { fired = true })
+	e.RunAll()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved backwards: %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("Cancel returned true for already-cancelled event")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.Run(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("clock = %v, want 2s", e.Now())
+	}
+	e.Run(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after second run, want 3", len(fired))
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("clock = %v, want 10s (advance to until)", e.Now())
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 5 {
+			e.Schedule(time.Millisecond, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.RunAll()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if e.Now() != 4*time.Millisecond {
+		t.Fatalf("clock = %v, want 4ms", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (Stop should halt the loop)", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var stop func()
+	stop = e.Ticker(100*time.Millisecond, func() {
+		ticks++
+		if ticks == 5 {
+			stop()
+		}
+	})
+	e.Run(10 * time.Second)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestTickerPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ticker(0) did not panic")
+		}
+	}()
+	NewEngine().Ticker(0, func() {})
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	NewEngine().Schedule(0, nil)
+}
+
+// Property: for any set of delays, events fire in non-decreasing time order
+// and the final clock equals the max delay.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			dd := Time(d) * time.Millisecond
+			if dd > max {
+				max = dd
+			}
+			e.Schedule(dd, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RNG streams with distinct labels are decorrelated and
+// deterministic for a fixed seed.
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42).Stream("phy")
+	b := NewRNG(42).Stream("phy")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed+label produced different streams")
+		}
+	}
+	c := NewRNG(42).Stream("phy")
+	d := NewRNG(42).Stream("dhcp")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("streams with different labels coincide on %d/100 draws", same)
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 50; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGUniformDuration(t *testing.T) {
+	g := NewRNG(7)
+	lo, hi := 500*time.Millisecond, 5*time.Second
+	for i := 0; i < 1000; i++ {
+		v := g.UniformDuration(lo, hi)
+		if v < lo || v >= hi {
+			t.Fatalf("UniformDuration out of range: %v", v)
+		}
+	}
+	if g.UniformDuration(hi, lo) != hi {
+		t.Fatal("degenerate range should return lo")
+	}
+}
+
+func TestRunAllDrainsQueue(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() { fired++ })
+	}
+	e.RunAll()
+	if fired != 100 || e.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d", fired, e.Pending())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(0, func() {})
+	e.Schedule(0, func() {})
+	e.RunAll()
+	if e.Fired() != 2 {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(5*time.Second, func() {})
+	if ev.At() != 5*time.Second {
+		t.Fatalf("At = %v", ev.At())
+	}
+	if ev.Cancelled() {
+		t.Fatal("fresh event cancelled")
+	}
+}
+
+func TestCancelDuringTick(t *testing.T) {
+	// Cancelling a later event from within an earlier one must work.
+	e := NewEngine()
+	var late *Event
+	lateFired := false
+	late = e.Schedule(2*time.Second, func() { lateFired = true })
+	e.Schedule(time.Second, func() { e.Cancel(late) })
+	e.RunAll()
+	if lateFired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRNGPermAndIntn(t *testing.T) {
+	g := NewRNG(3)
+	p := g.Perm(10)
+	seen := map[int]bool{}
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad perm %v", p)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 100; i++ {
+		if v := g.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestExpDuration(t *testing.T) {
+	g := NewRNG(9)
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += g.ExpDuration(time.Second)
+	}
+	mean := total / n
+	if mean < 900*time.Millisecond || mean > 1100*time.Millisecond {
+		t.Fatalf("exp mean = %v, want ≈1s", mean)
+	}
+}

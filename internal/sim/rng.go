@@ -1,0 +1,77 @@
+package sim
+
+import "math/rand"
+
+// RNG wraps a seeded deterministic random source. Components derive their
+// own streams so that adding events to one component does not perturb the
+// random sequence seen by another.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Stream derives an independent child generator. The derivation mixes the
+// label so distinct labels yield decorrelated streams.
+func (g *RNG) Stream(label string) *RNG {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return NewRNG(h ^ g.r.Int63())
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Perm returns a pseudo-random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// NormFloat64 returns a standard normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// UniformDuration returns a uniform duration in [lo, hi).
+func (g *RNG) UniformDuration(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(g.r.Int63n(int64(hi-lo)))
+}
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean.
+func (g *RNG) ExpDuration(mean Time) Time {
+	return Time(float64(mean) * g.r.ExpFloat64())
+}

@@ -1,0 +1,232 @@
+// Package stats provides the summary statistics, empirical CDFs, and
+// connectivity time-series used to report every figure and table in the
+// evaluation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spider/internal/sim"
+)
+
+// Summary holds the usual scalar statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(varsum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f med=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	xs []float64 // sorted
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) CDF {
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	return CDF{xs: xs}
+}
+
+// N returns the sample count.
+func (c CDF) N() int { return len(c.xs) }
+
+// P returns the fraction of samples ≤ x.
+func (c CDF) P(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	return float64(sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))) / float64(len(c.xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func (c CDF) Quantile(q float64) float64 {
+	return quantileSorted(c.xs, q)
+}
+
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(xs) {
+		return xs[len(xs)-1]
+	}
+	return xs[lo]*(1-frac) + xs[lo+1]*frac
+}
+
+// Point is one (x, cumulative fraction) pair of a rendered CDF.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Points renders the CDF at n evenly spaced x positions across the sample
+// range, suitable for printing a figure's series.
+func (c CDF) Points(n int) []Point {
+	if len(c.xs) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := c.xs[0], c.xs[len(c.xs)-1]
+	if n == 1 || hi == lo {
+		return []Point{{X: hi, Y: 1}}
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = Point{X: x, Y: c.P(x)}
+	}
+	return out
+}
+
+// TimeSeries accumulates a value (typically bytes delivered) into fixed
+// time buckets; connectivity, disruption and instantaneous-bandwidth
+// metrics all derive from it.
+type TimeSeries struct {
+	bucket  sim.Time
+	buckets map[int64]float64
+	maxIdx  int64
+	any     bool
+}
+
+// NewTimeSeries creates a series with the given bucket width (the paper's
+// metrics use 1 s).
+func NewTimeSeries(bucket sim.Time) *TimeSeries {
+	if bucket <= 0 {
+		panic("stats: NewTimeSeries needs positive bucket")
+	}
+	return &TimeSeries{bucket: bucket, buckets: make(map[int64]float64)}
+}
+
+// Add accumulates v at time at.
+func (ts *TimeSeries) Add(at sim.Time, v float64) {
+	idx := int64(at / ts.bucket)
+	ts.buckets[idx] += v
+	if idx > ts.maxIdx {
+		ts.maxIdx = idx
+	}
+	ts.any = true
+}
+
+// Total returns the sum over all buckets.
+func (ts *TimeSeries) Total() float64 {
+	t := 0.0
+	for _, v := range ts.buckets {
+		t += v
+	}
+	return t
+}
+
+// ConnectivityFraction returns the fraction of buckets in [0, total) with a
+// positive value — the paper's "average connectivity".
+func (ts *TimeSeries) ConnectivityFraction(total sim.Time) float64 {
+	n := int64(total / ts.bucket)
+	if n <= 0 {
+		return 0
+	}
+	conn := int64(0)
+	for i := int64(0); i < n; i++ {
+		if ts.buckets[i] > 0 {
+			conn++
+		}
+	}
+	return float64(conn) / float64(n)
+}
+
+// runs returns the lengths (in seconds) of maximal runs of buckets matching
+// nonzero within [0, total).
+func (ts *TimeSeries) runs(total sim.Time, nonzero bool) []float64 {
+	n := int64(total / ts.bucket)
+	var out []float64
+	runLen := int64(0)
+	for i := int64(0); i < n; i++ {
+		match := (ts.buckets[i] > 0) == nonzero
+		if match {
+			runLen++
+			continue
+		}
+		if runLen > 0 {
+			out = append(out, float64(runLen)*ts.bucket.Seconds())
+			runLen = 0
+		}
+	}
+	if runLen > 0 {
+		out = append(out, float64(runLen)*ts.bucket.Seconds())
+	}
+	return out
+}
+
+// ConnectionDurations returns contiguous connected periods in seconds
+// (Figure 11).
+func (ts *TimeSeries) ConnectionDurations(total sim.Time) []float64 {
+	return ts.runs(total, true)
+}
+
+// DisruptionDurations returns contiguous zero periods in seconds
+// (Figure 12).
+func (ts *TimeSeries) DisruptionDurations(total sim.Time) []float64 {
+	return ts.runs(total, false)
+}
+
+// NonzeroRates returns the per-bucket rate (value per second) for every
+// bucket with data — the paper's "instantaneous bandwidth" (Figure 13).
+func (ts *TimeSeries) NonzeroRates(total sim.Time) []float64 {
+	n := int64(total / ts.bucket)
+	var out []float64
+	perSec := ts.bucket.Seconds()
+	for i := int64(0); i < n; i++ {
+		if v := ts.buckets[i]; v > 0 {
+			out = append(out, v/perSec)
+		}
+	}
+	return out
+}

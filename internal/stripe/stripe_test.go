@@ -1,0 +1,265 @@
+package stripe
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spider/internal/sim"
+)
+
+// fakeNet simulates paths with fixed per-byte latency and optional failure.
+type fakeNet struct {
+	eng   *sim.Engine
+	rate  map[int]float64 // bytes per second per path
+	fail  map[int]bool    // path fails every fetch
+	calls int
+}
+
+func (f *fakeNet) fetch(pathID int, size int64, done func(bool)) {
+	f.calls++
+	if f.fail[pathID] {
+		f.eng.Schedule(10*time.Millisecond, func() { done(false) })
+		return
+	}
+	rate := f.rate[pathID]
+	if rate <= 0 {
+		rate = 100000
+	}
+	d := time.Duration(float64(size) / rate * float64(time.Second))
+	f.eng.Schedule(d, func() { done(true) })
+}
+
+func newRig(total int64, cfg Config) (*sim.Engine, *fakeNet, *Controller) {
+	eng := sim.NewEngine()
+	net := &fakeNet{eng: eng, rate: map[int]float64{}, fail: map[int]bool{}}
+	c := New(eng, total, cfg, net.fetch)
+	return eng, net, c
+}
+
+func TestBlockPartition(t *testing.T) {
+	_, _, c := newRig(1_000_000, Config{BlockSize: 300_000})
+	if c.Blocks() != 4 {
+		t.Fatalf("blocks = %d, want 4 (3×300k + 100k)", c.Blocks())
+	}
+	_, _, c2 := newRig(300_000, Config{BlockSize: 300_000})
+	if c2.Blocks() != 1 {
+		t.Fatalf("blocks = %d, want 1", c2.Blocks())
+	}
+}
+
+func TestSinglePathCompletes(t *testing.T) {
+	eng, _, c := newRig(1_000_000, Config{BlockSize: 100_000})
+	completed := false
+	c.OnComplete = func() { completed = true }
+	c.AddPath(1)
+	eng.Run(time.Minute)
+	if !completed || !c.Done() {
+		t.Fatalf("done=%v completed=%v", c.Done(), completed)
+	}
+	fetched, failed, ok := c.PathStats(1)
+	if !ok || fetched != 1_000_000 || failed != 0 {
+		t.Fatalf("path stats = %d/%d/%v", fetched, failed, ok)
+	}
+}
+
+func TestTwoPathsShareWork(t *testing.T) {
+	eng, net, c := newRig(2_000_000, Config{BlockSize: 100_000})
+	net.rate[1] = 1_000_000
+	net.rate[2] = 1_000_000
+	c.AddPath(1)
+	c.AddPath(2)
+	eng.Run(time.Minute)
+	if !c.Done() {
+		t.Fatal("not done")
+	}
+	f1, _, _ := c.PathStats(1)
+	f2, _, _ := c.PathStats(2)
+	if f1 == 0 || f2 == 0 {
+		t.Fatalf("one path idle: %d/%d", f1, f2)
+	}
+	// Equal rates: roughly equal shares.
+	if f1 < 600_000 || f2 < 600_000 {
+		t.Fatalf("imbalanced shares: %d/%d", f1, f2)
+	}
+}
+
+func TestFasterPathFetchesMore(t *testing.T) {
+	eng, net, c := newRig(4_000_000, Config{BlockSize: 100_000, DuplicateTail: false})
+	net.rate[1] = 2_000_000
+	net.rate[2] = 500_000
+	c.AddPath(1)
+	c.AddPath(2)
+	eng.Run(time.Minute)
+	f1, _, _ := c.PathStats(1)
+	f2, _, _ := c.PathStats(2)
+	if f1 <= f2*2 {
+		t.Fatalf("4×-faster path fetched %d vs %d", f1, f2)
+	}
+}
+
+func TestStripingBeatsBestSinglePath(t *testing.T) {
+	run := func(paths map[int]float64) sim.Time {
+		eng := sim.NewEngine()
+		net := &fakeNet{eng: eng, rate: paths, fail: map[int]bool{}}
+		c := New(eng, 8_000_000, Config{BlockSize: 200_000}, net.fetch)
+		var doneAt sim.Time = -1
+		c.OnComplete = func() { doneAt = eng.Now() }
+		for id := range paths {
+			c.AddPath(id)
+		}
+		eng.Run(10 * time.Minute)
+		return doneAt
+	}
+	single := run(map[int]float64{1: 1_000_000})
+	striped := run(map[int]float64{1: 1_000_000, 2: 800_000, 3: 500_000})
+	if striped <= 0 || single <= 0 {
+		t.Fatal("runs incomplete")
+	}
+	if float64(striped) > 0.6*float64(single) {
+		t.Fatalf("striping %v not much faster than single %v", striped, single)
+	}
+}
+
+func TestPathDeathReassignsBlock(t *testing.T) {
+	eng, net, c := newRig(500_000, Config{BlockSize: 500_000})
+	net.rate[1] = 100_000 // 5 s fetch
+	net.rate[2] = 1_000_000
+	c.AddPath(1)
+	eng.Run(time.Second)
+	if c.Done() {
+		t.Fatal("done too early")
+	}
+	// Path 1 dies mid-block; path 2 arrives and must take it over.
+	c.RemovePath(1)
+	c.AddPath(2)
+	eng.Run(eng.Now() + 2*time.Second)
+	if !c.Done() {
+		t.Fatal("block not reassigned after path death")
+	}
+}
+
+func TestFailingPathDoesNotStall(t *testing.T) {
+	eng, net, c := newRig(1_000_000, Config{BlockSize: 250_000})
+	net.fail[1] = true
+	net.rate[2] = 1_000_000
+	c.AddPath(1)
+	c.AddPath(2)
+	eng.Run(time.Minute)
+	if !c.Done() {
+		t.Fatal("transfer stalled behind a failing path")
+	}
+	if c.FetchesFailed == 0 {
+		t.Fatal("failures not counted")
+	}
+	_, failed, _ := c.PathStats(1)
+	if failed == 0 {
+		t.Fatal("failing path shows no failures")
+	}
+}
+
+func TestDuplicateTailMitigatesStraggler(t *testing.T) {
+	finish := func(dup bool) sim.Time {
+		eng := sim.NewEngine()
+		net := &fakeNet{eng: eng, rate: map[int]float64{1: 2_000_000, 2: 50_000}, fail: map[int]bool{}}
+		c := New(eng, 2_000_000, Config{BlockSize: 500_000, DuplicateTail: dup}, net.fetch)
+		var doneAt sim.Time = -1
+		c.OnComplete = func() { doneAt = eng.Now() }
+		// The slow path grabs a block early and crawls.
+		c.AddPath(2)
+		eng.Run(10 * time.Millisecond)
+		c.AddPath(1)
+		eng.Run(5 * time.Minute)
+		return doneAt
+	}
+	with := finish(true)
+	without := finish(false)
+	if with <= 0 || without <= 0 {
+		t.Fatal("incomplete runs")
+	}
+	if with >= without {
+		t.Fatalf("tail duplication did not help: %v >= %v", with, without)
+	}
+}
+
+func TestDuplicateCompletionCountedOnce(t *testing.T) {
+	eng, net, c := newRig(500_000, Config{BlockSize: 500_000, DuplicateTail: true})
+	net.rate[1] = 500_000
+	net.rate[2] = 450_000
+	c.AddPath(1)
+	c.AddPath(2) // duplicates the only block
+	completions := 0
+	c.OnComplete = func() { completions++ }
+	eng.Run(time.Minute)
+	if done, total := c.Progress(); done != total {
+		t.Fatalf("progress %d/%d", done, total)
+	}
+	if completions != 1 {
+		t.Fatalf("OnComplete fired %d times", completions)
+	}
+	if c.DuplicateFetch == 0 {
+		t.Fatal("duplicate fetch not recorded")
+	}
+}
+
+func TestRemoveUnknownPathIsNoop(t *testing.T) {
+	_, _, c := newRig(100, Config{})
+	c.RemovePath(99) // must not panic
+}
+
+func TestAddDuplicatePathPanics(t *testing.T) {
+	_, _, c := newRig(100, Config{})
+	c.AddPath(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddPath did not panic")
+		}
+	}()
+	c.AddPath(1)
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	for _, fn := range []func(){
+		func() { New(eng, 0, Config{}, func(int, int64, func(bool)) {}) },
+		func() { New(eng, 100, Config{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid New did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: for any object size, block sizes partition the object exactly
+// and completion delivers every block once.
+func TestPropertyPartitionAndCompletion(t *testing.T) {
+	f := func(totalRaw uint32, blockRaw uint16, nPaths uint8) bool {
+		total := int64(totalRaw%5_000_000) + 1
+		blockSize := int64(blockRaw)%50_000 + 1000
+		paths := int(nPaths%4) + 1
+		eng := sim.NewEngine()
+		net := &fakeNet{eng: eng, rate: map[int]float64{}, fail: map[int]bool{}}
+		c := New(eng, total, Config{BlockSize: blockSize}, net.fetch)
+		var sum int64
+		for _, b := range c.blocks {
+			sum += b.size
+		}
+		if sum != total {
+			return false
+		}
+		for i := 0; i < paths; i++ {
+			net.rate[i] = 1_000_000
+			c.AddPath(i)
+		}
+		eng.Run(time.Hour)
+		return c.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

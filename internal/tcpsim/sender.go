@@ -1,0 +1,339 @@
+package tcpsim
+
+import (
+	"spider/internal/sim"
+)
+
+// Config tunes the TCP endpoints.
+type Config struct {
+	// MSS is the maximum segment payload in bytes.
+	MSS int
+	// InitCwnd is the initial congestion window in segments.
+	InitCwnd float64
+	// InitRTO is the retransmission timeout before any RTT sample.
+	InitRTO sim.Time
+	// MinRTO and MaxRTO clamp the computed timeout.
+	MinRTO sim.Time
+	MaxRTO sim.Time
+}
+
+// DefaultConfig returns values matching a mid-2000s Linux stack, which the
+// paper's testbed ran.
+func DefaultConfig() Config {
+	return Config{
+		MSS:      1460,
+		InitCwnd: 2,
+		InitRTO:  1000 * 1000 * 1000, // 1 s
+		MinRTO:   200 * 1000 * 1000,  // 200 ms
+		MaxRTO:   60 * 1000 * 1000 * 1000,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MSS <= 0 {
+		c.MSS = d.MSS
+	}
+	if c.InitCwnd <= 0 {
+		c.InitCwnd = d.InitCwnd
+	}
+	if c.InitRTO <= 0 {
+		c.InitRTO = d.InitRTO
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = d.MaxRTO
+	}
+	return c
+}
+
+type senderState uint8
+
+const (
+	senderClosed senderState = iota
+	senderSynSent
+	senderEstablished
+	senderDone
+)
+
+// Sender is the data-sending half of a connection (the wired server in the
+// paper's experiments). It implements Reno congestion control.
+type Sender struct {
+	eng  *sim.Engine
+	cfg  Config
+	out  func(Segment)
+	done func()
+
+	state  senderState
+	total  int64 // payload bytes to send; <0 means unbounded
+	sndUna uint32
+	sndNxt uint32
+
+	cwnd     float64 // segments
+	ssthresh float64
+	dupAcks  int
+
+	srtt, rttvar, rto sim.Time
+	hasSample         bool
+	sendTimes         map[uint32]sim.Time // end-seq -> transmit time (Karn-safe)
+
+	rtoTimer *sim.Event
+	stopped  bool
+
+	// Stats for experiments.
+	Timeouts        int
+	FastRetransmits int
+	SegmentsSent    int
+	BytesAcked      int64
+}
+
+// NewSender creates a sender. out transmits a segment toward the receiver;
+// done (optional) fires once a finite flow is fully acknowledged.
+func NewSender(eng *sim.Engine, cfg Config, out func(Segment), done func()) *Sender {
+	if out == nil {
+		panic("tcpsim: NewSender with nil out")
+	}
+	cfg = cfg.withDefaults()
+	return &Sender{
+		eng:       eng,
+		cfg:       cfg,
+		out:       out,
+		done:      done,
+		cwnd:      cfg.InitCwnd,
+		ssthresh:  64, // segments
+		rto:       cfg.InitRTO,
+		sendTimes: make(map[uint32]sim.Time),
+	}
+}
+
+// Start opens the connection and begins pushing totalBytes of payload
+// (negative for an unbounded bulk flow).
+func (s *Sender) Start(totalBytes int64) {
+	if s.state != senderClosed {
+		return
+	}
+	s.total = totalBytes
+	s.state = senderSynSent
+	s.out(Segment{Flags: FlagSYN, Seq: 0})
+	s.SegmentsSent++
+	s.armRTO()
+}
+
+// Stop abandons the connection; no further segments are sent.
+func (s *Sender) Stop() {
+	s.stopped = true
+	s.cancelRTO()
+}
+
+// Established reports whether the handshake has completed.
+func (s *Sender) Established() bool { return s.state == senderEstablished }
+
+// Done reports whether a finite flow has been fully acknowledged.
+func (s *Sender) Done() bool { return s.state == senderDone }
+
+// Cwnd returns the congestion window in segments (for tests/metrics).
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// RTO returns the current retransmission timeout.
+func (s *Sender) RTO() sim.Time { return s.rto }
+
+func (s *Sender) cancelRTO() {
+	if s.rtoTimer != nil {
+		s.eng.Cancel(s.rtoTimer)
+		s.rtoTimer = nil
+	}
+}
+
+func (s *Sender) armRTO() {
+	s.cancelRTO()
+	s.rtoTimer = s.eng.Schedule(s.rto, s.onRTO)
+}
+
+func (s *Sender) flight() uint32 { return s.sndNxt - s.sndUna }
+
+// remaining returns payload bytes not yet assigned a sequence number.
+func (s *Sender) remaining() int64 {
+	if s.total < 0 {
+		return 1 << 40
+	}
+	// Payload occupies sequence space [1, 1+total).
+	sent := int64(s.sndNxt) - 1
+	return s.total - sent
+}
+
+func (s *Sender) onRTO() {
+	s.rtoTimer = nil
+	if s.stopped || s.state == senderDone || s.state == senderClosed {
+		return
+	}
+	s.Timeouts++
+	flightSeg := float64(s.flight()) / float64(s.cfg.MSS)
+	s.ssthresh = maxf(flightSeg/2, 2)
+	s.cwnd = 1
+	s.dupAcks = 0
+	clear(s.sendTimes) // Karn: no samples across retransmits
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	switch s.state {
+	case senderSynSent:
+		s.out(Segment{Flags: FlagSYN, Seq: 0})
+		s.SegmentsSent++
+	case senderEstablished:
+		// Go-back-N: rewind and retransmit one segment.
+		s.sndNxt = s.sndUna
+		s.sendData()
+	}
+	s.armRTO()
+}
+
+// sendData pushes segments while the window allows.
+func (s *Sender) sendData() {
+	if s.state != senderEstablished || s.stopped {
+		return
+	}
+	cwndBytes := uint32(s.cwnd * float64(s.cfg.MSS))
+	for s.flight() < cwndBytes {
+		rem := s.remaining()
+		if rem <= 0 {
+			break
+		}
+		n := s.cfg.MSS
+		if int64(n) > rem {
+			n = int(rem)
+		}
+		if s.flight()+uint32(n) > cwndBytes && s.flight() > 0 {
+			break
+		}
+		seg := Segment{Flags: FlagACK, Seq: s.sndNxt, Payload: n}
+		s.sendTimes[s.sndNxt+uint32(n)] = s.eng.Now()
+		s.sndNxt += uint32(n)
+		s.out(seg)
+		s.SegmentsSent++
+	}
+	if s.flight() > 0 && s.rtoTimer == nil {
+		s.armRTO()
+	}
+}
+
+// sampleRTT folds every newly acknowledged segment's round-trip into the
+// estimator, like a timestamp-option stack. Per-segment sampling matters
+// for channel-sliced schedules: ACKs for segments buffered across an
+// absence carry large samples that keep the RTO above the absence length.
+func (s *Sender) sampleRTT(ack uint32) {
+	for end, at := range s.sendTimes {
+		if end > ack {
+			continue
+		}
+		delete(s.sendTimes, end)
+		s.addSample(s.eng.Now() - at)
+	}
+}
+
+func (s *Sender) addSample(sample sim.Time) {
+	if !s.hasSample {
+		s.hasSample = true
+		s.srtt = sample
+		s.rttvar = sample / 2
+	} else {
+		diff := s.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+}
+
+// Deliver feeds an ACK from the receiver into the sender.
+func (s *Sender) Deliver(seg Segment) {
+	if s.stopped || seg.Flags&FlagACK == 0 {
+		return
+	}
+	switch s.state {
+	case senderSynSent:
+		if seg.Ack >= 1 {
+			s.state = senderEstablished
+			s.sndUna, s.sndNxt = 1, 1
+			s.rto = s.cfg.InitRTO
+			s.cancelRTO()
+			s.sendData()
+		}
+	case senderEstablished:
+		if seg.Ack > s.sndUna {
+			acked := seg.Ack - s.sndUna
+			s.BytesAcked += int64(acked)
+			s.sndUna = seg.Ack
+			if s.sndNxt < s.sndUna {
+				// A late cumulative ACK can pass a go-back-N rewind point;
+				// never leave sndNxt behind sndUna or flight() underflows.
+				s.sndNxt = s.sndUna
+			}
+			s.dupAcks = 0
+			s.sampleRTT(seg.Ack)
+			// Window growth: slow start below ssthresh, else AIMD.
+			if s.cwnd < s.ssthresh {
+				s.cwnd += minf(1, float64(acked)/float64(s.cfg.MSS))
+			} else {
+				s.cwnd += 1 / s.cwnd
+			}
+			if s.total >= 0 && int64(s.sndUna) >= s.total+1 {
+				s.state = senderDone
+				s.cancelRTO()
+				if s.done != nil {
+					s.done()
+				}
+				return
+			}
+			if s.flight() == 0 {
+				s.cancelRTO()
+			} else {
+				s.armRTO()
+			}
+			s.sendData()
+		} else if seg.Ack == s.sndUna && s.flight() > 0 {
+			s.dupAcks++
+			if s.dupAcks == 3 {
+				// Fast retransmit + simplified fast recovery.
+				s.FastRetransmits++
+				flightSeg := float64(s.flight()) / float64(s.cfg.MSS)
+				s.ssthresh = maxf(flightSeg/2, 2)
+				s.cwnd = s.ssthresh
+				clear(s.sendTimes)
+				n := s.cfg.MSS
+				if rem := s.remaining() + int64(s.flight()); int64(n) > rem {
+					n = int(rem)
+				}
+				if n > 0 {
+					s.out(Segment{Flags: FlagACK, Seq: s.sndUna, Payload: n})
+					s.SegmentsSent++
+				}
+				s.armRTO()
+			}
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"testing"
+
+	"spider/internal/sim"
+	"spider/internal/stats"
+)
+
+func TestSynthesizeCounts(t *testing.T) {
+	cfg := DefaultMeshConfig()
+	tr := Synthesize(sim.NewRNG(1), cfg)
+	if len(tr.FlowDurations) != cfg.Flows {
+		t.Fatalf("flows = %d, want %d", len(tr.FlowDurations), cfg.Flows)
+	}
+	if want := cfg.Flows - cfg.Users; len(tr.InterConnectionGaps) != want {
+		t.Fatalf("gaps = %d, want %d", len(tr.InterConnectionGaps), want)
+	}
+}
+
+func TestSynthesizeDistributionShape(t *testing.T) {
+	cfg := DefaultMeshConfig()
+	cfg.Flows = 20000
+	tr := Synthesize(sim.NewRNG(2), cfg)
+	durs := stats.NewCDF(tr.FlowDurations)
+	// Median near the configured 2 s; most flows short, some long.
+	if m := durs.Quantile(0.5); m < 1 || m > 4 {
+		t.Fatalf("flow duration median = %v, want ≈2", m)
+	}
+	if p10 := durs.P(10); p10 < 0.75 {
+		t.Fatalf("P(duration ≤ 10 s) = %v, want most flows short", p10)
+	}
+	if p90 := durs.Quantile(0.9); p90 < 8 {
+		t.Fatalf("q90 = %v, want a tail", p90)
+	}
+	gaps := stats.NewCDF(tr.InterConnectionGaps)
+	if m := gaps.Quantile(0.5); m < 5 || m > 20 {
+		t.Fatalf("gap median = %v, want ≈10", m)
+	}
+	// Truncation holds.
+	if durs.Quantile(1) > cfg.MaxDuration || gaps.Quantile(1) > cfg.MaxGap {
+		t.Fatal("truncation violated")
+	}
+}
+
+func TestSynthesizeDeterminism(t *testing.T) {
+	cfg := DefaultMeshConfig()
+	cfg.Flows = 1000
+	a := Synthesize(sim.NewRNG(7), cfg)
+	b := Synthesize(sim.NewRNG(7), cfg)
+	for i := range a.FlowDurations {
+		if a.FlowDurations[i] != b.FlowDurations[i] {
+			t.Fatal("non-deterministic trace")
+		}
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero users did not panic")
+		}
+	}()
+	Synthesize(sim.NewRNG(1), MeshConfig{})
+}
+
+func TestFlowSize(t *testing.T) {
+	rng := sim.NewRNG(3)
+	var sizes []float64
+	for i := 0; i < 5000; i++ {
+		s := FlowSize(rng)
+		if s < 200 || s > 64<<20 {
+			t.Fatalf("size %d out of bounds", s)
+		}
+		sizes = append(sizes, float64(s))
+	}
+	c := stats.NewCDF(sizes)
+	if m := c.Quantile(0.5); m < 5*1024 || m > 80*1024 {
+		t.Fatalf("median flow size = %v, want ≈20KiB", m)
+	}
+}
