@@ -15,6 +15,7 @@ import (
 
 	"spider"
 	"spider/internal/experiments"
+	"spider/internal/fleet"
 )
 
 // benchOpts returns low-fidelity options keyed by the benchmark's own
@@ -90,6 +91,35 @@ func BenchmarkTownStudy(b *testing.B) {
 		experiments.Figure16(benchOpts(i), tr)
 		experiments.Figure17(benchOpts(i), tr)
 		experiments.APDensity(tr)
+	}
+}
+
+// BenchmarkFigure5Fleet runs the largest join sweep through the parallel
+// execution engine at the machine's core count; compare against
+// BenchmarkFigure5 for the sharding speedup (identical output either way).
+func BenchmarkFigure5Fleet(b *testing.B) {
+	pool := fleet.New(fleet.Config{})
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := benchOpts(i)
+		o.Fleet = pool.Group("fig5")
+		experiments.Figure5(o)
+	}
+}
+
+// BenchmarkTownStudyFleet is BenchmarkTownStudy with the town drives
+// sharded across workers and memoized in the pool's result cache.
+func BenchmarkTownStudyFleet(b *testing.B) {
+	pool := fleet.New(fleet.Config{})
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := benchOpts(i)
+		o.Fleet = pool.Group("town")
+		tr := experiments.TownStudy(o)
+		experiments.Table2(tr)
+		experiments.Table4(tr)
 	}
 }
 

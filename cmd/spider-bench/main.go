@@ -5,21 +5,33 @@
 //	spider-bench -list
 //	spider-bench -run all -scale 0.2
 //	spider-bench -run fig2,table2 -format csv -out results/
+//	spider-bench -run all -workers 8 -progress -timings results/bench_timings.json
 //
 // Each experiment is deterministic in -seed. -scale in (0,1] trades
 // fidelity for runtime (1.0 reproduces the full paper-scale runs).
+//
+// Independent simulation runs are sharded across a bounded worker pool
+// (internal/fleet). Every job derives its own seed and results merge in
+// canonical order, so output is byte-identical for any -workers value;
+// -workers 1 reproduces the fully sequential runner. A panicking run is
+// isolated to its experiment: the failure is reported on stderr and the
+// remaining experiments still complete (exit status 1).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"spider/internal/experiments"
+	"spider/internal/fleet"
 )
 
 type renderable interface {
@@ -35,15 +47,12 @@ type experiment struct {
 
 func one(r renderable) []renderable { return []renderable{r} }
 
-// townCache shares the expensive town study across the experiments that
-// derive from it within a single invocation.
-var townCache *experiments.TownResults
-
+// town routes every town-derived experiment through the fleet result
+// cache: TownStudy memoizes itself under its canonical options key, so
+// Table 2/4, Figures 11-13/16-17, and the AP-density summary share one
+// computation however many of them run, in whatever order.
 func town(o experiments.Options) *experiments.TownResults {
-	if townCache == nil {
-		townCache = experiments.TownStudy(o)
-	}
-	return townCache
+	return experiments.TownStudy(o)
 }
 
 var registry = []experiment{
@@ -88,16 +97,59 @@ var registry = []experiment{
 	}},
 }
 
+// outcome collects one experiment's results for in-order emission.
+type outcome struct {
+	outputs []renderable
+	err     error
+	wall    time.Duration
+	stats   fleet.GroupStats
+	done    chan struct{}
+}
+
+// timingRecord is one experiment's machine-readable timing line.
+type timingRecord struct {
+	ID   string `json:"id"`
+	Jobs int    `json:"jobs"`
+	// Failed counts jobs that panicked or were canceled.
+	Failed    int `json:"failed,omitempty"`
+	CacheHits int `json:"cache_hits"`
+	// JobWallMS is the summed wall time of the experiment's fleet jobs —
+	// the cost a sequential runner would have paid for them.
+	JobWallMS float64 `json:"job_wall_ms"`
+	// WallMS is the experiment's observed wall time on the shared pool.
+	WallMS float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// timingsFile seeds the repo's performance trajectory: one record per
+// experiment plus enough host context to compare runs.
+type timingsFile struct {
+	Seed        int64          `json:"seed"`
+	Scale       float64        `json:"scale"`
+	Workers     int            `json:"workers"`
+	NumCPU      int            `json:"num_cpu"`
+	TotalJobs   int            `json:"total_jobs"`
+	CacheHits   int            `json:"cache_hits"`
+	TotalWallMS float64        `json:"total_wall_ms"`
+	Experiments []timingRecord `json:"experiments"`
+}
+
 func main() {
 	var (
-		runList = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		seed    = flag.Int64("seed", 1, "random seed")
-		scale   = flag.Float64("scale", 1.0, "fidelity scale in (0,1]")
-		format  = flag.String("format", "text", "output format: text or csv")
-		outDir  = flag.String("out", "", "directory to write one file per experiment (default stdout)")
+		runList  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 1.0, "fidelity scale in (0,1]")
+		format   = flag.String("format", "text", "output format: text or csv")
+		outDir   = flag.String("out", "", "directory to write one file per experiment (default stdout)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (1 = fully sequential)")
+		progress = flag.Bool("progress", false, "report fleet progress (jobs, cache, ETA) on stderr")
+		timings  = flag.String("timings", "", "write machine-readable per-experiment timings JSON to this file")
 	)
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.NumCPU() // match the pool's own default; 0 would wedge the launcher
+	}
 
 	if *list {
 		for _, e := range registry {
@@ -128,21 +180,82 @@ func main() {
 			}
 		}
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+
+	var onEvent func(fleet.Event)
+	if *progress {
+		onEvent = progressPrinter()
+	}
+	pool := fleet.New(fleet.Config{Workers: *workers, Retries: 1, OnEvent: onEvent})
+	defer pool.Close()
+
+	var selected []experiment
 	for _, e := range registry {
 		if *runList != "all" && !want[e.id] {
 			continue
 		}
-		start := time.Now()
-		outputs := e.run(opts)
-		elapsed := time.Since(start)
-		for i, r := range outputs {
+		selected = append(selected, e)
+	}
+
+	// Experiments launch concurrently (bounded by the worker count) and
+	// shard their simulation runs on the shared pool; emission below waits
+	// on each in registry order, so stdout is byte-identical to a
+	// sequential run.
+	totalStart := time.Now()
+	outcomes := make([]*outcome, len(selected))
+	sem := make(chan struct{}, *workers)
+	for i, e := range selected {
+		oc := &outcome{done: make(chan struct{})}
+		outcomes[i] = oc
+		go func(e experiment, oc *outcome) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			group := pool.Group(e.id)
+			opts := experiments.Options{Seed: *seed, Scale: *scale, Fleet: group}
+			start := time.Now()
+			defer func() {
+				if r := recover(); r != nil {
+					if err, ok := r.(error); ok {
+						oc.err = err
+					} else {
+						oc.err = fmt.Errorf("%v", r)
+					}
+				}
+				oc.wall = time.Since(start)
+				oc.stats = group.Stats()
+				close(oc.done)
+			}()
+			oc.outputs = e.run(opts)
+		}(e, oc)
+	}
+
+	failures := 0
+	var records []timingRecord
+	for i, e := range selected {
+		oc := outcomes[i]
+		<-oc.done
+		rec := timingRecord{
+			ID:        e.id,
+			Jobs:      oc.stats.Jobs,
+			Failed:    oc.stats.Failed,
+			CacheHits: oc.stats.CacheHits,
+			JobWallMS: float64(oc.stats.JobWall.Microseconds()) / 1000,
+			WallMS:    float64(oc.wall.Microseconds()) / 1000,
+		}
+		if oc.err != nil {
+			failures++
+			rec.Error = oc.err.Error()
+			records = append(records, rec)
+			fmt.Fprintf(os.Stderr, "# %s FAILED: %v\n", e.id, oc.err)
+			continue
+		}
+		records = append(records, rec)
+		for j, r := range oc.outputs {
 			var body string
 			ext := "txt"
 			if *format == "csv" {
@@ -157,8 +270,8 @@ func main() {
 				continue
 			}
 			name := e.id
-			if len(outputs) > 1 {
-				name = fmt.Sprintf("%s-%d", e.id, i)
+			if len(oc.outputs) > 1 {
+				name = fmt.Sprintf("%s-%d", e.id, j)
 			}
 			path := filepath.Join(*outDir, name+"."+ext)
 			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
@@ -167,6 +280,80 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
-		fmt.Fprintf(os.Stderr, "# %s done in %v\n", e.id, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "# %s done in %v\n", e.id, oc.wall.Round(time.Millisecond))
+	}
+
+	if *timings != "" {
+		tf := timingsFile{
+			Seed:        *seed,
+			Scale:       *scale,
+			Workers:     pool.Workers(),
+			NumCPU:      runtime.NumCPU(),
+			TotalWallMS: float64(time.Since(totalStart).Microseconds()) / 1000,
+			Experiments: records,
+		}
+		for _, r := range records {
+			tf.TotalJobs += r.Jobs
+			tf.CacheHits += r.CacheHits
+		}
+		if err := os.MkdirAll(filepath.Dir(*timings), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		body, err := json.MarshalIndent(tf, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*timings, append(body, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# timings written to %s\n", *timings)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "# %d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+// progressPrinter renders fleet telemetry as throttled stderr lines:
+// queue depth, completions, cache traffic, and the pool's ETA.
+func progressPrinter() func(fleet.Event) {
+	var mu sync.Mutex
+	var last time.Time
+	return func(ev fleet.Event) {
+		switch ev.Type {
+		case fleet.JobDone, fleet.JobFailed, fleet.CacheHit:
+		default:
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		// Always report failures and cache hits; throttle the steady
+		// completion stream.
+		if ev.Type == fleet.JobDone && time.Since(last) < 250*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		s := ev.Stats
+		line := fmt.Sprintf("[fleet] %s %s", ev.Type, ev.Job)
+		if ev.Group != "" {
+			line = fmt.Sprintf("[fleet] %s %s/%s", ev.Type, ev.Group, ev.Job)
+		}
+		if ev.Wall > 0 {
+			line += fmt.Sprintf(" in %v", ev.Wall.Round(time.Millisecond))
+		}
+		line += fmt.Sprintf("  queued=%d running=%d done=%d", s.Queued, s.Running, s.Done)
+		if s.Failed > 0 {
+			line += fmt.Sprintf(" failed=%d", s.Failed)
+		}
+		if s.CacheHits > 0 {
+			line += fmt.Sprintf(" cache-hits=%d", s.CacheHits)
+		}
+		if s.ETA > 0 {
+			line += fmt.Sprintf(" eta=%v", s.ETA.Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 }

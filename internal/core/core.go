@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"spider/internal/ap"
 	"spider/internal/capture"
@@ -455,11 +456,18 @@ func Run(cfg ScenarioConfig) Result {
 		return f
 	}
 	stopLinkFlows := func(l *lmm.Link) {
+		// Stop in address order: Stop may touch the event queue, and the
+		// teardown order must not depend on map iteration for determinism.
+		var ips []ipnet.Addr
 		for ip, f := range flows {
 			if f.link == l {
-				f.snd.Stop()
-				delete(flows, ip)
+				ips = append(ips, ip)
 			}
+		}
+		sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+		for _, ip := range ips {
+			flows[ip].snd.Stop()
+			delete(flows, ip)
 		}
 	}
 

@@ -11,6 +11,7 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 
 	"spider/internal/dot11"
 	"spider/internal/geo"
@@ -228,8 +229,9 @@ func (d *Driver) SetSchedule(slots []Slot) {
 	d.switchTo(slots[0].Channel)
 }
 
-// ScanTable returns live scan entries, most recently seen first is NOT
-// guaranteed; callers rank as needed. Entries older than ScanEntryTTL are
+// ScanTable returns live scan entries in BSSID order (a stable order, so
+// downstream selection never depends on map iteration); callers rank by
+// their own criteria as needed. Entries older than ScanEntryTTL are
 // dropped.
 func (d *Driver) ScanTable() []ScanEntry {
 	cutoff := d.eng.Now() - d.cfg.ScanEntryTTL
@@ -241,6 +243,7 @@ func (d *Driver) ScanTable() []ScanEntry {
 		}
 		out = append(out, e)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BSSID.String() < out[j].BSSID.String() })
 	return out
 }
 

@@ -8,8 +8,8 @@ import (
 	"spider/internal/stats"
 )
 
-// ablationRun executes a ch1 multi-AP town run with a mutated config.
-func ablationRun(o Options, seed int64, mut func(*core.ScenarioConfig)) core.Result {
+// ablationCfg builds a ch1 multi-AP town run with a mutated config.
+func ablationCfg(o Options, seed int64, mut func(*core.ScenarioConfig)) core.ScenarioConfig {
 	mob, sites := townLoop(seed, 10, 0.45)
 	cfg := core.ScenarioConfig{
 		Seed:     seed,
@@ -21,16 +21,19 @@ func ablationRun(o Options, seed int64, mut func(*core.ScenarioConfig)) core.Res
 	if mut != nil {
 		mut(&cfg)
 	}
-	return core.Run(cfg)
+	return cfg
 }
 
-// meanOver runs an ablation config over several seeds and averages
-// throughput, connectivity, and completed joins.
+// meanOver runs an ablation config over several seeds as one sweep and
+// averages throughput, connectivity, and completed joins.
 func meanOver(o Options, base int64, mut func(*core.ScenarioConfig)) (tput, conn float64, joins float64) {
 	seeds := o.n(3, 2)
-	var tputs, conns, joinCounts []float64
+	cfgs := make([]core.ScenarioConfig, seeds)
 	for s := 0; s < seeds; s++ {
-		res := ablationRun(o, base+int64(s)*331, mut)
+		cfgs[s] = ablationCfg(o, base+int64(s)*331, mut)
+	}
+	var tputs, conns, joinCounts []float64
+	for _, res := range runConfigs(o, "ablation", cfgs) {
 		tputs = append(tputs, res.ThroughputKBps)
 		conns = append(conns, res.Connectivity*100)
 		joinCounts = append(joinCounts, float64(res.LMM.JoinsComplete))
@@ -128,11 +131,14 @@ func AblationStriping(o Options) Table {
 		}},
 	} {
 		seeds := o.n(3, 2)
+		cfgs := make([]core.ScenarioConfig, seeds)
+		for s := 0; s < seeds; s++ {
+			cfgs[s] = ablationCfg(o, o.seed()+int64(s)*331, cs.mut)
+		}
 		objects := 0
 		var times []float64
 		var tput float64
-		for s := 0; s < seeds; s++ {
-			res := ablationRun(o, o.seed()+int64(s)*331, cs.mut)
+		for _, res := range runConfigs(o, "ablation-striping", cfgs) {
 			objects += res.StripeObjects
 			times = append(times, res.StripeObjectSecs...)
 			tput += res.ThroughputKBps
@@ -154,23 +160,34 @@ func AblationAdaptive(o Options) Table {
 		Title:   "Ablation: adaptive scheduling vs static modes",
 		Columns: []string{"speed", "mode", "throughput", "connectivity"},
 	}
-	for _, speed := range []float64{3, 15} {
-		for _, cs := range []struct {
-			name   string
-			preset core.Preset
-		}{
-			{"single-channel", core.SingleChannelMultiAP},
-			{"multi-channel", core.MultiChannelMultiAP},
-			{"adaptive", core.Adaptive},
-		} {
+	modes := []struct {
+		name   string
+		preset core.Preset
+	}{
+		{"single-channel", core.SingleChannelMultiAP},
+		{"multi-channel", core.MultiChannelMultiAP},
+		{"adaptive", core.Adaptive},
+	}
+	speeds := []float64{3, 15}
+	cfgs := make([]core.ScenarioConfig, 0, len(speeds)*len(modes))
+	for _, speed := range speeds {
+		for _, cs := range modes {
 			mob, sites := townLoop(o.seed(), speed, 0.45)
-			res := core.Run(core.ScenarioConfig{
+			cfgs = append(cfgs, core.ScenarioConfig{
 				Seed:     o.seed(),
 				Duration: o.dur(15*time.Minute, 2*time.Minute),
 				Preset:   cs.preset,
 				Mobility: mob,
 				Sites:    sites,
 			})
+		}
+	}
+	results := runConfigs(o, "ablation-adaptive", cfgs)
+	i := 0
+	for _, speed := range speeds {
+		for _, cs := range modes {
+			res := results[i]
+			i++
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("%.0f m/s", speed), cs.name,
 				fmt.Sprintf("%.1f KB/s", res.ThroughputKBps),
@@ -190,22 +207,26 @@ func AblationPredictive(o Options) Table {
 		Columns: []string{"mode", "throughput", "connectivity", "joins completed"},
 	}
 	mob, sites := townLoop(o.seed(), 10, 0.45)
-	for _, cs := range []struct {
+	modes := []struct {
 		name   string
 		preset core.Preset
 	}{
 		{"static single-channel (ch1)", core.SingleChannelMultiAP},
 		{"static rotation (3 channels)", core.MultiChannelMultiAP},
 		{"predictive planner", core.Predictive},
-	} {
-		res := core.Run(core.ScenarioConfig{
+	}
+	cfgs := make([]core.ScenarioConfig, len(modes))
+	for i, cs := range modes {
+		cfgs[i] = core.ScenarioConfig{
 			Seed:     o.seed(),
 			Duration: o.dur(20*time.Minute, 3*time.Minute),
 			Preset:   cs.preset,
 			Mobility: mob,
 			Sites:    sites,
-		})
-		t.Rows = append(t.Rows, []string{cs.name,
+		}
+	}
+	for i, res := range runConfigs(o, "ablation-predictive", cfgs) {
+		t.Rows = append(t.Rows, []string{modes[i].name,
 			fmt.Sprintf("%.1f KB/s", res.ThroughputKBps),
 			fmt.Sprintf("%.1f%%", res.Connectivity*100),
 			fmt.Sprintf("%d", res.LMM.JoinsComplete)})
@@ -222,22 +243,26 @@ func AblationEnergy(o Options) Table {
 		Columns: []string{"configuration", "throughput", "total energy", "per-bit"},
 	}
 	mob, sites := townLoop(o.seed(), 10, 0.45)
-	for _, cs := range []struct {
+	modes := []struct {
 		name   string
 		preset core.Preset
 	}{
 		{"single-channel, multi-AP", core.SingleChannelMultiAP},
 		{"multi-channel, multi-AP", core.MultiChannelMultiAP},
 		{"stock", core.Stock},
-	} {
-		res := core.Run(core.ScenarioConfig{
+	}
+	cfgs := make([]core.ScenarioConfig, len(modes))
+	for i, cs := range modes {
+		cfgs[i] = core.ScenarioConfig{
 			Seed:     o.seed(),
 			Duration: o.dur(15*time.Minute, 2*time.Minute),
 			Preset:   cs.preset,
 			Mobility: mob,
 			Sites:    sites,
-		})
-		t.Rows = append(t.Rows, []string{cs.name,
+		}
+	}
+	for i, res := range runConfigs(o, "ablation-energy", cfgs) {
+		t.Rows = append(t.Rows, []string{modes[i].name,
 			fmt.Sprintf("%.1f KB/s", res.ThroughputKBps),
 			fmt.Sprintf("%.0f J", res.Energy.TotalJ()),
 			fmt.Sprintf("%.2f µJ/bit", res.EnergyPerBitMicroJ)})

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+
+	"spider/internal/fleet"
+)
+
+// fig5Output renders Figure 5 (join success by schedule, the experiment
+// exercising the largest fleet sweep) through a pool with the given worker
+// count.
+func fig5Output(workers int) string {
+	pool := fleet.New(fleet.Config{Workers: workers})
+	defer pool.Close()
+	o := Options{Seed: 1, Scale: 0.05, Fleet: pool.Group("fig5")}
+	f := Figure5(o)
+	return f.Render() + "\n" + f.CSV()
+}
+
+// TestWorkerCountInvariance is the determinism regression test: the same
+// experiment run inline (no fleet), with one worker, and with eight
+// workers must produce byte-identical rendered and CSV output. Jobs carry
+// their own seeds and results merge in job order, so the worker count must
+// never leak into results.
+func TestWorkerCountInvariance(t *testing.T) {
+	inline := func() string {
+		f := Figure5(Options{Seed: 1, Scale: 0.05})
+		return f.Render() + "\n" + f.CSV()
+	}()
+	if w1 := fig5Output(1); w1 != inline {
+		t.Errorf("workers=1 differs from inline run:\n--- inline ---\n%s\n--- workers=1 ---\n%s", inline, w1)
+	}
+	if w8 := fig5Output(8); w8 != inline {
+		t.Errorf("workers=8 differs from inline run:\n--- inline ---\n%s\n--- workers=8 ---\n%s", inline, w8)
+	}
+}
+
+// TestOptionsKeyDistinct: cache keys must differ whenever any input the
+// result depends on differs — otherwise one experiment's cached result
+// could be served for another configuration.
+func TestOptionsKeyDistinct(t *testing.T) {
+	keys := map[string]string{}
+	for _, tc := range []struct {
+		label string
+		o     Options
+		id    string
+	}{
+		{"base", Options{Seed: 1, Scale: 1}, "townstudy"},
+		{"other id", Options{Seed: 1, Scale: 1}, "fig5"},
+		{"other seed", Options{Seed: 2, Scale: 1}, "townstudy"},
+		{"other scale", Options{Seed: 1, Scale: 0.25}, "townstudy"},
+	} {
+		k := tc.o.Key(tc.id)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("key collision between %q and %q: %q", prev, tc.label, k)
+		}
+		keys[k] = tc.label
+	}
+	// Zero values normalize to the same defaults the computation uses, so
+	// the default and its explicit spelling share one cache slot.
+	if (Options{}).Key("townstudy") != (Options{Seed: 1, Scale: 1}).Key("townstudy") {
+		t.Error("defaulted options keyed differently from their explicit form")
+	}
+	// The fleet handle must never be part of the key: the same work on a
+	// different pool is still the same work.
+	a := Options{Seed: 1, Scale: 1}
+	b := a
+	pool := fleet.New(fleet.Config{Workers: 1})
+	defer pool.Close()
+	b.Fleet = pool.Group("x")
+	if a.Key("townstudy") != b.Key("townstudy") {
+		t.Error("fleet handle leaked into the cache key")
+	}
+}
+
+// TestRepeatedRunIdentical guards the simulation stack's reproducibility:
+// two same-seed runs must agree bit for bit. This fails if map iteration
+// order anywhere feeds RNG consumption, event scheduling, or output order.
+func TestRepeatedRunIdentical(t *testing.T) {
+	a := fig5Output(4)
+	b := fig5Output(4)
+	if a != b {
+		t.Errorf("same-seed runs differ:\n--- run A ---\n%s\n--- run B ---\n%s", a, b)
+	}
+}

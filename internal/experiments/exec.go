@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"spider/internal/core"
+	"spider/internal/fleet"
+)
+
+// This file routes experiment work through the fleet engine. Every helper
+// preserves the sequential contract: job i's inputs are computed exactly
+// as the pre-fleet loops computed iteration i, and results come back in
+// job order, so parallel output is byte-identical to an inline run.
+
+// job is one deferred computation with a telemetry id.
+type job[T any] struct {
+	id string
+	fn func() T
+}
+
+// mapJobs executes jobs in order-preserving fashion: on o.Fleet when set,
+// inline otherwise. A job failure (panic in a simulation run) aborts the
+// experiment by re-panicking with the fleet's typed sweep report, which
+// callers like spider-bench catch per experiment.
+func mapJobs[T any](o Options, jobs []job[T]) []T {
+	out := make([]T, len(jobs))
+	if o.Fleet == nil {
+		for i, j := range jobs {
+			out[i] = j.fn()
+		}
+		return out
+	}
+	fjobs := make([]fleet.Job, len(jobs))
+	for i, j := range jobs {
+		fn := j.fn
+		fjobs[i] = fleet.Job{ID: j.id, Run: func() (any, error) { return fn(), nil }}
+	}
+	results, err := o.Fleet.Map(context.Background(), fjobs)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		out[i] = r.Value.(T)
+	}
+	return out
+}
+
+// runConfigs executes scenario configs as one sharded sweep, returning
+// results in config order. Each config must be self-contained; shared
+// Timers pointers are copied so concurrent runs never alias.
+func runConfigs(o Options, id string, cfgs []core.ScenarioConfig) []core.Result {
+	jobs := make([]job[core.Result], len(cfgs))
+	for i := range cfgs {
+		cfg := cfgs[i]
+		if cfg.Timers != nil {
+			t := *cfg.Timers
+			cfg.Timers = &t
+		}
+		jobs[i] = job[core.Result]{
+			id: fmt.Sprintf("%s#%d", id, i),
+			fn: func() core.Result { return core.Run(cfg) },
+		}
+	}
+	return mapJobs(o, jobs)
+}
+
+// memo caches compute under the experiment's canonical key when a fleet is
+// attached (single-flight across concurrent experiments), and computes
+// inline otherwise.
+func memo[T any](o Options, id string, compute func() T) T {
+	if o.Fleet == nil {
+		return compute()
+	}
+	v, _, err := o.Fleet.Do(o.Key(id), func() (any, error) { return compute(), nil })
+	if err != nil {
+		panic(err)
+	}
+	return v.(T)
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"spider/internal/fleet"
 	"spider/internal/sim"
 )
 
@@ -22,6 +23,22 @@ type Options struct {
 	// Scale in (0,1] shrinks run durations and trial counts for smoke
 	// tests and benchmarks; 0 means 1.0 (full fidelity).
 	Scale float64
+	// Fleet, when non-nil, executes the experiment's independent
+	// simulation runs on a shared bounded worker pool and memoizes
+	// expensive shared studies (the town study) in its result cache.
+	// Nil runs everything inline on the calling goroutine. Results are
+	// identical either way: every job derives its own seed, and merges
+	// happen in canonical job order. Fleet never participates in cache
+	// keys.
+	Fleet *fleet.Group
+}
+
+// Key returns the canonical result-cache key for an experiment with these
+// options. Seed and scale uniquely determine any experiment's output, so
+// two Options with equal keys are interchangeable; the delimited encoding
+// keeps differing Options from colliding.
+func (o Options) Key(id string) string {
+	return fmt.Sprintf("%s|seed=%d|scale=%g", id, o.seed(), o.scale())
 }
 
 func (o Options) seed() int64 {

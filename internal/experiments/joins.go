@@ -45,11 +45,11 @@ func fractionSchedule(x float64, d sim.Time) []driver.Slot {
 	}
 }
 
-// joinRun executes a traffic-free vehicular run and returns its join
-// records.
-func joinRun(o Options, seed int64, schedule []driver.Slot, timers core.TimerProfile, numVIFs int) []lmm.JoinRecord {
+// joinCfg builds the traffic-free vehicular run every join experiment
+// uses. Each config owns its timers copy so sharded runs never alias.
+func joinCfg(o Options, seed int64, schedule []driver.Slot, timers core.TimerProfile, numVIFs int) core.ScenarioConfig {
 	mob, sites := townLoop(seed, 10, 0.5)
-	res := core.Run(core.ScenarioConfig{
+	return core.ScenarioConfig{
 		Seed:           seed,
 		Duration:       o.dur(20*time.Minute, time.Minute),
 		Preset:         core.SingleChannelMultiAP,
@@ -59,8 +59,24 @@ func joinRun(o Options, seed int64, schedule []driver.Slot, timers core.TimerPro
 		Sites:          sites,
 		NumVIFs:        numVIFs,
 		DisableTraffic: true,
-	})
-	return res.Joins
+	}
+}
+
+// joinRun executes a traffic-free vehicular run and returns its join
+// records.
+func joinRun(o Options, seed int64, schedule []driver.Slot, timers core.TimerProfile, numVIFs int) []lmm.JoinRecord {
+	return core.Run(joinCfg(o, seed, schedule, timers, numVIFs)).Joins
+}
+
+// joinSweep executes a batch of join configs as one fleet sweep and
+// returns each run's join records in config order.
+func joinSweep(o Options, id string, cfgs []core.ScenarioConfig) [][]lmm.JoinRecord {
+	results := runConfigs(o, id, cfgs)
+	joins := make([][]lmm.JoinRecord, len(results))
+	for i, r := range results {
+		joins[i] = r.Joins
+	}
+	return joins
 }
 
 // successCDF builds a Series whose Y at time x is the fraction of attempts
@@ -91,12 +107,21 @@ func Figure5(o Options) Figure {
 		YLabel: "fraction of successful associations",
 	}
 	timers := core.ReducedTimers()
-	for i, frac := range []float64{0.25, 0.50, 0.75, 1.00} {
+	fracs := []float64{0.25, 0.50, 0.75, 1.00}
+	seeds := int64(o.n(3, 1))
+	var cfgs []core.ScenarioConfig
+	for i, frac := range fracs {
 		sched := fractionSchedule(frac, 400*time.Millisecond)
+		for s := int64(0); s < seeds; s++ {
+			cfgs = append(cfgs, joinCfg(o, o.seed()+s*1000+int64(i), sched, timers, 7))
+		}
+	}
+	joins := joinSweep(o, "fig5", cfgs)
+	for i, frac := range fracs {
 		var durations []float64
 		attempts := 0
-		for s := int64(0); s < int64(o.n(3, 1)); s++ {
-			for _, j := range joinRun(o, o.seed()+s*1000+int64(i), sched, timers, 7) {
+		for s := int64(0); s < seeds; s++ {
+			for _, j := range joins[int64(i)*seeds+s] {
 				if j.Channel != dot11.Channel6 {
 					continue
 				}
@@ -133,6 +158,8 @@ func Figure6(o Options) Figure {
 		{"100% - 100ms", 1.0, 100 * time.Millisecond, false},
 		{"100% - default", 1.0, 0, true},
 	}
+	seeds := int64(o.n(3, 1))
+	var cfgs []core.ScenarioConfig
 	for i, cs := range cases {
 		timers := core.ReducedTimers()
 		if cs.deflt {
@@ -142,10 +169,16 @@ func Figure6(o Options) Figure {
 			timers.DHCPRetry = cs.retry
 		}
 		sched := fractionSchedule(cs.frac, 400*time.Millisecond)
+		for s := int64(0); s < seeds; s++ {
+			cfgs = append(cfgs, joinCfg(o, o.seed()+s*1000+int64(i)*37, sched, timers, 7))
+		}
+	}
+	joins := joinSweep(o, "fig6", cfgs)
+	for i, cs := range cases {
 		var durations []float64
 		attempts := 0
-		for s := int64(0); s < int64(o.n(3, 1)); s++ {
-			for _, j := range joinRun(o, o.seed()+s*1000+int64(i)*37, sched, timers, 7) {
+		for s := int64(0); s < seeds; s++ {
+			for _, j := range joins[int64(i)*seeds+s] {
 				if j.Channel != dot11.Channel6 || j.Stage == lmm.StageAssocFailed {
 					continue
 				}
@@ -189,6 +222,7 @@ func Table3(o Options) Table {
 		{"3 chans, static 1/3 schedule, default timer, 7 interfaces", third, 0, true},
 	}
 	seeds := o.n(5, 2)
+	var cfgs []core.ScenarioConfig
 	for ci, cs := range cases {
 		timers := core.ReducedTimers()
 		if cs.deflt {
@@ -197,10 +231,16 @@ func Table3(o Options) Table {
 		} else {
 			timers.DHCPRetry = cs.retry
 		}
+		for s := 0; s < seeds; s++ {
+			cfgs = append(cfgs, joinCfg(o, o.seed()+int64(s)*211+int64(ci)*7919, cs.sched, timers, 7))
+		}
+	}
+	joins := joinSweep(o, "table3", cfgs)
+	for ci, cs := range cases {
 		var rates []float64
 		for s := 0; s < seeds; s++ {
 			att, fail := 0, 0
-			for _, j := range joinRun(o, o.seed()+int64(s)*211+int64(ci)*7919, cs.sched, timers, 7) {
+			for _, j := range joins[ci*seeds+s] {
 				if j.Stage == lmm.StageAssocFailed {
 					continue
 				}
@@ -237,11 +277,19 @@ func joinTimeFigure(o Options, id, title string, cases []joinTimeSeriesCase) Fig
 		XLabel: "time to join (association+dhcp) (s)",
 		YLabel: "fraction of connections",
 	}
+	seeds := int64(o.n(3, 1))
+	var cfgs []core.ScenarioConfig
+	for ci, cs := range cases {
+		for s := int64(0); s < seeds; s++ {
+			cfgs = append(cfgs, joinCfg(o, o.seed()+s*503+int64(ci)*101, cs.sched, cs.timers, cs.numVIFs))
+		}
+	}
+	joins := joinSweep(o, id, cfgs)
 	for ci, cs := range cases {
 		var durations []float64
 		attempts := 0
-		for s := int64(0); s < int64(o.n(3, 1)); s++ {
-			for _, j := range joinRun(o, o.seed()+s*503+int64(ci)*101, cs.sched, cs.timers, cs.numVIFs) {
+		for s := int64(0); s < seeds; s++ {
+			for _, j := range joins[int64(ci)*seeds+s] {
 				attempts++
 				if j.Stage == lmm.StagePingFailed || j.Stage == lmm.StageComplete {
 					durations = append(durations, (j.AssocDur + j.DHCPDur).Seconds())

@@ -30,21 +30,27 @@ func indoorSites(n int, channels []dot11.Channel, backhaulBps float64) []mobilit
 	return sites
 }
 
-// indoorRun measures average TCP throughput for a stationary client under
-// an explicit schedule.
-func indoorRun(o Options, seed int64, sites []mobility.APSite, sched []driver.Slot, singleAP bool, dur sim.Time) core.Result {
+// indoorCfg describes a stationary-client TCP run under an explicit
+// schedule.
+func indoorCfg(seed int64, sites []mobility.APSite, sched []driver.Slot, singleAP bool, dur sim.Time) core.ScenarioConfig {
 	preset := core.SingleChannelMultiAP
 	if singleAP {
 		preset = core.SingleChannelSingleAP
 	}
-	return core.Run(core.ScenarioConfig{
+	return core.ScenarioConfig{
 		Seed:           seed,
 		Duration:       dur,
 		Preset:         preset,
 		CustomSchedule: sched,
 		Mobility:       mobility.Static(geo.Point{}),
 		Sites:          sites,
-	})
+	}
+}
+
+// indoorRun measures average TCP throughput for a stationary client under
+// an explicit schedule.
+func indoorRun(o Options, seed int64, sites []mobility.APSite, sched []driver.Slot, singleAP bool, dur sim.Time) core.Result {
+	return core.Run(indoorCfg(seed, sites, sched, singleAP, dur))
 }
 
 // Figure7 reproduces the indoor experiment: average TCP throughput as a
@@ -60,6 +66,7 @@ func Figure7(o Options) Figure {
 	s := Series{Name: "throughput"}
 	sites := indoorSites(1, []dot11.Channel{dot11.Channel6}, 5e6)
 	dur := o.dur(2*time.Minute, 20*time.Second)
+	var scheds [][]driver.Slot
 	for pct := 10; pct <= 100; pct += 10 {
 		var sched []driver.Slot
 		if pct == 100 {
@@ -74,8 +81,9 @@ func Figure7(o Options) Figure {
 			}
 		}
 		s.X = append(s.X, float64(pct))
-		s.Y = append(s.Y, meanThroughputKbps(o, sites, sched, dur))
+		scheds = append(scheds, sched)
 	}
+	s.Y = meanThroughputSweep(o, "fig7", sites, scheds, dur)
 	fig.Series = append(fig.Series, s)
 	return fig
 }
@@ -93,6 +101,7 @@ func Figure8(o Options) Figure {
 	s := Series{Name: "throughput"}
 	sites := indoorSites(1, []dot11.Channel{dot11.Channel6}, 5e6)
 	dur := o.dur(2*time.Minute, 20*time.Second)
+	var scheds [][]driver.Slot
 	for _, ms := range []int{33, 66, 100, 133, 200, 266, 333, 400} {
 		dwell := time.Duration(ms) * time.Millisecond
 		sched := []driver.Slot{
@@ -101,22 +110,35 @@ func Figure8(o Options) Figure {
 			{Channel: dot11.Channel11, Duration: dwell},
 		}
 		s.X = append(s.X, float64(ms))
-		s.Y = append(s.Y, meanThroughputKbps(o, sites, sched, dur))
+		scheds = append(scheds, sched)
 	}
+	s.Y = meanThroughputSweep(o, "fig8", sites, scheds, dur)
 	fig.Series = append(fig.Series, s)
 	return fig
 }
 
-// meanThroughputKbps averages an indoor run's throughput over seeds to
-// smooth TCP-timeout resonance effects.
-func meanThroughputKbps(o Options, sites []mobility.APSite, sched []driver.Slot, dur sim.Time) float64 {
+// meanThroughputSweep measures each schedule's seed-averaged throughput
+// (Kb/s) in one sharded sweep; averaging over seeds smooths TCP-timeout
+// resonance effects. Results are in schedule order.
+func meanThroughputSweep(o Options, id string, sites []mobility.APSite, scheds [][]driver.Slot, dur sim.Time) []float64 {
 	seeds := o.n(3, 2)
-	total := 0.0
-	for i := 0; i < seeds; i++ {
-		res := indoorRun(o, o.seed()+int64(i)*97, sites, sched, false, dur)
-		total += float64(res.BytesReceived) * 8 / 1000 / dur.Seconds()
+	var cfgs []core.ScenarioConfig
+	for _, sched := range scheds {
+		for i := 0; i < seeds; i++ {
+			cfgs = append(cfgs, indoorCfg(o.seed()+int64(i)*97, sites, sched, false, dur))
+		}
 	}
-	return total / float64(seeds)
+	results := runConfigs(o, id, cfgs)
+	means := make([]float64, len(scheds))
+	for si := range scheds {
+		total := 0.0
+		for i := 0; i < seeds; i++ {
+			res := results[si*seeds+i]
+			total += float64(res.BytesReceived) * 8 / 1000 / dur.Seconds()
+		}
+		means[si] = total / float64(seeds)
+	}
+	return means
 }
 
 // Table1 reproduces the channel-switch latency microbenchmark: the time to
@@ -130,8 +152,15 @@ func Table1(o Options) Table {
 		Columns: []string{"num. of interfaces", "mean (ms)", "std dev (ms)"},
 	}
 	trials := o.n(200, 20)
+	jobs := make([]job[[]float64], 5)
 	for k := 0; k <= 4; k++ {
-		samples := measureSwitchLatency(o.seed()+int64(k), k, trials)
+		k := k
+		jobs[k] = job[[]float64]{
+			id: fmt.Sprintf("table1#k=%d", k),
+			fn: func() []float64 { return measureSwitchLatency(o.seed()+int64(k), k, trials) },
+		}
+	}
+	for k, samples := range mapJobs(o, jobs) {
 		sum := stats.Summarize(samples)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", k),
@@ -232,37 +261,48 @@ func Figure10(o Options) Figure {
 	spider100 := Series{Name: "Spider, (100,0,0)"}
 	spider5050 := Series{Name: "Spider, (50,0,50)"}
 	spider100100 := Series{Name: "Spider, (100,0,100)"}
+	// Five independent runs per backhaul point, executed as one sweep:
+	// one stock card (reused for the two-card sum), the second card on an
+	// orthogonal channel, and three Spider schedules.
+	const runsPer = 5
+	var cfgs []core.ScenarioConfig
 	for _, bw := range bws {
+		twoChan := indoorSites(2, []dot11.Channel{dot11.Channel1, dot11.Channel11}, bw)
+		cfgs = append(cfgs,
+			// One card, stock driver: a single AP on channel 1.
+			indoorCfg(o.seed(), indoorSites(1, []dot11.Channel{dot11.Channel1}, bw),
+				[]driver.Slot{{Channel: dot11.Channel1}}, true, dur),
+			// Two physical cards: two independent dedicated radios;
+			// modelled as the sum of two independent single-card runs on
+			// orthogonal channels (no shared airtime between channels).
+			indoorCfg(o.seed()+1, indoorSites(1, []dot11.Channel{dot11.Channel11}, bw),
+				[]driver.Slot{{Channel: dot11.Channel11}}, true, dur),
+			// Spider on one channel with two APs.
+			indoorCfg(o.seed(), indoorSites(2, []dot11.Channel{dot11.Channel1}, bw),
+				[]driver.Slot{{Channel: dot11.Channel1}}, false, dur),
+			// Spider across two channels, 50 ms and 100 ms dwells.
+			indoorCfg(o.seed(), twoChan, []driver.Slot{
+				{Channel: dot11.Channel1, Duration: 50 * time.Millisecond},
+				{Channel: dot11.Channel11, Duration: 50 * time.Millisecond},
+			}, false, dur),
+			indoorCfg(o.seed(), twoChan, []driver.Slot{
+				{Channel: dot11.Channel1, Duration: 100 * time.Millisecond},
+				{Channel: dot11.Channel11, Duration: 100 * time.Millisecond},
+			}, false, dur))
+	}
+	results := runConfigs(o, "fig10", cfgs)
+	for bi, bw := range bws {
 		x := bw / 1e6
-		// One card, stock driver: a single AP on channel 1.
-		one := indoorRun(o, o.seed(), indoorSites(1, []dot11.Channel{dot11.Channel1}, bw),
-			[]driver.Slot{{Channel: dot11.Channel1}}, true, dur)
+		one, oneB := results[bi*runsPer], results[bi*runsPer+1]
+		sp1, sp50, sp100 := results[bi*runsPer+2], results[bi*runsPer+3], results[bi*runsPer+4]
 		oneStock.X = append(oneStock.X, x)
 		oneStock.Y = append(oneStock.Y, kbps(one))
-		// Two physical cards: two independent dedicated radios; modelled
-		// as the sum of two independent single-card runs on orthogonal
-		// channels (no shared airtime between channels).
-		oneB := indoorRun(o, o.seed()+1, indoorSites(1, []dot11.Channel{dot11.Channel11}, bw),
-			[]driver.Slot{{Channel: dot11.Channel11}}, true, dur)
 		twoStock.X = append(twoStock.X, x)
 		twoStock.Y = append(twoStock.Y, kbps(one)+kbps(oneB))
-		// Spider on one channel with two APs.
-		sp1 := indoorRun(o, o.seed(), indoorSites(2, []dot11.Channel{dot11.Channel1}, bw),
-			[]driver.Slot{{Channel: dot11.Channel1}}, false, dur)
 		spider100.X = append(spider100.X, x)
 		spider100.Y = append(spider100.Y, kbps(sp1))
-		// Spider across two channels, 50 ms and 100 ms dwells.
-		twoChan := indoorSites(2, []dot11.Channel{dot11.Channel1, dot11.Channel11}, bw)
-		sp50 := indoorRun(o, o.seed(), twoChan, []driver.Slot{
-			{Channel: dot11.Channel1, Duration: 50 * time.Millisecond},
-			{Channel: dot11.Channel11, Duration: 50 * time.Millisecond},
-		}, false, dur)
 		spider5050.X = append(spider5050.X, x)
 		spider5050.Y = append(spider5050.Y, kbps(sp50))
-		sp100 := indoorRun(o, o.seed(), twoChan, []driver.Slot{
-			{Channel: dot11.Channel1, Duration: 100 * time.Millisecond},
-			{Channel: dot11.Channel11, Duration: 100 * time.Millisecond},
-		}, false, dur)
 		spider100100.X = append(spider100100.X, x)
 		spider100100.Y = append(spider100100.Y, kbps(sp100))
 	}

@@ -32,8 +32,16 @@ const (
 )
 
 // TownStudy drives the evaluation loop through every configuration the
-// paper compares. All runs share the same town, route, and seed.
+// paper compares. All runs share the same town, route, and seed. The
+// seven configurations are independent simulations, so they execute as
+// one fleet sweep; the bundle is memoized under the canonical options key
+// so every town-derived experiment (Tables 2/4, Figures 11-13 and 16-17,
+// the AP-density summary) shares a single computation per invocation.
 func TownStudy(o Options) *TownResults {
+	return memo(o, "townstudy", func() *TownResults { return townStudy(o) })
+}
+
+func townStudy(o Options) *TownResults {
 	dur := o.dur(30*time.Minute, 2*time.Minute)
 	mob, sites := townLoop(o.seed(), 10, 0.4)
 	base := core.ScenarioConfig{
@@ -42,44 +50,54 @@ func TownStudy(o Options) *TownResults {
 		Mobility: mob,
 		Sites:    sites,
 	}
-	tr := &TownResults{Duration: dur, Runs: make(map[string]core.Result)}
-	run := func(key string, mut func(*core.ScenarioConfig)) {
-		cfg := base
-		mut(&cfg)
-		tr.Runs[key] = core.Run(cfg)
-	}
 	// Multi-channel static schedule: D = 600 ms split equally (paper's
 	// Table 2 note).
-	run(RunCh1Multi, func(c *core.ScenarioConfig) {
-		c.Preset = core.SingleChannelMultiAP
-		c.PrimaryChannel = dot11.Channel1
-	})
-	run(RunCh1Single, func(c *core.ScenarioConfig) {
-		c.Preset = core.SingleChannelSingleAP
-		c.PrimaryChannel = dot11.Channel1
-	})
-	run(RunMultiMulti, func(c *core.ScenarioConfig) {
-		c.Preset = core.MultiChannelMultiAP
-		c.SlotDuration = 200 * time.Millisecond
-	})
-	run(RunMultiSingle, func(c *core.ScenarioConfig) {
-		c.Preset = core.MultiChannelSingleAP
-		c.SlotDuration = 200 * time.Millisecond
-	})
-	run(RunCh6Single, func(c *core.ScenarioConfig) {
-		c.Preset = core.SingleChannelSingleAP
-		c.PrimaryChannel = dot11.Channel6
-	})
-	run(RunStock, func(c *core.ScenarioConfig) {
-		c.Preset = core.Stock
-	})
-	run(RunTwoChMulti, func(c *core.ScenarioConfig) {
-		c.Preset = core.MultiChannelMultiAP
-		c.CustomSchedule = []driver.Slot{
-			{Channel: dot11.Channel1, Duration: 200 * time.Millisecond},
-			{Channel: dot11.Channel6, Duration: 200 * time.Millisecond},
-		}
-	})
+	plan := []struct {
+		key string
+		mut func(*core.ScenarioConfig)
+	}{
+		{RunCh1Multi, func(c *core.ScenarioConfig) {
+			c.Preset = core.SingleChannelMultiAP
+			c.PrimaryChannel = dot11.Channel1
+		}},
+		{RunCh1Single, func(c *core.ScenarioConfig) {
+			c.Preset = core.SingleChannelSingleAP
+			c.PrimaryChannel = dot11.Channel1
+		}},
+		{RunMultiMulti, func(c *core.ScenarioConfig) {
+			c.Preset = core.MultiChannelMultiAP
+			c.SlotDuration = 200 * time.Millisecond
+		}},
+		{RunMultiSingle, func(c *core.ScenarioConfig) {
+			c.Preset = core.MultiChannelSingleAP
+			c.SlotDuration = 200 * time.Millisecond
+		}},
+		{RunCh6Single, func(c *core.ScenarioConfig) {
+			c.Preset = core.SingleChannelSingleAP
+			c.PrimaryChannel = dot11.Channel6
+		}},
+		{RunStock, func(c *core.ScenarioConfig) {
+			c.Preset = core.Stock
+		}},
+		{RunTwoChMulti, func(c *core.ScenarioConfig) {
+			c.Preset = core.MultiChannelMultiAP
+			c.CustomSchedule = []driver.Slot{
+				{Channel: dot11.Channel1, Duration: 200 * time.Millisecond},
+				{Channel: dot11.Channel6, Duration: 200 * time.Millisecond},
+			}
+		}},
+	}
+	cfgs := make([]core.ScenarioConfig, len(plan))
+	for i, p := range plan {
+		cfg := base
+		p.mut(&cfg)
+		cfgs[i] = cfg
+	}
+	results := runConfigs(o, "townstudy", cfgs)
+	tr := &TownResults{Duration: dur, Runs: make(map[string]core.Result, len(plan))}
+	for i, p := range plan {
+		tr.Runs[p.key] = results[i]
+	}
 	return tr
 }
 

@@ -1,0 +1,56 @@
+package model
+
+import (
+	"context"
+	"fmt"
+
+	"spider/internal/fleet"
+	"spider/internal/sim"
+)
+
+// CurvePoint is one Monte-Carlo validation sample: the closed form and the
+// simulated estimate at a channel fraction.
+type CurvePoint struct {
+	Fi    float64
+	Model float64
+	Sim   float64
+}
+
+// SimulateJoinCurve validates the closed form across a grid of channel
+// fractions by Monte-Carlo, sharding one job per point across the fleet
+// group when one is provided (inline otherwise). Unlike threading a single
+// RNG through the grid, each point derives an independent stream from the
+// seed and its own fraction, so an estimate depends only on (seed, fi,
+// t, trials) — never on grid size, neighbouring points, or execution
+// order. Results are identical for any worker count.
+func (p Params) SimulateJoinCurve(g *fleet.Group, seed int64, fis []float64, t sim.Time, trials int) []CurvePoint {
+	p.validate()
+	pointRNG := func(fi float64) *sim.RNG {
+		return sim.NewRNG(seed).Stream(fmt.Sprintf("mc|fi=%.6g|t=%d|trials=%d", fi, int64(t), trials))
+	}
+	out := make([]CurvePoint, len(fis))
+	if g == nil {
+		for i, fi := range fis {
+			out[i] = CurvePoint{Fi: fi, Model: p.JoinProbability(fi, t), Sim: p.SimulateJoinProbability(pointRNG(fi), fi, t, trials)}
+		}
+		return out
+	}
+	jobs := make([]fleet.Job, len(fis))
+	for i, fi := range fis {
+		fi := fi
+		jobs[i] = fleet.Job{
+			ID: fmt.Sprintf("mc|fi=%.6g", fi),
+			Run: func() (any, error) {
+				return CurvePoint{Fi: fi, Model: p.JoinProbability(fi, t), Sim: p.SimulateJoinProbability(pointRNG(fi), fi, t, trials)}, nil
+			},
+		}
+	}
+	results, err := g.Map(context.Background(), jobs)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		out[i] = r.Value.(CurvePoint)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package model
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"spider/internal/fleet"
+)
+
+// TestSimulateJoinCurveMatchesModel checks the Monte-Carlo estimate tracks
+// the closed form across the grid.
+func TestSimulateJoinCurveMatchesModel(t *testing.T) {
+	p := params5s()
+	fis := []float64{0.1, 0.25, 0.5, 0.75, 1}
+	pts := p.SimulateJoinCurve(nil, 7, fis, 4*time.Second, 4000)
+	if len(pts) != len(fis) {
+		t.Fatalf("got %d points, want %d", len(pts), len(fis))
+	}
+	for _, pt := range pts {
+		if math.Abs(pt.Sim-pt.Model) > 0.03 {
+			t.Errorf("fi=%.2f: sim %.4f vs model %.4f", pt.Fi, pt.Sim, pt.Model)
+		}
+	}
+}
+
+// TestSimulateJoinCurveWorkerInvariant: inline, one-worker, and
+// eight-worker runs must produce identical curves — each grid point draws
+// from its own derived RNG stream, so execution order cannot matter.
+func TestSimulateJoinCurveWorkerInvariant(t *testing.T) {
+	p := params5s()
+	fis := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	inline := p.SimulateJoinCurve(nil, 11, fis, 4*time.Second, 500)
+	for _, workers := range []int{1, 8} {
+		pool := fleet.New(fleet.Config{Workers: workers})
+		got := p.SimulateJoinCurve(pool.Group("mc"), 11, fis, 4*time.Second, 500)
+		pool.Close()
+		if !reflect.DeepEqual(got, inline) {
+			t.Errorf("workers=%d curve differs from inline:\n%v\n%v", workers, got, inline)
+		}
+	}
+}
+
+// TestSimulateJoinCurveGridInvariant: an estimate at a fraction must not
+// depend on which other fractions share the grid.
+func TestSimulateJoinCurveGridInvariant(t *testing.T) {
+	p := params5s()
+	full := p.SimulateJoinCurve(nil, 3, []float64{0.2, 0.4, 0.6, 0.8}, 4*time.Second, 300)
+	solo := p.SimulateJoinCurve(nil, 3, []float64{0.6}, 4*time.Second, 300)
+	if full[2] != solo[0] {
+		t.Errorf("fi=0.6 estimate depends on grid: %v vs %v", full[2], solo[0])
+	}
+}

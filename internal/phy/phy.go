@@ -144,7 +144,7 @@ type Medium struct {
 	params Params
 
 	radios    map[*Radio]struct{}
-	byChannel map[dot11.Channel]map[*Radio]struct{}
+	byChannel map[dot11.Channel][]*Radio // registration order, so delivery iteration is deterministic
 	busyUntil map[dot11.Channel]sim.Time
 	stats     Stats
 	tap       func(ch dot11.Channel, wire []byte, at sim.Time)
@@ -158,7 +158,7 @@ func NewMedium(eng *sim.Engine, rng *sim.RNG, params Params) *Medium {
 		rng:       rng,
 		params:    params.withDefaults(),
 		radios:    make(map[*Radio]struct{}),
-		byChannel: make(map[dot11.Channel]map[*Radio]struct{}),
+		byChannel: make(map[dot11.Channel][]*Radio),
 		busyUntil: make(map[dot11.Channel]sim.Time),
 		stats:     Stats{AirtimeByChannel: make(map[dot11.Channel]sim.Time)},
 	}
@@ -233,19 +233,21 @@ func (m *Medium) NewRadio(mac dot11.MACAddr, pos func() geo.Point) *Radio {
 	return r
 }
 
-// index moves a radio into a channel's lookup set.
+// index moves a radio into a channel's lookup list. The per-channel lists
+// preserve registration order: delivery iterates them, and both the RNG
+// draws consumed per receiver and the receive callback order must not
+// depend on map iteration order for runs to be reproducible.
 func (m *Medium) index(r *Radio, ch dot11.Channel) {
-	set := m.byChannel[ch]
-	if set == nil {
-		set = make(map[*Radio]struct{})
-		m.byChannel[ch] = set
-	}
-	set[r] = struct{}{}
+	m.byChannel[ch] = append(m.byChannel[ch], r)
 }
 
 func (m *Medium) unindex(r *Radio, ch dot11.Channel) {
-	if set := m.byChannel[ch]; set != nil {
-		delete(set, r)
+	list := m.byChannel[ch]
+	for i, x := range list {
+		if x == r {
+			m.byChannel[ch] = append(list[:i], list[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -371,7 +373,7 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 	srcPos := src.pos()
 	if f.Addr1.IsBroadcast() {
 		m.stats.Broadcasts++
-		for rx := range m.byChannel[ch] {
+		for _, rx := range m.byChannel[ch] {
 			if rx == src || rx.closed || rx.switching || rx.recv == nil {
 				continue
 			}
@@ -393,7 +395,7 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 
 	// Unicast: locate the addressed radio on this channel.
 	var target *Radio
-	for rx := range m.byChannel[ch] {
+	for _, rx := range m.byChannel[ch] {
 		if rx.mac == f.Addr1 && !rx.closed && !rx.switching {
 			target = rx
 			break

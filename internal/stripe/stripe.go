@@ -14,6 +14,7 @@ package stripe
 
 import (
 	"fmt"
+	"sort"
 
 	"spider/internal/sim"
 )
@@ -118,6 +119,7 @@ func (c *Controller) ActivePaths() []int {
 	for id := range c.paths {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -195,12 +197,25 @@ func (c *Controller) assign(p *path) {
 	c.fetch(id, size, func(ok bool) { c.fetchDone(id, idx, ok) })
 }
 
-// kick gives every idle path a chance to pick up freed work.
+// kick gives every idle path a chance to pick up freed work. Paths with
+// fewer failures go first (id breaks ties): a path that keeps failing must
+// not starve a healthy one by re-claiming the block it just dropped. The
+// order is a total one, so assignment never depends on map iteration.
 func (c *Controller) kick() {
+	var idle []*path
 	for _, p := range c.paths {
 		if !p.busy {
-			c.assign(p)
+			idle = append(idle, p)
 		}
+	}
+	sort.Slice(idle, func(i, j int) bool {
+		if idle[i].failed != idle[j].failed {
+			return idle[i].failed < idle[j].failed
+		}
+		return idle[i].id < idle[j].id
+	})
+	for _, p := range idle {
+		c.assign(p)
 	}
 }
 

@@ -1,6 +1,8 @@
 package tcpsim
 
 import (
+	"sort"
+
 	"spider/internal/sim"
 )
 
@@ -224,10 +226,18 @@ func (s *Sender) sendData() {
 // for channel-sliced schedules: ACKs for segments buffered across an
 // absence carry large samples that keep the RTO above the absence length.
 func (s *Sender) sampleRTT(ack uint32) {
-	for end, at := range s.sendTimes {
-		if end > ack {
-			continue
+	// Fold samples in sequence order: the estimator is an EWMA, so the
+	// folding order changes srtt/rttvar — iterating the map directly
+	// would make the RTO depend on map iteration order.
+	var ends []uint32
+	for end := range s.sendTimes {
+		if end <= ack {
+			ends = append(ends, end)
 		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	for _, end := range ends {
+		at := s.sendTimes[end]
 		delete(s.sendTimes, end)
 		s.addSample(s.eng.Now() - at)
 	}
