@@ -84,6 +84,10 @@ var registry = []experiment{
 	{"fig17", "user vs Spider disruption lengths", func(o experiments.Options) []renderable { return one(experiments.Figure17(o, town(o))) }},
 	{"apdensity", "time at k concurrent APs (Section 4.4)", func(o experiments.Options) []renderable { return one(experiments.APDensity(town(o))) }},
 	{"appendixa", "multi-AP selection solver ablation", func(o experiments.Options) []renderable { return one(experiments.AppendixA(o)) }},
+	{"chaos", "fault-injection sweep: recovery time and goodput retention", func(o experiments.Options) []renderable {
+		cr := experiments.ChaosStudy(o)
+		return []renderable{experiments.ChaosTable(cr), experiments.ChaosRecoveryFigure(cr)}
+	}},
 	{"ablation", "design-choice ablations (lease cache, timers, vifs, striping, adaptive, predictive, energy)", func(o experiments.Options) []renderable {
 		return []renderable{
 			experiments.AblationLeaseCache(o),
@@ -350,6 +354,10 @@ func progressPrinter() func(fleet.Event) {
 		}
 		if s.CacheHits > 0 {
 			line += fmt.Sprintf(" cache-hits=%d", s.CacheHits)
+		}
+		if !s.Health.Empty() {
+			line += fmt.Sprintf(" faults=%d recovered=%d drops=%d",
+				s.Health.Faults, s.Health.Recoveries, s.Health.LinkDrops)
 		}
 		if s.ETA > 0 {
 			line += fmt.Sprintf(" eta=%v", s.ETA.Round(time.Second))

@@ -90,6 +90,8 @@ type station struct {
 type Stats struct {
 	Associations  int
 	AuthRejects   int
+	Crashes       int
+	Reboots       int
 	PSMBuffered   uint64
 	PSMDropped    uint64
 	QueueDropped  uint64
@@ -117,6 +119,8 @@ type AP struct {
 	outstanding int
 	nextAID     uint16
 	stopBeacons func()
+	crashed     bool
+	beaconing   bool
 
 	stats Stats
 }
@@ -140,12 +144,13 @@ func New(eng *sim.Engine, rng *sim.RNG, medium *phy.Medium, pos geo.Point, mac d
 	cfg.DHCP.Gateway = cfg.Gateway
 	cfg.DHCP.PoolBase = cfg.Gateway
 	a := &AP{
-		eng:      eng,
-		rng:      rng,
-		cfg:      cfg,
-		uplink:   uplink,
-		stations: make(map[dot11.MACAddr]*station),
-		ipToMAC:  make(map[ipnet.Addr]dot11.MACAddr),
+		eng:       eng,
+		rng:       rng,
+		cfg:       cfg,
+		uplink:    uplink,
+		beaconing: true,
+		stations:  make(map[dot11.MACAddr]*station),
+		ipToMAC:   make(map[ipnet.Addr]dot11.MACAddr),
 	}
 	a.radio = medium.NewRadio(mac, func() geo.Point { return pos })
 	a.radio.SetChannel(cfg.Channel, nil)
@@ -189,6 +194,56 @@ func (a *AP) Stats() Stats { return a.stats }
 // DHCPServer exposes the embedded server (tests and experiments).
 func (a *AP) DHCPServer() *dhcp.Server { return a.dhcpSrv }
 
+// Crash power-cycles the AP off: the radio leaves the air and every bit
+// of soft state — stations, IP bindings, DHCP leases, fault modes — is
+// lost, exactly as when a residential AP loses power. The AP stays down
+// until Reboot.
+func (a *AP) Crash() {
+	if a.crashed {
+		return
+	}
+	a.crashed = true
+	a.stats.Crashes++
+	a.radio.SetDown(true)
+	a.stations = make(map[dot11.MACAddr]*station)
+	a.ipToMAC = make(map[ipnet.Addr]dot11.MACAddr)
+	a.nextAID = 0
+	a.dhcpSrv.Reset()
+}
+
+// Reboot brings a crashed AP back up with empty state: it resumes
+// beaconing and clients must re-associate and re-acquire leases.
+func (a *AP) Reboot() {
+	if !a.crashed {
+		return
+	}
+	a.crashed = false
+	a.stats.Reboots++
+	a.radio.SetDown(false)
+}
+
+// Crashed reports whether the AP is currently down.
+func (a *AP) Crashed() bool { return a.crashed }
+
+// SetBeaconing enables or suppresses beacon transmission (fault
+// injection); the AP otherwise keeps serving associated clients.
+func (a *AP) SetBeaconing(on bool) { a.beaconing = on }
+
+// SetDHCPFault switches the embedded DHCP server's fault mode.
+func (a *AP) SetDHCPFault(mode dhcp.FaultMode) { a.dhcpSrv.SetFault(mode) }
+
+// SetBackhaulBlackhole blackholes both directions of the wired link.
+func (a *AP) SetBackhaulBlackhole(on bool) {
+	a.down.SetBlackhole(on)
+	a.up.SetBlackhole(on)
+}
+
+// SetBackhaulExtraDelay injects extra one-way delay in both directions.
+func (a *AP) SetBackhaulExtraDelay(extra sim.Time) {
+	a.down.SetExtraDelay(extra)
+	a.up.SetExtraDelay(extra)
+}
+
 // FromInternet injects a packet arriving from the wired side; it traverses
 // the rate-limited downlink before reaching the wireless side.
 func (a *AP) FromInternet(p ipnet.Packet) { a.down.Send(p) }
@@ -204,6 +259,9 @@ func (a *AP) capabilities() uint16 {
 }
 
 func (a *AP) beacon() {
+	if a.crashed || !a.beaconing {
+		return
+	}
 	body := dot11.BeaconBody{
 		SSID:           a.cfg.SSID,
 		BeaconInterval: uint16(a.cfg.BeaconInterval / (1000 * 1000)),
@@ -242,6 +300,9 @@ func (a *AP) mgmtDelay() sim.Time {
 }
 
 func (a *AP) onFrame(f dot11.Frame, info phy.RxInfo) {
+	if a.crashed {
+		return
+	}
 	switch f.Type {
 	case dot11.TypeProbeReq:
 		a.eng.Schedule(a.mgmtDelay(), func() { a.sendProbeResp(f.Addr2) })
@@ -286,6 +347,9 @@ func (a *AP) onFrame(f dot11.Frame, info phy.RxInfo) {
 }
 
 func (a *AP) sendProbeResp(to dot11.MACAddr) {
+	if a.crashed {
+		return
+	}
 	body := dot11.BeaconBody{
 		SSID:           a.cfg.SSID,
 		BeaconInterval: uint16(a.cfg.BeaconInterval / (1000 * 1000)),
@@ -301,6 +365,9 @@ func (a *AP) sendProbeResp(to dot11.MACAddr) {
 }
 
 func (a *AP) handleAuth(from dot11.MACAddr) {
+	if a.crashed {
+		return
+	}
 	status := uint16(0)
 	if !a.cfg.Open {
 		status = 1
@@ -324,6 +391,9 @@ func (a *AP) handleAuth(from dot11.MACAddr) {
 }
 
 func (a *AP) handleAssoc(from dot11.MACAddr) {
+	if a.crashed {
+		return
+	}
 	st := a.stations[from]
 	status := uint16(0)
 	var aid uint16
@@ -422,6 +492,9 @@ func (a *AP) handleDHCP(mac dot11.MACAddr, payload []byte) {
 		return
 	}
 	a.dhcpSrv.Handle(msg, func(resp Message) {
+		if a.crashed {
+			return // the response was in flight when the AP lost power
+		}
 		if resp.Type == dhcp.Ack {
 			a.ipToMAC[resp.YourIP] = mac
 			if st := a.stations[mac]; st != nil {
@@ -444,6 +517,9 @@ type Message = dhcp.Message
 
 // fromWire receives packets that crossed the downlink; route to stations.
 func (a *AP) fromWire(p ipnet.Packet) {
+	if a.crashed {
+		return
+	}
 	a.stats.DownPackets++
 	mac, ok := a.ipToMAC[p.Dst]
 	if !ok {

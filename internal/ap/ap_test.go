@@ -435,3 +435,151 @@ func TestCaptivePortalBlocksWAN(t *testing.T) {
 		t.Fatalf("WANBlocked = %d, want 1", w.ap.Stats().WANBlocked)
 	}
 }
+
+func TestCrashSilencesAndWipesState(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	w.ap.Crash()
+	if !w.ap.Crashed() {
+		t.Fatal("Crashed() = false after Crash")
+	}
+	if assoc, _, lease, _ := w.ap.StationState(dot11.MAC(1)); assoc || lease {
+		t.Fatal("station state survived the crash")
+	}
+	// No beacons, no probe or auth responses while down.
+	before := len(c.got)
+	c.send(dot11.Frame{Type: dot11.TypeProbeReq, Addr1: dot11.Broadcast})
+	bssid := w.ap.BSSID()
+	c.send(dot11.Frame{Type: dot11.TypeAuth, Addr1: bssid, Addr3: bssid, Body: (&dot11.AuthBody{SeqNum: 1}).AppendTo(nil)})
+	w.eng.Run(w.eng.Now() + time.Second)
+	if len(c.got) != before {
+		t.Fatalf("crashed AP emitted %d frames", len(c.got)-before)
+	}
+	// Downlink to the pre-crash lease drops.
+	w.ap.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, Dst: ip})
+	w.eng.Run(w.eng.Now() + time.Second)
+	if len(c.got) != before {
+		t.Fatal("crashed AP forwarded downlink traffic")
+	}
+	if w.ap.Stats().Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", w.ap.Stats().Crashes)
+	}
+}
+
+func TestRebootRestoresJoinability(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	first := c.dhcpJoin(w, t)
+	w.ap.Crash()
+	w.eng.Run(w.eng.Now() + time.Second)
+	w.ap.Reboot()
+	if w.ap.Crashed() {
+		t.Fatal("Crashed() = true after Reboot")
+	}
+	// The station can join again from scratch; the rebooted server hands
+	// out a fresh pool, so the first address comes back.
+	c.got = nil
+	again := c.dhcpJoin(w, t)
+	if again != first {
+		t.Fatalf("post-reboot lease = %v, want pool restart to reissue %v", again, first)
+	}
+	if w.ap.Stats().Reboots != 1 {
+		t.Fatalf("Reboots = %d, want 1", w.ap.Stats().Reboots)
+	}
+	// Beacons resume.
+	before := len(c.frames(dot11.TypeBeacon))
+	w.eng.Run(w.eng.Now() + time.Second)
+	if got := len(c.frames(dot11.TypeBeacon)); got <= before {
+		t.Fatal("no beacons after reboot")
+	}
+}
+
+func TestCrashGatesInFlightDHCPReply(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	c.join(w, t)
+	// Fire a Discover, then crash the AP before its delayed reply departs
+	// (DHCP RespDelayMin is 10ms in newWorld).
+	c.sendDHCP(w, dhcp.Message{Type: dhcp.Discover, XID: 9, ClientMAC: dot11.MAC(1)})
+	w.eng.Run(w.eng.Now() + time.Millisecond)
+	w.ap.Crash()
+	w.eng.Run(w.eng.Now() + time.Second)
+	for _, f := range c.frames(dot11.TypeData) {
+		pkt, err := ipnet.Decode(f.Body)
+		if err != nil || pkt.Proto != ipnet.ProtoUDP {
+			continue
+		}
+		u, err := ipnet.DecodeUDP(pkt.Payload)
+		if err == nil && u.DstPort == ipnet.PortDHCPClient {
+			t.Fatal("DHCP reply escaped a crashed AP")
+		}
+	}
+}
+
+func TestBeaconSuppression(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	w.ap.SetBeaconing(false)
+	w.eng.Run(w.eng.Now() + time.Second)
+	if got := len(c.frames(dot11.TypeBeacon)); got != 0 {
+		t.Fatalf("suppressed AP sent %d beacons", got)
+	}
+	// Probe responses still work: the AP is up, just quiet.
+	c.send(dot11.Frame{Type: dot11.TypeProbeReq, Addr1: dot11.Broadcast})
+	w.eng.Run(w.eng.Now() + 100*time.Millisecond)
+	if len(c.frames(dot11.TypeProbeResp)) != 1 {
+		t.Fatal("suppressed AP stopped answering probes")
+	}
+	w.ap.SetBeaconing(true)
+	w.eng.Run(w.eng.Now() + time.Second)
+	if got := len(c.frames(dot11.TypeBeacon)); got < 8 {
+		t.Fatalf("beaconing did not resume: %d beacons in 1s", got)
+	}
+}
+
+func TestSetDHCPFaultReachesServer(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	c.join(w, t)
+	w.ap.SetDHCPFault(dhcp.FaultSilent)
+	c.sendDHCP(w, dhcp.Message{Type: dhcp.Discover, XID: 3, ClientMAC: dot11.MAC(1)})
+	w.eng.Run(w.eng.Now() + time.Second)
+	for _, f := range c.frames(dot11.TypeData) {
+		pkt, err := ipnet.Decode(f.Body)
+		if err != nil || pkt.Proto != ipnet.ProtoUDP {
+			continue
+		}
+		if u, err := ipnet.DecodeUDP(pkt.Payload); err == nil && u.DstPort == ipnet.PortDHCPClient {
+			t.Fatal("silenced DHCP server replied")
+		}
+	}
+	w.ap.SetDHCPFault(dhcp.FaultNone)
+	c.sendDHCP(w, dhcp.Message{Type: dhcp.Discover, XID: 4, ClientMAC: dot11.MAC(1)})
+	w.eng.Run(w.eng.Now() + time.Second)
+	c.findDHCP(t, dhcp.Offer)
+}
+
+func TestBackhaulFaultKnobs(t *testing.T) {
+	w := newWorld(t, true)
+	c := w.newClient(dot11.MAC(1))
+	ip := c.dhcpJoin(w, t)
+	w.ap.SetBackhaulBlackhole(true)
+	before := len(c.frames(dot11.TypeData))
+	w.ap.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, Dst: ip, Payload: []byte("x")})
+	w.eng.Run(w.eng.Now() + time.Second)
+	if got := len(c.frames(dot11.TypeData)); got != before {
+		t.Fatal("blackholed downlink delivered")
+	}
+	w.ap.SetBackhaulBlackhole(false)
+	w.ap.SetBackhaulExtraDelay(200 * time.Millisecond)
+	w.ap.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, Dst: ip, Payload: []byte("y")})
+	w.eng.Run(w.eng.Now() + 150*time.Millisecond)
+	if got := len(c.frames(dot11.TypeData)); got != before {
+		t.Fatal("downlink arrived before the injected latency elapsed")
+	}
+	w.eng.Run(w.eng.Now() + time.Second)
+	if got := len(c.frames(dot11.TypeData)); got != before+1 {
+		t.Fatalf("frames = %d, want %d (delayed packet must still arrive)", got, before+1)
+	}
+}

@@ -33,10 +33,13 @@ type Link struct {
 
 	busyUntil sim.Time
 	queued    int
+	blackhole bool
+	extra     sim.Time
 
 	// Counters.
-	Sent    uint64
-	Dropped uint64
+	Sent       uint64
+	Dropped    uint64
+	Blackholed uint64
 }
 
 // NewLink creates a link that hands received packets to deliver.
@@ -56,8 +59,31 @@ func (l *Link) Config() Config { return l.cfg }
 // QueueDepth returns the packets currently queued ahead of new arrivals.
 func (l *Link) QueueDepth() int { return l.queued }
 
+// SetBlackhole drops every subsequent Send until cleared (fault
+// injection). Packets already in flight still arrive.
+func (l *Link) SetBlackhole(on bool) { l.blackhole = on }
+
+// Blackhole reports whether the link is currently blackholed.
+func (l *Link) Blackhole() bool { return l.blackhole }
+
+// SetExtraDelay adds d to the propagation delay of subsequent packets (a
+// latency spike); non-positive restores the configured delay.
+func (l *Link) SetExtraDelay(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	l.extra = d
+}
+
+// ExtraDelay returns the currently injected extra delay.
+func (l *Link) ExtraDelay() sim.Time { return l.extra }
+
 // Send enqueues a packet. It is dropped if the queue is full.
 func (l *Link) Send(p ipnet.Packet) {
+	if l.blackhole {
+		l.Blackholed++
+		return
+	}
 	now := l.eng.Now()
 	if l.busyUntil < now {
 		l.busyUntil = now
@@ -75,5 +101,5 @@ func (l *Link) Send(p ipnet.Packet) {
 	l.Sent++
 	txDone := l.busyUntil - now
 	l.eng.Schedule(txDone, func() { l.queued-- })
-	l.eng.Schedule(txDone+l.cfg.Delay, func() { l.deliver(p) })
+	l.eng.Schedule(txDone+l.cfg.Delay+l.extra, func() { l.deliver(p) })
 }

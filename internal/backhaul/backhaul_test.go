@@ -112,3 +112,70 @@ func TestNilDeliverPanics(t *testing.T) {
 	}()
 	NewLink(sim.NewEngine(), Config{}, nil)
 }
+
+func TestBlackholeDropsAndRecovers(t *testing.T) {
+	eng := sim.NewEngine()
+	delivered := 0
+	l := NewLink(eng, Config{Delay: time.Millisecond}, func(ipnet.Packet) { delivered++ })
+	l.Send(pkt(100))
+	l.SetBlackhole(true)
+	if !l.Blackhole() {
+		t.Fatal("Blackhole() = false after SetBlackhole(true)")
+	}
+	l.Send(pkt(100))
+	l.Send(pkt(100))
+	l.SetBlackhole(false)
+	l.Send(pkt(100))
+	eng.RunAll()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want 2 (blackholed sends dropped)", delivered)
+	}
+	if l.Blackholed != 2 {
+		t.Fatalf("Blackholed = %d, want 2", l.Blackholed)
+	}
+	if l.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0 (blackhole is not queue drop)", l.Dropped)
+	}
+}
+
+func TestBlackholeLeavesInFlightPackets(t *testing.T) {
+	eng := sim.NewEngine()
+	delivered := 0
+	l := NewLink(eng, Config{Delay: 10 * time.Millisecond}, func(ipnet.Packet) { delivered++ })
+	l.Send(pkt(100))
+	// Blackhole lands while the packet is propagating: it still arrives.
+	eng.ScheduleAt(5*time.Millisecond, func() { l.SetBlackhole(true) })
+	eng.RunAll()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (in-flight packet survives)", delivered)
+	}
+}
+
+func TestExtraDelayShiftsArrival(t *testing.T) {
+	eng := sim.NewEngine()
+	var times []sim.Time
+	l := NewLink(eng, Config{Delay: 10 * time.Millisecond}, func(ipnet.Packet) { times = append(times, eng.Now()) })
+	l.Send(pkt(100))
+	l.SetExtraDelay(40 * time.Millisecond)
+	if l.ExtraDelay() != 40*time.Millisecond {
+		t.Fatalf("ExtraDelay = %v", l.ExtraDelay())
+	}
+	l.Send(pkt(100))
+	l.SetExtraDelay(-time.Second) // clamps to zero, restoring base delay
+	if l.ExtraDelay() != 0 {
+		t.Fatalf("ExtraDelay after negative set = %v, want 0", l.ExtraDelay())
+	}
+	l.Send(pkt(100))
+	eng.RunAll()
+	// Arrival order: the two base-delay packets land at 10ms, the delayed
+	// middle send at 50ms.
+	want := []sim.Time{10 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond}
+	if len(times) != len(want) {
+		t.Fatalf("delivered %d, want %d", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("packet %d delivered at %v, want %v", i, times[i], want[i])
+		}
+	}
+}

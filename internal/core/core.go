@@ -12,6 +12,7 @@ import (
 
 	"spider/internal/ap"
 	"spider/internal/capture"
+	"spider/internal/chaos"
 	"spider/internal/dhcp"
 	"spider/internal/dot11"
 	"spider/internal/driver"
@@ -126,6 +127,9 @@ type APOverrides struct {
 	BackhaulDelay sim.Time
 	// BeaconInterval overrides the beacon period.
 	BeaconInterval sim.Time
+	// LeaseSecs overrides the advertised DHCP lease duration; short
+	// leases force the LMM's mid-encounter renewal path.
+	LeaseSecs uint32
 }
 
 // ScenarioConfig describes one run.
@@ -174,6 +178,9 @@ type ScenarioConfig struct {
 	StripeObjectBytes int64
 	// DisableTraffic turns off TCP flows (join-only experiments).
 	DisableTraffic bool
+	// Chaos, when non-nil, injects the fault plan into the scenario (see
+	// internal/chaos). The plan's AP indices refer to Sites order.
+	Chaos *chaos.Plan
 	// PCAP, when non-nil, receives a pcap capture of every frame on the
 	// air (see internal/capture).
 	PCAP io.Writer
@@ -286,6 +293,16 @@ type Result struct {
 	LinkUps   int
 	LinkDowns int
 
+	// Recoveries are outage lengths in seconds: the gap from losing the
+	// last live link to the next established one. Chaos experiments
+	// report these as fault recovery times.
+	Recoveries []float64
+	// PerSecondKBps is delivered goodput per one-second bucket over the
+	// whole run, zero seconds included (pre/post-fault goodput windows).
+	PerSecondKBps []float64
+	// Chaos counts injected faults when a fault plan was active.
+	Chaos chaos.Stats
+
 	// Striped-traffic results (StripeObjectBytes > 0).
 	StripeObjects    int
 	StripeObjectSecs []float64
@@ -334,8 +351,9 @@ func Run(cfg ScenarioConfig) Result {
 	}
 	pos := func() geo.Point { return cfg.Mobility.PositionAt(eng.Now()) }
 
-	// Deploy APs.
+	// Deploy APs. apList keeps Sites order for chaos targeting.
 	aps := make(map[dot11.MACAddr]*ap.AP, len(cfg.Sites))
+	apList := make([]*ap.AP, 0, len(cfg.Sites))
 	flows := make(map[ipnet.Addr]*flow)
 	// uplink handles packets that crossed an AP's backhaul: TCP ACKs back
 	// to flow senders, and echo requests to the well-known test server
@@ -384,6 +402,9 @@ func Run(cfg ScenarioConfig) Result {
 		if cfg.AP.BeaconInterval > 0 {
 			apCfg.BeaconInterval = cfg.AP.BeaconInterval
 		}
+		if cfg.AP.LeaseSecs > 0 {
+			apCfg.DHCP.LeaseSecs = cfg.AP.LeaseSecs
+		}
 		if site.DHCPDead {
 			// The server exists but never answers inside any client's
 			// acquisition window.
@@ -397,6 +418,19 @@ func Run(cfg ScenarioConfig) Result {
 		self = ap.New(eng, rng.Stream(site.SSID), medium, sitePos, mac, apCfg,
 			func(p ipnet.Packet) { uplink(self, p) })
 		aps[mac] = self
+		apList = append(apList, self)
+	}
+
+	// Arm the fault plan. The injector draws from its own stream and
+	// schedules everything up front, so a given (seed, plan) replays the
+	// same fault sequence regardless of what else the scenario does.
+	var inj *chaos.Injector
+	if cfg.Chaos != nil && !cfg.Chaos.Empty() {
+		targets := make([]chaos.Target, len(apList))
+		for i, a := range apList {
+			targets[i] = a
+		}
+		inj = chaos.New(eng, rng.Stream("chaos"), *cfg.Chaos, targets, medium)
 	}
 
 	// Client stack.
@@ -492,6 +526,29 @@ func Run(cfg ScenarioConfig) Result {
 		}
 	}
 
+	// Outage accounting: an outage opens when the last live link drops
+	// and closes at the next established link. The LMM resets the dying
+	// conn before notifying, so ActiveLinks is already post-drop here.
+	baseUp, baseDown := manager.OnLinkUp, manager.OnLinkDown
+	outageStart := sim.Time(-1)
+	manager.OnLinkUp = func(l *lmm.Link) {
+		if outageStart >= 0 {
+			res.Recoveries = append(res.Recoveries, (eng.Now() - outageStart).Seconds())
+			outageStart = -1
+		}
+		if baseUp != nil {
+			baseUp(l)
+		}
+	}
+	manager.OnLinkDown = func(l *lmm.Link) {
+		if baseDown != nil {
+			baseDown(l)
+		}
+		if outageStart < 0 && len(manager.ActiveLinks()) == 0 {
+			outageStart = eng.Now()
+		}
+	}
+
 	// Adaptive controller (future-work extension): single channel at
 	// speed, multi-channel rotation when slow.
 	if cfg.Preset == Adaptive {
@@ -565,6 +622,12 @@ func Run(cfg ScenarioConfig) Result {
 	res.DisruptionDurations = series.DisruptionDurations(cfg.Duration)
 	for _, r := range series.NonzeroRates(cfg.Duration) {
 		res.InstRatesKBps = append(res.InstRatesKBps, r/1024)
+	}
+	for _, r := range series.Rates(cfg.Duration) {
+		res.PerSecondKBps = append(res.PerSecondKBps, r/1024)
+	}
+	if inj != nil {
+		res.Chaos = inj.Stats()
 	}
 	res.Joins = manager.Joins()
 	res.LMM = manager.Stats()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"spider/internal/capture"
+	"spider/internal/chaos"
 	"spider/internal/sim"
 
 	"spider/internal/dot11"
@@ -287,5 +288,98 @@ func TestPredictiveLearnsSegmentChannels(t *testing.T) {
 	if pred.BytesReceived <= rot.BytesReceived {
 		t.Fatalf("predictive %d bytes <= static rotation %d bytes on a segregated town",
 			pred.BytesReceived, rot.BytesReceived)
+	}
+}
+
+func TestChaosCrashRecoveryAndGoodputRetention(t *testing.T) {
+	// The ISSUE's acceptance scenario: a static client striping through one
+	// AP, which crashes mid-run and reboots 10s later. The LMM must tear
+	// the dead link down, rejoin after the reboot within a bounded time,
+	// and goodput must return to >= 90% of the pre-fault level.
+	sites := []mobility.APSite{{
+		Pos: geo.Point{X: 10, Y: 0}, Channel: dot11.Channel1,
+		SSID: "chaos-a", Open: true, BackhaulBps: 2e6,
+	}}
+	sec := sim.Time(time.Second)
+	plan := chaos.Plan{Events: []chaos.Event{
+		{At: 40 * sec, Kind: chaos.APCrash, AP: 0, Duration: 10 * sec},
+	}}
+	res := Run(ScenarioConfig{
+		Seed: 1, Duration: 150 * time.Second, Preset: SingleChannelMultiAP,
+		Mobility: mobility.Static(geo.Point{}), Sites: sites, Chaos: &plan,
+	})
+	if res.Chaos.Crashes != 1 || res.Chaos.Reboots != 1 {
+		t.Fatalf("chaos stats = %+v, want 1 crash + 1 scheduled reboot", res.Chaos)
+	}
+	if res.LinkDowns == 0 {
+		t.Fatal("the crash never tore the link down")
+	}
+	if res.LinkUps < 2 {
+		t.Fatalf("LinkUps = %d, want the pre-fault join plus a post-reboot rejoin", res.LinkUps)
+	}
+	// Every outage must close, within a bounded recovery time. The reboot
+	// lands at t=50s; teardown, backoff, rescan, and rejoin are each
+	// bounded, so 30s covers the worst case with margin.
+	if len(res.Recoveries) == 0 {
+		t.Fatal("no recovery recorded: the outage never closed")
+	}
+	if len(res.Recoveries) < res.LinkDowns {
+		t.Fatalf("recoveries = %d < link downs = %d: an outage is still open (wedged conn)",
+			len(res.Recoveries), res.LinkDowns)
+	}
+	for _, r := range res.Recoveries {
+		if r > 30 {
+			t.Fatalf("recovery took %.1fs, want < 30s", r)
+		}
+	}
+	// Goodput retention: compare steady windows before the fault and after
+	// the worst-case recovery horizon.
+	if len(res.PerSecondKBps) != 150 {
+		t.Fatalf("PerSecondKBps has %d buckets, want 150", len(res.PerSecondKBps))
+	}
+	mean := func(lo, hi int) float64 {
+		sum := 0.0
+		for _, v := range res.PerSecondKBps[lo:hi] {
+			sum += v
+		}
+		return sum / float64(hi-lo)
+	}
+	pre := mean(10, 40)
+	post := mean(80, 150)
+	if pre <= 0 {
+		t.Fatal("no pre-fault goodput")
+	}
+	if post < 0.9*pre {
+		t.Fatalf("post-recovery goodput %.1f KB/s < 90%% of pre-fault %.1f KB/s", post, pre)
+	}
+}
+
+func TestChaosDeterminism(t *testing.T) {
+	sites, model, dur := road(dot11.Channel1, dot11.Channel1)
+	sec := sim.Time(time.Second)
+	plan := chaos.Plan{
+		Events: []chaos.Event{{At: 20 * sec, Kind: chaos.APCrash, AP: 0, Duration: 8 * sec}},
+		Procs: []chaos.Process{
+			{Kind: chaos.DHCPSilence, Mean: 30 * sec, Duration: 5 * sec, AP: chaos.RandomAP},
+			{Kind: chaos.NoiseBurst, Mean: 40 * sec, Duration: 3 * sec, Channel: dot11.Channel1, Loss: 0.4},
+		},
+	}
+	run := func() Result {
+		p := plan
+		return Run(ScenarioConfig{Seed: 42, Duration: dur, Preset: SingleChannelMultiAP,
+			Mobility: model, Sites: sites, Chaos: &p})
+	}
+	a, b := run(), run()
+	if a.BytesReceived != b.BytesReceived || a.LinkUps != b.LinkUps ||
+		a.Chaos != b.Chaos || len(a.Recoveries) != len(b.Recoveries) {
+		t.Fatalf("chaos runs diverged: %+v vs %+v", a.Chaos, b.Chaos)
+	}
+	for i := range a.Recoveries {
+		if a.Recoveries[i] != b.Recoveries[i] {
+			t.Fatalf("recovery %d differs: %v vs %v", i, a.Recoveries[i], b.Recoveries[i])
+		}
+	}
+	if a.Chaos.Injected == 0 {
+		t.Fatal("the plan injected nothing")
 	}
 }

@@ -310,3 +310,161 @@ func TestPropertyLosslessAlwaysBinds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestServerFaultSilent(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	s.SetFault(FaultSilent)
+	called := false
+	s.Handle(Message{Type: Discover, XID: 1, ClientMAC: dot11.MAC(1)}, func(Message) { called = true })
+	s.Handle(Message{Type: Request, XID: 2, ClientMAC: dot11.MAC(1)}, func(Message) { called = true })
+	eng.RunAll()
+	if called {
+		t.Fatal("silent server replied")
+	}
+	if s.FaultDrops != 2 {
+		t.Fatalf("FaultDrops = %d, want 2", s.FaultDrops)
+	}
+	s.SetFault(FaultNone)
+	var resp Message
+	s.Handle(Message{Type: Discover, XID: 3, ClientMAC: dot11.MAC(1)}, func(m Message) { resp = m })
+	eng.RunAll()
+	if resp.Type != Offer {
+		t.Fatalf("after clearing fault, response = %v, want offer", resp.Type)
+	}
+}
+
+func TestServerFaultNak(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	s.SetFault(FaultNak)
+	var got []Message
+	s.Handle(Message{Type: Discover, XID: 1, ClientMAC: dot11.MAC(1)}, func(m Message) { got = append(got, m) })
+	s.Handle(Message{Type: Request, XID: 2, ClientMAC: dot11.MAC(1)}, func(m Message) { got = append(got, m) })
+	eng.RunAll()
+	if len(got) != 2 || got[0].Type != Nak || got[1].Type != Nak {
+		t.Fatalf("responses = %v, want two naks", got)
+	}
+	if s.Naks != 2 {
+		t.Fatalf("Naks = %d, want 2", s.Naks)
+	}
+}
+
+func TestServerFaultExhausted(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	// Bind one client before the fault lands.
+	var bound Message
+	s.Handle(Message{Type: Discover, XID: 1, ClientMAC: dot11.MAC(1)}, func(m Message) { bound = m })
+	eng.RunAll()
+	if bound.Type != Offer {
+		t.Fatalf("pre-fault discover got %v", bound.Type)
+	}
+	s.SetFault(FaultExhausted)
+	// New client sees the exhausted pool; Discover is silent, Request NAKs.
+	discovered := false
+	var naked Message
+	s.Handle(Message{Type: Discover, XID: 2, ClientMAC: dot11.MAC(2)}, func(Message) { discovered = true })
+	s.Handle(Message{Type: Request, XID: 3, ClientMAC: dot11.MAC(2), YourIP: bound.YourIP}, func(m Message) { naked = m })
+	// The already-bound client keeps working.
+	var kept Message
+	s.Handle(Message{Type: Request, XID: 4, ClientMAC: dot11.MAC(1), YourIP: bound.YourIP}, func(m Message) { kept = m })
+	eng.RunAll()
+	if discovered {
+		t.Fatal("exhausted pool offered a lease")
+	}
+	if naked.Type != Nak {
+		t.Fatalf("exhausted Request got %v, want nak (typed fail-fast)", naked.Type)
+	}
+	if kept.Type != Ack {
+		t.Fatalf("bound client's renewal got %v, want ack", kept.Type)
+	}
+	if s.PoolExhausted != 2 {
+		t.Fatalf("PoolExhausted = %d, want 2", s.PoolExhausted)
+	}
+}
+
+func TestServerRequestOnRealExhaustionNaks(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultServerConfig(gw)
+	cfg.PoolSize = 1
+	cfg.RespDelayMin, cfg.RespDelayMax = 0, 0
+	s := NewServer(eng, sim.NewRNG(1), cfg)
+	var first Message
+	s.Handle(Message{Type: Discover, XID: 1, ClientMAC: dot11.MAC(1)}, func(m Message) { first = m })
+	eng.RunAll()
+	var resp Message
+	s.Handle(Message{Type: Request, XID: 2, ClientMAC: dot11.MAC(2), YourIP: first.YourIP}, func(m Message) { resp = m })
+	eng.RunAll()
+	if resp.Type != Nak {
+		t.Fatalf("Request on exhausted pool got %v, want nak", resp.Type)
+	}
+	if s.PoolExhausted != 1 {
+		t.Fatalf("PoolExhausted = %d, want 1", s.PoolExhausted)
+	}
+}
+
+func TestServerReleaseReusesAddress(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultServerConfig(gw)
+	cfg.PoolSize = 1
+	cfg.RespDelayMin, cfg.RespDelayMax = 0, 0
+	s := NewServer(eng, sim.NewRNG(1), cfg)
+	var first Message
+	s.Handle(Message{Type: Discover, XID: 1, ClientMAC: dot11.MAC(1)}, func(m Message) { first = m })
+	eng.RunAll()
+	if first.Type != Offer {
+		t.Fatalf("first discover got %v", first.Type)
+	}
+	if s.LeasesInUse() != 1 {
+		t.Fatalf("LeasesInUse = %d, want 1", s.LeasesInUse())
+	}
+	s.Release(dot11.MAC(1))
+	if s.LeasesInUse() != 0 {
+		t.Fatalf("LeasesInUse after release = %d, want 0", s.LeasesInUse())
+	}
+	var second Message
+	s.Handle(Message{Type: Discover, XID: 2, ClientMAC: dot11.MAC(2)}, func(m Message) { second = m })
+	eng.RunAll()
+	if second.Type != Offer || second.YourIP != first.YourIP {
+		t.Fatalf("released address not reused: first=%v second=%+v", first.YourIP, second)
+	}
+	// Releasing an unknown MAC is a no-op.
+	s.Release(dot11.MAC(99))
+	if s.LeasesInUse() != 1 {
+		t.Fatalf("LeasesInUse = %d, want 1", s.LeasesInUse())
+	}
+}
+
+func TestServerReset(t *testing.T) {
+	eng := sim.NewEngine()
+	s := instantServer(eng)
+	s.Handle(Message{Type: Discover, XID: 1, ClientMAC: dot11.MAC(1)}, func(Message) {})
+	eng.RunAll()
+	s.SetFault(FaultSilent)
+	s.Reset()
+	if s.LeasesInUse() != 0 {
+		t.Fatalf("LeasesInUse after reset = %d, want 0", s.LeasesInUse())
+	}
+	if s.Fault() != FaultNone {
+		t.Fatalf("fault after reset = %v, want none", s.Fault())
+	}
+	var resp Message
+	s.Handle(Message{Type: Discover, XID: 2, ClientMAC: dot11.MAC(2)}, func(m Message) { resp = m })
+	eng.RunAll()
+	if resp.Type != Offer {
+		t.Fatalf("post-reset discover got %v, want offer", resp.Type)
+	}
+}
+
+func TestFaultModeStrings(t *testing.T) {
+	modes := []FaultMode{FaultNone, FaultSilent, FaultNak, FaultExhausted}
+	seen := map[string]bool{}
+	for _, m := range modes {
+		s := m.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Errorf("mode %d has bad string %q", m, s)
+		}
+		seen[s] = true
+	}
+}

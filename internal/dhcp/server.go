@@ -37,6 +37,35 @@ func DefaultServerConfig(gateway ipnet.Addr) ServerConfig {
 	}
 }
 
+// FaultMode selects an injected server misbehaviour (package chaos).
+type FaultMode uint8
+
+const (
+	// FaultNone is normal operation.
+	FaultNone FaultMode = iota
+	// FaultSilent drops every client message without a response.
+	FaultSilent
+	// FaultNak answers every Discover and Request with NAK.
+	FaultNak
+	// FaultExhausted makes the pool behave exhausted for clients that do
+	// not already hold a lease.
+	FaultExhausted
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultSilent:
+		return "silent"
+	case FaultNak:
+		return "nak"
+	case FaultExhausted:
+		return "exhausted"
+	}
+	return "unknown"
+}
+
 // Server is a DHCP server bound to one AP. It answers Discover with Offer
 // and Request with Ack (or Nak when the pool is exhausted or the requested
 // address is stale), each after a sampled processing delay.
@@ -47,11 +76,15 @@ type Server struct {
 
 	leases map[dot11.MACAddr]ipnet.Addr
 	next   int
+	free   []ipnet.Addr // released addresses, reused LIFO
+	fault  FaultMode
 
 	// Counters for experiment reporting.
-	Offers int
-	Acks   int
-	Naks   int
+	Offers        int
+	Acks          int
+	Naks          int
+	PoolExhausted int // requests refused because no address was free
+	FaultDrops    int // messages swallowed by FaultSilent
 }
 
 // NewServer creates a server. rng must be a dedicated stream.
@@ -68,39 +101,101 @@ func NewServer(eng *sim.Engine, rng *sim.RNG, cfg ServerConfig) *Server {
 // Gateway returns the server's gateway address.
 func (s *Server) Gateway() ipnet.Addr { return s.cfg.Gateway }
 
-// leaseFor returns the stable lease for a client, allocating if needed.
-// The zero address reports pool exhaustion.
-func (s *Server) leaseFor(mac dot11.MACAddr) ipnet.Addr {
+// SetFault switches the server's fault mode (fault injection).
+func (s *Server) SetFault(m FaultMode) { s.fault = m }
+
+// Fault returns the current fault mode.
+func (s *Server) Fault() FaultMode { return s.fault }
+
+// LeasesInUse reports the number of currently bound leases.
+func (s *Server) LeasesInUse() int { return len(s.leases) }
+
+// Release returns mac's lease to the pool; a later allocation may hand
+// the address to a different client.
+func (s *Server) Release(mac dot11.MACAddr) {
+	ip, ok := s.leases[mac]
+	if !ok {
+		return
+	}
+	delete(s.leases, mac)
+	s.free = append(s.free, ip)
+}
+
+// Reset drops every lease and clears any fault mode, as a power cycle
+// would. Responses already scheduled still fire; the AP layer gates them.
+func (s *Server) Reset() {
+	s.leases = make(map[dot11.MACAddr]ipnet.Addr)
+	s.next = 0
+	s.free = nil
+	s.fault = FaultNone
+}
+
+// leaseFor returns the stable lease for a client, allocating from the
+// free list first, then from the untouched pool tail. ok is false when
+// the pool is exhausted (or faulted to behave so).
+func (s *Server) leaseFor(mac dot11.MACAddr) (ipnet.Addr, bool) {
 	if ip, ok := s.leases[mac]; ok {
-		return ip
+		return ip, true
+	}
+	if s.fault == FaultExhausted {
+		s.PoolExhausted++
+		return ipnet.Unspecified, false
+	}
+	if n := len(s.free); n > 0 {
+		ip := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.leases[mac] = ip
+		return ip, true
 	}
 	if s.next >= s.cfg.PoolSize {
-		return ipnet.Unspecified
+		s.PoolExhausted++
+		return ipnet.Unspecified, false
 	}
 	s.next++
 	ip := s.cfg.PoolBase + ipnet.Addr(s.next)
 	s.leases[mac] = ip
-	return ip
+	return ip, true
+}
+
+// nak builds the typed refusal for msg.
+func (s *Server) nak(msg Message) Message {
+	s.Naks++
+	return Message{Type: Nak, XID: msg.XID, ClientMAC: msg.ClientMAC, ServerIP: s.cfg.Gateway}
 }
 
 // Handle processes one client message and, after the sampled processing
 // delay, invokes reply with the response. Unknown or out-of-order messages
 // are ignored, as a real server would silently drop them.
 func (s *Server) Handle(msg Message, reply func(Message)) {
+	if s.fault == FaultSilent && (msg.Type == Discover || msg.Type == Request) {
+		s.FaultDrops++
+		return
+	}
 	var resp Message
 	switch msg.Type {
 	case Discover:
-		ip := s.leaseFor(msg.ClientMAC)
-		if ip.IsUnspecified() {
+		if s.fault == FaultNak {
+			resp = s.nak(msg)
+			break
+		}
+		ip, ok := s.leaseFor(msg.ClientMAC)
+		if !ok {
 			return // pool exhausted: silence, client times out
 		}
 		s.Offers++
 		resp = Message{Type: Offer, XID: msg.XID, ClientMAC: msg.ClientMAC,
 			YourIP: ip, ServerIP: s.cfg.Gateway, LeaseSecs: s.cfg.LeaseSecs}
 	case Request:
-		ip := s.leaseFor(msg.ClientMAC)
-		if ip.IsUnspecified() {
-			return
+		if s.fault == FaultNak {
+			resp = s.nak(msg)
+			break
+		}
+		ip, ok := s.leaseFor(msg.ClientMAC)
+		if !ok {
+			// Typed exhaustion: refuse the Request outright so the client
+			// fails fast instead of timing out.
+			resp = s.nak(msg)
+			break
 		}
 		if msg.YourIP != ip {
 			// Stale cached lease (e.g. from a different visit): NAK so the

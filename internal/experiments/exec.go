@@ -65,14 +65,52 @@ func runConfigs(o Options, id string, cfgs []core.ScenarioConfig) []core.Result 
 	return mapJobs(o, jobs)
 }
 
+// runConfigsHealth is runConfigs plus per-job chaos-health telemetry:
+// every completed run folds its fault and recovery counters into the
+// fleet group, so -progress shows chaos-run health while the sweep is
+// still executing. The reported totals are additive, so worker count and
+// completion order never change the final numbers.
+func runConfigsHealth(o Options, id string, cfgs []core.ScenarioConfig) []core.Result {
+	jobs := make([]job[core.Result], len(cfgs))
+	for i := range cfgs {
+		cfg := cfgs[i]
+		if cfg.Timers != nil {
+			t := *cfg.Timers
+			cfg.Timers = &t
+		}
+		jobs[i] = job[core.Result]{
+			id: fmt.Sprintf("%s#%d", id, i),
+			fn: func() core.Result {
+				r := core.Run(cfg)
+				if o.Fleet != nil {
+					o.Fleet.AddHealth(fleet.Health{
+						Faults:     int64(r.Chaos.Injected),
+						Recoveries: int64(len(r.Recoveries)),
+						LinkDrops:  int64(r.LinkDowns),
+					})
+				}
+				return r
+			},
+		}
+	}
+	return mapJobs(o, jobs)
+}
+
 // memo caches compute under the experiment's canonical key when a fleet is
 // attached (single-flight across concurrent experiments), and computes
 // inline otherwise.
 func memo[T any](o Options, id string, compute func() T) T {
+	return memoKey(o, o.Key(id), compute)
+}
+
+// memoKey is memo with an explicit cache key, for experiments whose
+// results depend on more than (id, seed, scale) — the chaos study keys
+// on its fault-plan hash so a cached result can never mask a plan change.
+func memoKey[T any](o Options, key string, compute func() T) T {
 	if o.Fleet == nil {
 		return compute()
 	}
-	v, _, err := o.Fleet.Do(o.Key(id), func() (any, error) { return compute(), nil })
+	v, _, err := o.Fleet.Do(key, func() (any, error) { return compute(), nil })
 	if err != nil {
 		panic(err)
 	}

@@ -118,6 +118,7 @@ type Pool struct {
 	hits    int
 	misses  int
 	wallSum time.Duration
+	health  Health
 
 	cacheMu sync.Mutex
 	cache   map[string]*cacheEntry

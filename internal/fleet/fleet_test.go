@@ -367,6 +367,51 @@ func TestGroupAttribution(t *testing.T) {
 	}
 }
 
+// TestHealthAggregation: chaos jobs report fault/recovery counters via
+// AddHealth; the pool sums across groups while each group keeps its own
+// share.
+func TestHealthAggregation(t *testing.T) {
+	p := New(Config{Workers: 3})
+	defer p.Close()
+	if !p.Stats().Health.Empty() {
+		t.Fatal("fresh pool reports non-empty health")
+	}
+	ga, gb := p.Group("a"), p.Group("b")
+	mk := func(g *Group, n int, h Health) []Job {
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{ID: fmt.Sprintf("%s%d", g.Name(), i), Run: func() (any, error) {
+				g.AddHealth(h)
+				return nil, nil
+			}}
+		}
+		return jobs
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ga.Map(context.Background(), mk(ga, 4, Health{Faults: 2, Recoveries: 1, LinkDrops: 3}))
+	}()
+	go func() {
+		defer wg.Done()
+		gb.Map(context.Background(), mk(gb, 2, Health{Faults: 5}))
+	}()
+	wg.Wait()
+	if got, want := ga.Stats().Health, (Health{Faults: 8, Recoveries: 4, LinkDrops: 12}); got != want {
+		t.Errorf("group a health = %+v, want %+v", got, want)
+	}
+	if got, want := gb.Stats().Health, (Health{Faults: 10}); got != want {
+		t.Errorf("group b health = %+v, want %+v", got, want)
+	}
+	if got, want := p.Stats().Health, (Health{Faults: 18, Recoveries: 4, LinkDrops: 12}); got != want {
+		t.Errorf("pool health = %+v, want %+v", got, want)
+	}
+	if p.Stats().Health.Empty() {
+		t.Error("Empty() = true after counters recorded")
+	}
+}
+
 func TestWorkersDefault(t *testing.T) {
 	p := New(Config{})
 	defer p.Close()

@@ -59,6 +59,24 @@ type Event struct {
 	Stats Stats
 }
 
+// Health aggregates fault-injection outcomes reported by chaos jobs:
+// how many faults landed, how many outages the client recovered from,
+// and how many links were torn down. Zero for fault-free workloads.
+type Health struct {
+	Faults     int64
+	Recoveries int64
+	LinkDrops  int64
+}
+
+func (h *Health) add(o Health) {
+	h.Faults += o.Faults
+	h.Recoveries += o.Recoveries
+	h.LinkDrops += o.LinkDrops
+}
+
+// Empty reports whether no health counters were recorded.
+func (h Health) Empty() bool { return h == Health{} }
+
 // Stats is a point-in-time view of pool progress.
 type Stats struct {
 	Workers   int
@@ -76,6 +94,8 @@ type Stats struct {
 	// and the worker count; zero when nothing is pending or no job has
 	// finished yet.
 	ETA time.Duration
+	// Health sums the fault/recovery counters chaos jobs reported.
+	Health Health
 }
 
 // Stats returns a consistent snapshot of pool progress.
@@ -95,6 +115,7 @@ func (p *Pool) statsLocked() Stats {
 		CacheHits: p.hits,
 		WallSum:   p.wallSum,
 		Elapsed:   time.Since(p.start),
+		Health:    p.health,
 	}
 	finished := s.Done + s.Failed
 	pending := s.Queued + s.Running
@@ -187,6 +208,7 @@ type Group struct {
 	hits   int
 	misses int
 	wall   time.Duration
+	health Health
 }
 
 // Group returns a named telemetry scope on the pool.
@@ -210,6 +232,18 @@ func (g *Group) record(res JobResult) {
 	g.wall += res.Wall
 }
 
+// AddHealth folds one completed job's fault/recovery counters into the
+// group and pool totals, surfacing chaos-run health through Stats and
+// the -progress printer. Safe to call from job functions on any worker.
+func (g *Group) AddHealth(h Health) {
+	g.mu.Lock()
+	g.health.add(h)
+	g.mu.Unlock()
+	g.pool.mu.Lock()
+	g.pool.health.add(h)
+	g.pool.mu.Unlock()
+}
+
 func (g *Group) recordCache(hit bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -228,11 +262,13 @@ type GroupStats struct {
 	// JobWall is the sum of this group's job wall times (the cost a
 	// sequential run would have paid).
 	JobWall time.Duration
+	// Health sums the fault/recovery counters this group's jobs reported.
+	Health Health
 }
 
 // Stats snapshots the group's counters.
 func (g *Group) Stats() GroupStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return GroupStats{Jobs: g.jobs, Failed: g.failed, CacheHits: g.hits, JobWall: g.wall}
+	return GroupStats{Jobs: g.jobs, Failed: g.failed, CacheHits: g.hits, JobWall: g.wall, Health: g.health}
 }

@@ -44,6 +44,20 @@ type Config struct {
 	// FailureBackoff blocks re-attempts to an AP after a failed join
 	// (stock DHCP clients idle for 60 s; Spider uses a short backoff).
 	FailureBackoff sim.Time
+	// BackoffFactor multiplies the per-BSSID backoff on each consecutive
+	// join failure — the exponential blacklist that keeps a crashed AP
+	// from monopolising join attempts. 1 disables growth; default 2.
+	BackoffFactor float64
+	// BackoffMax caps the grown per-BSSID backoff.
+	BackoffMax sim.Time
+	// BackoffDecay forgets an AP's failure streak after this long without
+	// a new failure (default 2×BackoffMax), so yesterday's outage does
+	// not penalise today's encounter.
+	BackoffDecay sim.Time
+	// DisableLeaseRenewal turns off DHCP renewal; by default the module
+	// renews at half the lease lifetime and demotes the link when the
+	// renewal fails.
+	DisableLeaseRenewal bool
 	// GlobalDHCPBackoff makes a DHCP failure suppress ALL join attempts
 	// for FailureBackoff, as a stock dhclient does when it goes idle
 	// after a failed acquisition. Spider's per-interface clients leave
@@ -79,6 +93,8 @@ func DefaultConfig() Config {
 		PingTimeout:      500 * 1000 * 1000,
 		ReselectInterval: 100 * 1000 * 1000,
 		FailureBackoff:   5 * 1000 * 1000 * 1000,
+		BackoffFactor:    2,
+		BackoffMax:       60 * 1000 * 1000 * 1000,
 		MinRSSI:          -96,
 		Va:               0.3,
 		Vb:               0.6,
@@ -109,6 +125,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FailureBackoff <= 0 {
 		c.FailureBackoff = d.FailureBackoff
+	}
+	if c.BackoffFactor < 1 {
+		c.BackoffFactor = d.BackoffFactor
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = d.BackoffMax
+	}
+	if c.BackoffMax < c.FailureBackoff {
+		c.BackoffMax = c.FailureBackoff
+	}
+	if c.BackoffDecay <= 0 {
+		c.BackoffDecay = 2 * c.BackoffMax
 	}
 	if c.MinRSSI == 0 {
 		c.MinRSSI = d.MinRSSI
@@ -210,6 +238,7 @@ type conn struct {
 	dhcpCli *dhcp.Client
 	lease   dhcp.Lease
 	link    *Link
+	renewEv *sim.Event // pending lease-renewal timer
 
 	pingSeq      uint16
 	pingPending  map[uint16]*sim.Event
@@ -223,6 +252,13 @@ type utilState struct {
 	seen  bool
 }
 
+// blEntry tracks an AP's consecutive join failures for the exponential
+// blacklist.
+type blEntry struct {
+	streak   int
+	lastFail sim.Time
+}
+
 // Stats aggregates module counters.
 type Stats struct {
 	JoinsStarted   int
@@ -233,6 +269,8 @@ type Stats struct {
 	LinksDropped   int
 	CacheHits      int
 	CacheFastJoins int
+	LeaseRenewals  int // successful in-place DHCP renewals
+	RenewalFails   int // failed renewals (each demotes its link)
 }
 
 // LMM is the link management module.
@@ -246,6 +284,7 @@ type LMM struct {
 	inUse        map[dot11.MACAddr]bool
 	utility      map[dot11.MACAddr]*utilState
 	backoffUntil map[dot11.MACAddr]sim.Time
+	blacklist    map[dot11.MACAddr]*blEntry
 	leaseCache   map[dot11.MACAddr]dhcp.Lease
 	schedChans   map[dot11.Channel]bool
 
@@ -274,6 +313,7 @@ func New(eng *sim.Engine, rng *sim.RNG, drv *driver.Driver, cfg Config) *LMM {
 		inUse:        make(map[dot11.MACAddr]bool),
 		utility:      make(map[dot11.MACAddr]*utilState),
 		backoffUntil: make(map[dot11.MACAddr]sim.Time),
+		blacklist:    make(map[dot11.MACAddr]*blEntry),
 		leaseCache:   make(map[dot11.MACAddr]dhcp.Lease),
 		schedChans:   make(map[dot11.Channel]bool),
 	}
@@ -316,6 +356,41 @@ func (m *LMM) ActiveLinks() []*Link {
 		}
 	}
 	return out
+}
+
+// Blacklist reports an AP's consecutive-failure streak and when its
+// backoff expires (zero streak when the AP is in good standing).
+func (m *LMM) Blacklist(bssid dot11.MACAddr) (streak int, until sim.Time) {
+	if e := m.blacklist[bssid]; e != nil {
+		streak = e.streak
+	}
+	return streak, m.backoffUntil[bssid]
+}
+
+// noteFailure records a join failure against bssid and arms the
+// exponentially grown backoff: FailureBackoff × BackoffFactor^(streak-1),
+// capped at BackoffMax. A streak older than BackoffDecay is forgotten
+// first, so decayed history restarts from the base backoff.
+func (m *LMM) noteFailure(bssid dot11.MACAddr) {
+	now := m.eng.Now()
+	e := m.blacklist[bssid]
+	if e == nil {
+		e = &blEntry{}
+		m.blacklist[bssid] = e
+	}
+	if e.streak > 0 && now-e.lastFail > m.cfg.BackoffDecay {
+		e.streak = 0
+	}
+	e.streak++
+	e.lastFail = now
+	backoff := m.cfg.FailureBackoff
+	for i := 1; i < e.streak && backoff < m.cfg.BackoffMax; i++ {
+		backoff = sim.Time(float64(backoff) * m.cfg.BackoffFactor)
+	}
+	if backoff > m.cfg.BackoffMax {
+		backoff = m.cfg.BackoffMax
+	}
+	m.backoffUntil[bssid] = now + backoff
 }
 
 // Utility returns the current utility for an AP and whether it has history.
@@ -473,14 +548,7 @@ func (c *conn) startDHCP() {
 		}
 	}
 	c.dhcpCli = dhcp.NewClient(m.eng, m.rng.Stream("dhcp"), m.cfg.DHCP, m.drv.MAC(),
-		func(msg dhcp.Message) {
-			u := ipnet.UDP{SrcPort: ipnet.PortDHCPClient, DstPort: ipnet.PortDHCPServer, Payload: msg.Bytes()}
-			c.vif.SendPacket(ipnet.Packet{
-				Proto: ipnet.ProtoUDP, TTL: ipnet.DefaultTTL,
-				Src: ipnet.Unspecified, Dst: ipnet.BroadcastAddr,
-				Payload: u.AppendTo(nil),
-			})
-		},
+		c.dhcpSend,
 		func(lease dhcp.Lease, ok bool) {
 			if c.state != connDHCP {
 				return
@@ -501,6 +569,62 @@ func (c *conn) startDHCP() {
 			c.startConnTest()
 		})
 	c.dhcpCli.Start(cached)
+}
+
+// dhcpSend broadcasts a DHCP client message through the interface.
+func (c *conn) dhcpSend(msg dhcp.Message) {
+	u := ipnet.UDP{SrcPort: ipnet.PortDHCPClient, DstPort: ipnet.PortDHCPServer, Payload: msg.Bytes()}
+	c.vif.SendPacket(ipnet.Packet{
+		Proto: ipnet.ProtoUDP, TTL: ipnet.DefaultTTL,
+		Src: ipnet.Unspecified, Dst: ipnet.BroadcastAddr,
+		Payload: u.AppendTo(nil),
+	})
+}
+
+// armRenewal schedules a DHCP renewal at half the lease lifetime, the
+// T1 timer of RFC 2131. Without it the client would keep using an
+// address the server may hand to someone else once LeaseSecs elapses.
+func (c *conn) armRenewal() {
+	m := c.m
+	if m.cfg.DisableLeaseRenewal || c.lease.LeaseSecs == 0 {
+		return
+	}
+	life := sim.Time(c.lease.LeaseSecs) * 1000 * 1000 * 1000
+	c.renewEv = m.eng.Schedule(life/2, c.renewLease)
+}
+
+// renewLease re-requests the bound lease in place. Success refreshes the
+// lease (and cache) and re-arms the timer; failure demotes the link so
+// the module fails over instead of riding an expiring address.
+func (c *conn) renewLease() {
+	c.renewEv = nil
+	if c.state != connUp {
+		return
+	}
+	m := c.m
+	cached := c.lease
+	c.dhcpCli = dhcp.NewClient(m.eng, m.rng.Stream("dhcp"), m.cfg.DHCP, m.drv.MAC(),
+		c.dhcpSend,
+		func(lease dhcp.Lease, ok bool) {
+			if c.state != connUp {
+				return
+			}
+			if !ok {
+				m.stats.RenewalFails++
+				c.down(true)
+				return
+			}
+			m.stats.LeaseRenewals++
+			c.lease = lease
+			if c.link != nil {
+				c.link.Lease = lease
+			}
+			if m.cfg.UseLeaseCache {
+				m.leaseCache[c.bssid] = lease
+			}
+			c.armRenewal()
+		})
+	c.dhcpCli.Start(&cached)
 }
 
 // startConnTest verifies end-to-end connectivity with gateway pings before
@@ -571,7 +695,7 @@ func (c *conn) finishJoin(stage JoinStage) {
 		m.OnJoin(rec)
 	}
 	m.scoreJoin(c.bssid, stage)
-	m.backoffUntil[c.bssid] = m.eng.Now() + m.cfg.FailureBackoff
+	m.noteFailure(c.bssid)
 	if m.cfg.GlobalDHCPBackoff && stage == StageDHCPFailed {
 		m.globalBackoff = m.eng.Now() + m.cfg.FailureBackoff
 	}
@@ -599,6 +723,7 @@ func (c *conn) goUp() {
 		m.OnJoin(rec)
 	}
 	m.scoreJoin(c.bssid, StageComplete)
+	delete(m.blacklist, c.bssid) // success forgives the failure streak
 	c.state = connUp
 	c.pingFails = 0
 	c.link = &Link{
@@ -610,6 +735,7 @@ func (c *conn) goUp() {
 		conn:  c,
 	}
 	c.stopPinger = m.eng.Ticker(m.cfg.PingInterval, c.sendPing)
+	c.armRenewal()
 	if m.cfg.ParkOnConnect {
 		m.drv.SetSchedule([]driver.Slot{{Channel: c.channel}})
 	}
@@ -660,6 +786,10 @@ func (c *conn) reset() {
 	if c.dhcpCli != nil {
 		c.dhcpCli.Stop()
 		c.dhcpCli = nil
+	}
+	if c.renewEv != nil {
+		m.eng.Cancel(c.renewEv)
+		c.renewEv = nil
 	}
 	if c.stopPinger != nil {
 		c.stopPinger()

@@ -369,3 +369,169 @@ func TestGlobalDHCPBackoffStallsEverything(t *testing.T) {
 		t.Fatal("joins started during the global DHCP backoff")
 	}
 }
+
+func TestExponentialBackoffGrowsAndCaps(t *testing.T) {
+	r := newRig(t, Config{Schedule: ch1Sched(),
+		FailureBackoff: 2 * time.Second, BackoffFactor: 2, BackoffMax: 10 * time.Second,
+		DHCP: dhcp.ClientConfig{RetryTimeout: 300 * time.Millisecond, AcquireWindow: time.Second}})
+	// An AP whose DHCP server never answers: association succeeds but
+	// every join deterministically fails at the DHCP stage.
+	zombie := r.addAP(dot11.Channel1, 1, true)
+	zombie.SetDHCPFault(dhcp.FaultSilent)
+
+	var embargoes []sim.Time
+	streakSeen := 0
+	for i := 0; i < 4; i++ {
+		prev := r.m.Stats().DHCPFailures
+		for r.m.Stats().DHCPFailures == prev {
+			r.run(time.Second)
+			if r.eng.Now() > 10*time.Minute {
+				t.Fatalf("no join failure %d after 10 minutes", i)
+			}
+		}
+		streak, until := r.m.Blacklist(zombie.BSSID())
+		if streak != i+1 {
+			t.Fatalf("streak after failure %d = %d, want %d", i, streak, i+1)
+		}
+		streakSeen = streak
+		embargoes = append(embargoes, until-r.eng.Now())
+	}
+	// Embargoes grow ~2× per failure until the cap: 2s, 4s, 8s, 10s.
+	for i, want := range []sim.Time{2 * time.Second, 4 * time.Second, 8 * time.Second, 10 * time.Second} {
+		got := embargoes[i]
+		// Allow the polling loop's 1s granularity on the lower bound.
+		if got > want || got < want-time.Second {
+			t.Fatalf("embargo %d = %v, want ≈%v (grew %v)", i, got, want, embargoes)
+		}
+	}
+	if streakSeen != 4 {
+		t.Fatalf("final streak = %d", streakSeen)
+	}
+}
+
+func TestBackoffStreakDecays(t *testing.T) {
+	r := newRig(t, Config{Schedule: ch1Sched(),
+		FailureBackoff: time.Second, BackoffFactor: 2, BackoffMax: 8 * time.Second, BackoffDecay: 5 * time.Second})
+	bssid := dot11.MAC(2000)
+	r.m.noteFailure(bssid)
+	r.m.noteFailure(bssid)
+	if streak, _ := r.m.Blacklist(bssid); streak != 2 {
+		t.Fatalf("streak = %d, want 2", streak)
+	}
+	// After BackoffDecay with no failures, the next failure starts fresh.
+	r.run(6 * time.Second)
+	r.m.noteFailure(bssid)
+	streak, until := r.m.Blacklist(bssid)
+	if streak != 1 {
+		t.Fatalf("post-decay streak = %d, want 1", streak)
+	}
+	if embargo := until - r.eng.Now(); embargo != time.Second {
+		t.Fatalf("post-decay embargo = %v, want the base backoff", embargo)
+	}
+}
+
+func TestSuccessClearsBlacklist(t *testing.T) {
+	r := newRig(t, Config{Schedule: ch1Sched(), FailureBackoff: time.Second})
+	a := r.addAP(dot11.Channel1, 1, true)
+	r.m.noteFailure(a.BSSID()) // pretend a past failure
+	r.run(10 * time.Second)
+	if len(r.ups) != 1 {
+		t.Fatal("join did not complete")
+	}
+	if streak, _ := r.m.Blacklist(a.BSSID()); streak != 0 {
+		t.Fatalf("streak = %d after successful join, want 0", streak)
+	}
+}
+
+// leaseRig builds a rig whose single AP hands out leases of the given
+// duration, for renewal tests.
+func leaseRig(t *testing.T, leaseSecs uint32, cfg Config) (*rig, *ap.AP) {
+	t.Helper()
+	r := newRig(t, cfg)
+	gw := ipnet.AddrFrom4(10, 1, 0, 1)
+	acfg := ap.DefaultConfig("net", dot11.Channel1, gw)
+	acfg.MgmtDelayMin, acfg.MgmtDelayMax = 2*time.Millisecond, 10*time.Millisecond
+	acfg.DHCP.RespDelayMin, acfg.DHCP.RespDelayMax = 50*time.Millisecond, 200*time.Millisecond
+	acfg.DHCP.LeaseSecs = leaseSecs
+	a := ap.New(r.eng, sim.NewRNG(101), r.medium, geo.Point{X: 20}, dot11.MAC(1001), acfg, nil)
+	return r, a
+}
+
+func TestLeaseRenewalKeepsLinkUp(t *testing.T) {
+	r, _ := leaseRig(t, 8, Config{Schedule: ch1Sched()})
+	r.run(10 * time.Second)
+	if len(r.ups) != 1 {
+		t.Fatal("join did not complete")
+	}
+	// An 8s lease renews at ~4s. Run long enough for several cycles.
+	r.run(30 * time.Second)
+	st := r.m.Stats()
+	if st.LeaseRenewals < 3 {
+		t.Fatalf("LeaseRenewals = %d, want several over 30s with an 8s lease", st.LeaseRenewals)
+	}
+	if st.RenewalFails != 0 {
+		t.Fatalf("RenewalFails = %d, want 0 against a healthy server", st.RenewalFails)
+	}
+	if len(r.downs) != 0 || len(r.m.ActiveLinks()) != 1 {
+		t.Fatalf("link flapped: downs=%d active=%d", len(r.downs), len(r.m.ActiveLinks()))
+	}
+}
+
+func TestRenewalFailureDemotesLink(t *testing.T) {
+	r, a := leaseRig(t, 8, Config{Schedule: ch1Sched(),
+		FailureBackoff: time.Minute, // keep the link from instantly rejoining
+		DHCP:           dhcp.ClientConfig{RetryTimeout: 300 * time.Millisecond, AcquireWindow: 1500 * time.Millisecond}})
+	r.run(10 * time.Second)
+	if len(r.ups) != 1 {
+		t.Fatal("join did not complete")
+	}
+	// The DHCP server goes silent before the ~4s renewal fires.
+	a.SetDHCPFault(dhcp.FaultSilent)
+	r.run(20 * time.Second)
+	st := r.m.Stats()
+	if st.RenewalFails == 0 {
+		t.Fatal("renewal against a silent server never failed")
+	}
+	if len(r.downs) == 0 {
+		t.Fatal("failed renewal did not demote the link")
+	}
+}
+
+func TestDisableLeaseRenewal(t *testing.T) {
+	r, _ := leaseRig(t, 4, Config{Schedule: ch1Sched(), DisableLeaseRenewal: true})
+	r.run(30 * time.Second)
+	if len(r.ups) != 1 {
+		t.Fatal("join did not complete")
+	}
+	if st := r.m.Stats(); st.LeaseRenewals != 0 {
+		t.Fatalf("LeaseRenewals = %d with renewal disabled", st.LeaseRenewals)
+	}
+}
+
+func TestRecoveryAfterAPCrashReboot(t *testing.T) {
+	r := newRig(t, Config{Schedule: ch1Sched(), PingFailLimit: 5, FailureBackoff: time.Second})
+	a := r.addAP(dot11.Channel1, 1, true)
+	r.run(10 * time.Second)
+	if len(r.ups) != 1 {
+		t.Fatal("initial join failed")
+	}
+	a.Crash()
+	r.run(10 * time.Second)
+	if len(r.downs) != 1 {
+		t.Fatalf("downs = %d, want 1 after crash (liveness teardown)", len(r.downs))
+	}
+	a.Reboot()
+	rebootAt := r.eng.Now()
+	for len(r.ups) < 2 && r.eng.Now()-rebootAt < 60*time.Second {
+		r.run(time.Second)
+	}
+	if len(r.ups) < 2 {
+		t.Fatal("link did not recover within 60s of the reboot")
+	}
+	if recovery := r.eng.Now() - rebootAt; recovery > 30*time.Second {
+		t.Fatalf("recovery took %v, want bounded well under 30s", recovery)
+	}
+	if len(r.m.ActiveLinks()) != 1 {
+		t.Fatal("recovered link not active")
+	}
+}

@@ -146,6 +146,7 @@ type Medium struct {
 	radios    map[*Radio]struct{}
 	byChannel map[dot11.Channel][]*Radio // registration order, so delivery iteration is deterministic
 	busyUntil map[dot11.Channel]sim.Time
+	noise     map[dot11.Channel]float64 // injected extra per-try loss
 	stats     Stats
 	tap       func(ch dot11.Channel, wire []byte, at sim.Time)
 }
@@ -160,8 +161,33 @@ func NewMedium(eng *sim.Engine, rng *sim.RNG, params Params) *Medium {
 		radios:    make(map[*Radio]struct{}),
 		byChannel: make(map[dot11.Channel][]*Radio),
 		busyUntil: make(map[dot11.Channel]sim.Time),
+		noise:     make(map[dot11.Channel]float64),
 		stats:     Stats{AirtimeByChannel: make(map[dot11.Channel]sim.Time)},
 	}
+}
+
+// SetChannelNoise injects an additional per-try loss probability applied
+// to every frame on ch — a chaos noise burst. The burst combines with
+// the distance model as an independent loss event; non-positive clears it.
+func (m *Medium) SetChannelNoise(ch dot11.Channel, extraLoss float64) {
+	if extraLoss <= 0 {
+		delete(m.noise, ch)
+		return
+	}
+	m.noise[ch] = clamp01(extraLoss)
+}
+
+// ChannelNoise returns the injected extra loss on ch (0 when clear).
+func (m *Medium) ChannelNoise(ch dot11.Channel) float64 { return m.noise[ch] }
+
+// lossOn is the effective per-try loss on a channel: the distance model
+// combined with any injected noise burst as independent loss events.
+func (m *Medium) lossOn(ch dot11.Channel, d, rate float64) float64 {
+	p := m.params.lossAt(d, rate)
+	if n := m.noise[ch]; n > 0 {
+		p = 1 - (1-p)*(1-n)
+	}
+	return p
 }
 
 // Params returns the effective (defaulted) parameter set.
@@ -215,6 +241,7 @@ type Radio struct {
 
 	switching bool
 	closed    bool
+	down      bool // powered off by fault injection
 	seq       uint16
 	arf       map[dot11.MACAddr]*arfState
 	txAirtime sim.Time
@@ -260,6 +287,23 @@ func (r *Radio) Channel() dot11.Channel { return r.channel }
 // Switching reports whether the radio is mid hardware reset.
 func (r *Radio) Switching() bool { return r.switching }
 
+// SetDown powers the radio off or back on (an AP crash/reboot). A downed
+// radio neither sends nor receives; frames in flight to it are lost.
+func (r *Radio) SetDown(down bool) {
+	if r.closed || r.down == down {
+		return
+	}
+	r.down = down
+	if down {
+		r.m.unindex(r, r.channel)
+	} else if !r.switching {
+		r.m.index(r, r.channel)
+	}
+}
+
+// Down reports whether the radio is powered off.
+func (r *Radio) Down() bool { return r.down }
+
 // Position returns the radio's current position.
 func (r *Radio) Position() geo.Point { return r.pos() }
 
@@ -295,7 +339,9 @@ func (r *Radio) SetChannel(ch dot11.Channel, done func()) {
 		}
 		r.m.unindex(r, r.channel)
 		r.channel = ch
-		r.m.index(r, ch)
+		if !r.down {
+			r.m.index(r, ch)
+		}
 		r.switching = false
 		if done != nil {
 			done()
@@ -325,7 +371,7 @@ func (r *Radio) NextSeq() uint16 {
 // The transmission serializes with other traffic on the channel: it starts
 // when the channel is free.
 func (r *Radio) Send(f dot11.Frame, status func(ok bool)) {
-	if r.closed || r.switching {
+	if r.closed || r.switching || r.down {
 		if status != nil {
 			r.m.eng.Schedule(0, func() { status(false) })
 		}
@@ -374,14 +420,14 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 	if f.Addr1.IsBroadcast() {
 		m.stats.Broadcasts++
 		for _, rx := range m.byChannel[ch] {
-			if rx == src || rx.closed || rx.switching || rx.recv == nil {
+			if rx == src || rx.closed || rx.switching || rx.down || rx.recv == nil {
 				continue
 			}
 			d := rx.pos().Distance(srcPos)
 			if d > m.params.Range {
 				continue
 			}
-			if m.rng.Bool(m.params.lossAt(d, rate)) {
+			if m.rng.Bool(m.lossOn(ch, d, rate)) {
 				m.stats.FramesLost++
 				continue
 			}
@@ -396,7 +442,7 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 	// Unicast: locate the addressed radio on this channel.
 	var target *Radio
 	for _, rx := range m.byChannel[ch] {
-		if rx.mac == f.Addr1 && !rx.closed && !rx.switching {
+		if rx.mac == f.Addr1 && !rx.closed && !rx.switching && !rx.down {
 			target = rx
 			break
 		}
@@ -407,7 +453,7 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 		if d <= m.params.Range {
 			// Success requires the data frame and the returning ACK to
 			// both survive, hence the squared survival probability.
-			p := 1 - m.params.lossAt(d, rate)
+			p := 1 - m.lossOn(ch, d, rate)
 			ok = m.rng.Bool(p * p)
 			if ok && target.recv != nil {
 				m.deliverTo(target, wire, ch, d)
@@ -422,7 +468,7 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 		return
 	}
 	m.stats.FramesLost++
-	if attempt < m.params.RetryLimit && !src.closed && !src.switching && src.channel == ch {
+	if attempt < m.params.RetryLimit && !src.closed && !src.switching && !src.down && src.channel == ch {
 		retry := f
 		retry.Retry = true
 		m.transmit(src, ch, retry, retryWire(retry, wire), attempt+1, status)

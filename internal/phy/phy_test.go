@@ -401,3 +401,127 @@ func TestBroadcastUsesBasicRate(t *testing.T) {
 		t.Fatalf("broadcast rate without adaptation = %v, want BitRate", r)
 	}
 }
+
+func TestChannelNoiseRaisesLossAndClears(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMedium(eng, sim.NewRNG(7), lossless())
+	tx := m.NewRadio(dot11.MAC(1), fixedPos(0, 0))
+	rx := m.NewRadio(dot11.MAC(2), fixedPos(10, 0))
+	rx.SetReceiver(func(dot11.Frame, RxInfo) {})
+	send := func(n int) int {
+		ok := 0
+		for i := 0; i < n; i++ {
+			tx.Send(dot11.Frame{Type: dot11.TypeData, Addr1: dot11.MAC(2)}, func(b bool) {
+				if b {
+					ok++
+				}
+			})
+		}
+		eng.RunAll()
+		return ok
+	}
+	if got := send(50); got != 50 {
+		t.Fatalf("lossless baseline delivered %d/50", got)
+	}
+	m.SetChannelNoise(dot11.Channel1, 0.9)
+	if m.ChannelNoise(dot11.Channel1) != 0.9 {
+		t.Fatalf("ChannelNoise = %v", m.ChannelNoise(dot11.Channel1))
+	}
+	noisy := send(200)
+	if noisy > 120 {
+		t.Fatalf("delivered %d/200 under 0.9 noise, want far fewer", noisy)
+	}
+	// Other channels are unaffected.
+	if m.ChannelNoise(dot11.Channel6) != 0 {
+		t.Fatal("noise leaked to channel 6")
+	}
+	m.SetChannelNoise(dot11.Channel1, 0)
+	if m.ChannelNoise(dot11.Channel1) != 0 {
+		t.Fatal("noise not cleared")
+	}
+	if got := send(50); got != 50 {
+		t.Fatalf("post-clear delivered %d/50", got)
+	}
+}
+
+func TestChannelNoiseClamped(t *testing.T) {
+	m := NewMedium(sim.NewEngine(), sim.NewRNG(1), Defaults())
+	m.SetChannelNoise(dot11.Channel1, 2.5)
+	if got := m.ChannelNoise(dot11.Channel1); got != 1 {
+		t.Fatalf("noise = %v, want clamped to 1", got)
+	}
+	m.SetChannelNoise(dot11.Channel1, -3)
+	if got := m.ChannelNoise(dot11.Channel1); got != 0 {
+		t.Fatalf("noise = %v, want 0 after negative set", got)
+	}
+}
+
+func TestRadioDownStopsTraffic(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMedium(eng, sim.NewRNG(1), lossless())
+	tx := m.NewRadio(dot11.MAC(1), fixedPos(0, 0))
+	rx := m.NewRadio(dot11.MAC(2), fixedPos(10, 0))
+	got := 0
+	rx.SetReceiver(func(dot11.Frame, RxInfo) { got++ })
+
+	rx.SetDown(true)
+	if !rx.Down() {
+		t.Fatal("Down() = false after SetDown(true)")
+	}
+	tx.Send(dot11.Frame{Type: dot11.TypeBeacon, Addr1: dot11.Broadcast}, nil)
+	var uni *bool
+	tx.Send(dot11.Frame{Type: dot11.TypeData, Addr1: dot11.MAC(2)}, func(b bool) { uni = &b })
+	eng.RunAll()
+	if got != 0 {
+		t.Fatal("down radio received a frame")
+	}
+	if uni == nil || *uni {
+		t.Fatal("unicast to down radio should fail")
+	}
+
+	// A down radio cannot transmit either.
+	var sent *bool
+	rx.Send(dot11.Frame{Type: dot11.TypeData, Addr1: dot11.MAC(1)}, func(b bool) { sent = &b })
+	eng.RunAll()
+	if sent == nil || *sent {
+		t.Fatal("down radio transmitted")
+	}
+
+	// Coming back up restores both directions.
+	rx.SetDown(false)
+	tx.Send(dot11.Frame{Type: dot11.TypeBeacon, Addr1: dot11.Broadcast}, nil)
+	eng.RunAll()
+	if got != 1 {
+		t.Fatalf("revived radio got %d frames, want 1", got)
+	}
+}
+
+func TestRadioDownDuringChannelSwitch(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMedium(eng, sim.NewRNG(1), lossless())
+	tx := m.NewRadio(dot11.MAC(1), fixedPos(0, 0))
+	tx.SetChannel(dot11.Channel6, nil)
+	eng.RunAll()
+	rx := m.NewRadio(dot11.MAC(2), fixedPos(10, 0))
+	got := 0
+	rx.SetReceiver(func(dot11.Frame, RxInfo) { got++ })
+	// Go down mid-switch; when the switch completes the radio must not
+	// re-index onto the new channel.
+	rx.SetChannel(dot11.Channel6, nil)
+	rx.SetDown(true)
+	eng.RunAll()
+	if rx.Channel() != dot11.Channel6 {
+		t.Fatalf("channel = %v, want 6 (switch still completes)", rx.Channel())
+	}
+	tx.Send(dot11.Frame{Type: dot11.TypeBeacon, Addr1: dot11.Broadcast}, nil)
+	eng.RunAll()
+	if got != 0 {
+		t.Fatal("down radio received on its post-switch channel")
+	}
+	rx.SetDown(false)
+	tx.Send(dot11.Frame{Type: dot11.TypeBeacon, Addr1: dot11.Broadcast}, nil)
+	eng.RunAll()
+	if got != 1 {
+		t.Fatalf("revived radio got %d frames on channel 6, want 1", got)
+	}
+}

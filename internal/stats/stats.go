@@ -217,6 +217,19 @@ func (ts *TimeSeries) DisruptionDurations(total sim.Time) []float64 {
 	return ts.runs(total, false)
 }
 
+// Rates returns the per-bucket rate (value per second) for every bucket
+// in [0, total), zero buckets included, indexable by bucket number —
+// used to compare goodput windows before and after an injected fault.
+func (ts *TimeSeries) Rates(total sim.Time) []float64 {
+	n := int64(total / ts.bucket)
+	out := make([]float64, 0, n)
+	perSec := ts.bucket.Seconds()
+	for i := int64(0); i < n; i++ {
+		out = append(out, ts.buckets[i]/perSec)
+	}
+	return out
+}
+
 // NonzeroRates returns the per-bucket rate (value per second) for every
 // bucket with data — the paper's "instantaneous bandwidth" (Figure 13).
 func (ts *TimeSeries) NonzeroRates(total sim.Time) []float64 {

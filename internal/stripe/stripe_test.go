@@ -139,6 +139,43 @@ func TestPathDeathReassignsBlock(t *testing.T) {
 	}
 }
 
+// TestPathChurnCompletes: paths come and go repeatedly mid-transfer (the
+// pattern chaos-driven AP crashes produce); the object must still finish
+// without stalling as long as some path is eventually alive.
+func TestPathChurnCompletes(t *testing.T) {
+	eng, net, c := newRig(2_000_000, Config{BlockSize: 100_000})
+	net.rate[1] = 400_000
+	net.rate[2] = 400_000
+	completed := false
+	c.OnComplete = func() { completed = true }
+	c.AddPath(1)
+	// Every 300 ms one path dies and the other (re)joins, alternating.
+	alive := 1
+	stop := eng.Ticker(300*time.Millisecond, func() {
+		if c.Done() {
+			return
+		}
+		next := 3 - alive
+		c.AddPath(next)
+		c.RemovePath(alive)
+		alive = next
+	})
+	eng.Run(time.Minute)
+	stop()
+	if !completed || !c.Done() {
+		t.Fatalf("transfer did not survive path churn: done=%v", c.Done())
+	}
+	done, total := c.Progress()
+	if done != total {
+		t.Fatalf("progress %d/%d after completion", done, total)
+	}
+	// Churn abandons in-flight blocks, so more fetches are issued than
+	// blocks exist — but each block is still delivered exactly once.
+	if c.FetchesIssued < c.Blocks() {
+		t.Fatalf("issued %d fetches for %d blocks", c.FetchesIssued, c.Blocks())
+	}
+}
+
 func TestFailingPathDoesNotStall(t *testing.T) {
 	eng, net, c := newRig(1_000_000, Config{BlockSize: 250_000})
 	net.fail[1] = true
