@@ -189,6 +189,18 @@ func BenchmarkOptimalSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkPopulation runs one 8-client rung of the population experiment:
+// the cost of an N-client scenario on a contended corridor (compare with
+// BenchmarkScenarioSecond for the single-client baseline).
+func BenchmarkPopulation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := experiments.Options{Seed: int64(i + 1), Scale: 0.02}
+		world, clients := experiments.PopulationScenario(o, 8)
+		spider.RunPopulation(world, clients)
+	}
+}
+
 // BenchmarkAblations regenerates the design-choice ablation tables
 // (lease cache, timers, interface count, striping, adaptive scheduling).
 func BenchmarkAblations(b *testing.B) {

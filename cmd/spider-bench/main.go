@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"spider/internal/core"
 	"spider/internal/experiments"
 	"spider/internal/fleet"
 )
@@ -87,6 +88,10 @@ var registry = []experiment{
 	{"chaos", "fault-injection sweep: recovery time and goodput retention", func(o experiments.Options) []renderable {
 		cr := experiments.ChaosStudy(o)
 		return []renderable{experiments.ChaosTable(cr), experiments.ChaosRecoveryFigure(cr)}
+	}},
+	{"population", "N-client scaling on a shared corridor: aggregate goodput, fairness, DHCP pool pressure", func(o experiments.Options) []renderable {
+		r := experiments.PopulationStudy(o)
+		return []renderable{experiments.PopulationTable(r), experiments.PopulationFigure(r)}
 	}},
 	{"ablation", "design-choice ablations (lease cache, timers, vifs, striping, adaptive, predictive, energy)", func(o experiments.Options) []renderable {
 		return []renderable{
@@ -149,6 +154,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (1 = fully sequential)")
 		progress = flag.Bool("progress", false, "report fleet progress (jobs, cache, ETA) on stderr")
 		timings  = flag.String("timings", "", "write machine-readable per-experiment timings JSON to this file")
+		popjson  = flag.String("popjson", "", "benchmark the population experiment (1/8/64 clients) and write goodput, ns/op, and allocs JSON to this file")
 	)
 	flag.Parse()
 	if *workers <= 0 {
@@ -315,10 +321,76 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "# timings written to %s\n", *timings)
 	}
+	if *popjson != "" {
+		if err := writePopulationBench(*popjson, *seed, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# population bench written to %s\n", *popjson)
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "# %d experiment(s) failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+// popBenchRecord is one population rung's performance sample: what the run
+// delivered and what it cost.
+type popBenchRecord struct {
+	Clients       int     `json:"clients"`
+	AggregateKBps float64 `json:"aggregate_kbps"`
+	JainFairness  float64 `json:"jain_fairness"`
+	// WallNS is the rung's single-run wall time (the experiment's ns/op).
+	WallNS      int64  `json:"wall_ns"`
+	NSPerClient int64  `json:"ns_per_client"`
+	Allocs      uint64 `json:"allocs"`
+	AllocBytes  uint64 `json:"alloc_bytes"`
+}
+
+// popBenchFile is the BENCH_population.json layout: the repo's population
+// perf trajectory, one record per benchmarked rung.
+type popBenchFile struct {
+	Seed    int64            `json:"seed"`
+	Scale   float64          `json:"scale"`
+	NumCPU  int              `json:"num_cpu"`
+	Records []popBenchRecord `json:"records"`
+}
+
+// writePopulationBench runs the 1/8/64-client rungs of the population
+// experiment inline (no fleet: one run per rung, timed alone) and writes
+// their goodput, wall time, and allocation counts.
+func writePopulationBench(path string, seed int64, scale float64) error {
+	o := experiments.Options{Seed: seed, Scale: scale}
+	out := popBenchFile{Seed: seed, Scale: scale, NumCPU: runtime.NumCPU()}
+	for _, n := range []int{1, 8, 64} {
+		world, clients := experiments.PopulationScenario(o, n)
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		p := core.RunPopulation(world, clients)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		out.Records = append(out.Records, popBenchRecord{
+			Clients:       n,
+			AggregateKBps: p.AggregateKBps,
+			JainFairness:  p.JainFairness,
+			WallNS:        wall.Nanoseconds(),
+			NSPerClient:   wall.Nanoseconds() / int64(n),
+			Allocs:        after.Mallocs - before.Mallocs,
+			AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		})
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o644)
 }
 
 // progressPrinter renders fleet telemetry as throttled stderr lines:

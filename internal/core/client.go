@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spider/internal/dot11"
+	"spider/internal/driver"
+	"spider/internal/energy"
+	"spider/internal/geo"
+	"spider/internal/ipnet"
+	"spider/internal/lmm"
+	"spider/internal/predict"
+	"spider/internal/sim"
+	"spider/internal/stats"
+	"spider/internal/tcpsim"
+)
+
+// maxFlowsPerClient bounds the per-client server-IP namespace: a 16-bit
+// counter inside the client's /24-pair of the flow-server range.
+const maxFlowsPerClient = 0xFFFF
+
+// Client is one mobile station of a Scenario: a radio position, a virtual
+// driver, a link manager, and the TCP receivers of its downloads, all
+// accounted into a per-client Result. Clients are built by Scenario.Run
+// (at StartOffset, if any); everything here is deterministic given the
+// client's Derive'd RNG.
+type Client struct {
+	s   *Scenario
+	cfg ClientConfig
+	id  int
+
+	drv     *driver.Driver
+	manager *lmm.LMM
+	series  *stats.TimeSeries
+	res     Result
+
+	// nextServer namespaces flow server IPs per client (satellite of the
+	// N-client refactor): client i allocates from 203.i.0.0/16, so two
+	// clients can never collide and exhaustion fails loudly.
+	nextServer uint32
+	// outageStart tracks this client's open outage window (-1 = none);
+	// per-client state so populations account outages independently.
+	outageStart sim.Time
+}
+
+func newClient(s *Scenario, cfg ClientConfig) *Client {
+	c := &Client{s: s, cfg: cfg, id: cfg.ID, outageStart: -1}
+	c.series = stats.NewTimeSeries(statsBucket)
+	c.res = Result{ClientID: cfg.ID, Preset: cfg.Preset, Seed: s.cfg.Seed,
+		Duration: s.cfg.Duration, LinkSeconds: map[int]int{}}
+	return c
+}
+
+// MAC returns the client's stable radio address (derived from its ID; the
+// AP address block starts at 0x100000, far above any client).
+func (c *Client) MAC() dot11.MACAddr { return dot11.MAC(uint32(1 + c.id)) }
+
+// modelTime maps engine time onto the mobility model's clock: a client
+// entering the world at StartOffset starts at the beginning of its route.
+func (c *Client) modelTime(now sim.Time) sim.Time {
+	t := now - c.cfg.StartOffset
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+func (c *Client) pos() geo.Point {
+	return c.cfg.Mobility.PositionAt(c.modelTime(c.s.eng.Now()))
+}
+
+// nextServerIP allocates this client's next flow server address from its
+// private 203.<id>.x.x block, failing loudly on exhaustion rather than
+// wrapping into a neighbour's block.
+func (c *Client) nextServerIP() ipnet.Addr {
+	c.nextServer++
+	if c.nextServer > maxFlowsPerClient {
+		panic(fmt.Sprintf("core: client %d exhausted its flow server-IP space (%d flows)",
+			c.id, maxFlowsPerClient))
+	}
+	return ipnet.AddrFrom4(203, byte(c.id), byte(c.nextServer>>8), byte(c.nextServer))
+}
+
+// build materializes the client's stack. Called by Scenario.Run, either
+// immediately or at StartOffset.
+func (c *Client) build(rng *sim.RNG) {
+	s, cfg, eng := c.s, c.cfg, c.s.eng
+
+	drvCfg := driver.Config{
+		NumVIFs:       cfg.NumVIFs,
+		LLTimeout:     cfg.Timers.LLTimeout,
+		ProbeInterval: probeInterval,
+	}
+	c.drv = driver.New(eng, rng.Stream("driver"), s.medium, c.MAC(), c.pos, drvCfg)
+	c.manager = lmm.New(eng, rng.Stream("lmm"), c.drv, cfg.lmmConfig())
+	manager := c.manager
+
+	switch {
+	case cfg.DisableTraffic:
+		manager.OnLinkUp = func(*lmm.Link) { c.res.LinkUps++ }
+		manager.OnLinkDown = func(*lmm.Link) { c.res.LinkDowns++ }
+	case cfg.StripeObjectBytes > 0:
+		wireStriping(eng, cfg.StripeObjectBytes, &c.res, manager, c.startFlow, c.stopLinkFlows)
+	default:
+		manager.OnLinkUp = func(l *lmm.Link) {
+			c.res.LinkUps++
+			total := cfg.FlowBytes
+			if total <= 0 {
+				total = -1
+			}
+			c.startFlow(l, total, nil)
+		}
+		manager.OnLinkDown = func(l *lmm.Link) {
+			c.res.LinkDowns++
+			c.stopLinkFlows(l)
+		}
+	}
+
+	// Outage accounting: an outage opens when this client's last live
+	// link drops and closes at its next established link — per-client
+	// state, so one client's outage never bleeds into another's record.
+	// The LMM resets the dying conn before notifying, so ActiveLinks is
+	// already post-drop here.
+	baseUp, baseDown := manager.OnLinkUp, manager.OnLinkDown
+	manager.OnLinkUp = func(l *lmm.Link) {
+		if c.outageStart >= 0 {
+			c.res.Recoveries = append(c.res.Recoveries, (eng.Now() - c.outageStart).Seconds())
+			c.outageStart = -1
+		}
+		if baseUp != nil {
+			baseUp(l)
+		}
+	}
+	manager.OnLinkDown = func(l *lmm.Link) {
+		if baseDown != nil {
+			baseDown(l)
+		}
+		if c.outageStart < 0 && len(manager.ActiveLinks()) == 0 {
+			c.outageStart = eng.Now()
+		}
+	}
+
+	// Adaptive controller (future-work extension): single channel at
+	// speed, multi-channel rotation when slow.
+	if cfg.Preset == Adaptive {
+		multi := false
+		eng.Ticker(adaptiveCheckInterval, func() {
+			fast := cfg.Mobility.Speed() >= cfg.AdaptiveSpeedThreshold
+			if fast && multi {
+				multi = false
+				manager.SetSchedule([]driver.Slot{{Channel: cfg.PrimaryChannel}})
+			} else if !fast && !multi {
+				multi = true
+				var slots []driver.Slot
+				for _, ch := range cfg.Channels {
+					slots = append(slots, driver.Slot{Channel: ch, Duration: cfg.SlotDuration})
+				}
+				manager.SetSchedule(slots)
+			}
+		})
+	}
+
+	// Predictive controller (encounter-history extension): learn per-road
+	// channel quality from join outcomes, then plan the schedule for the
+	// position a few seconds ahead; rotate channels in unexplored areas.
+	if cfg.Preset == Predictive {
+		hist := predict.New(predict.Config{})
+		manager.OnJoin = func(j lmm.JoinRecord) {
+			score := 0.0
+			switch j.Stage {
+			case lmm.StageComplete:
+				score = 1.0
+			case lmm.StagePingFailed:
+				score = -0.2 // joinable but useless (captive): steer away
+			case lmm.StageDHCPFailed:
+				score = 0.1
+			case lmm.StageAssocFailed:
+				score = -0.3
+			}
+			hist.Record(predict.Observation{
+				Pos: c.pos(), Channel: j.Channel, BSSID: j.BSSID, Score: score,
+			})
+		}
+		rotation := cfg.schedule()
+		planned := dot11.Channel(0) // 0 = rotating (exploring)
+		eng.Ticker(predictiveReplanInterval, func() {
+			ahead := cfg.Mobility.PositionAt(c.modelTime(eng.Now()) + predictiveLookahead)
+			if ch, ok := hist.BestChannel(ahead); ok {
+				if planned != ch {
+					planned = ch
+					manager.SetSchedule([]driver.Slot{{Channel: ch}})
+				}
+				return
+			}
+			if planned != 0 {
+				planned = 0
+				manager.SetSchedule(rotation)
+			}
+		})
+	}
+
+	// Sample concurrent-link counts once a second (Section 4.4).
+	eng.Ticker(statsBucket, func() {
+		c.res.LinkSeconds[len(manager.ActiveLinks())]++
+	})
+}
+
+// startFlow opens one TCP download of total bytes (negative for unbounded)
+// through the link; onDone (optional) fires when a finite flow completes.
+func (c *Client) startFlow(l *lmm.Link, total int64, onDone func()) *flow {
+	s, eng := c.s, c.s.eng
+	access := s.aps[l.BSSID]
+	if access == nil {
+		return nil
+	}
+	serverIP := c.nextServerIP()
+	f := &flow{serverIP: serverIP, access: access, link: l}
+	lease := l.Lease
+	f.rcv = tcpsim.NewReceiver(eng,
+		func(seg tcpsim.Segment) {
+			l.Send(ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: ipnet.DefaultTTL,
+				Src: lease.IP, Dst: serverIP, Payload: seg.Bytes()})
+		},
+		func(n int, at sim.Time) {
+			c.series.Add(at, float64(n))
+			c.res.BytesReceived += int64(n)
+		})
+	f.snd = tcpsim.NewSender(eng, tcpsim.Config{},
+		func(seg tcpsim.Segment) {
+			access.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: ipnet.DefaultTTL,
+				Src: serverIP, Dst: lease.IP, Payload: seg.Bytes()})
+		}, func() {
+			delete(s.flows, serverIP)
+			if onDone != nil {
+				onDone()
+			}
+		})
+	l.OnPacket = func(p ipnet.Packet) {
+		if p.Proto != ipnet.ProtoTCP || p.Src != serverIP {
+			return
+		}
+		if seg, err := tcpsim.DecodeSegment(p.Payload); err == nil {
+			f.rcv.Deliver(seg)
+		}
+	}
+	s.flows[serverIP] = f
+	f.snd.Start(total)
+	return f
+}
+
+// stopLinkFlows stops every flow of this client riding the given link.
+func (c *Client) stopLinkFlows(l *lmm.Link) {
+	// Stop in address order: Stop may touch the event queue, and the
+	// teardown order must not depend on map iteration for determinism.
+	var ips []ipnet.Addr
+	for ip, f := range c.s.flows {
+		if f.link == l {
+			ips = append(ips, ip)
+		}
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, ip := range ips {
+		c.s.flows[ip].snd.Stop()
+		delete(c.s.flows, ip)
+	}
+}
+
+// finalize computes the client's Result after the engine has run.
+func (c *Client) finalize() Result {
+	s := c.s
+	res := c.res
+	dur := s.cfg.Duration
+	res.ThroughputKBps = float64(res.BytesReceived) / 1024 / dur.Seconds()
+	res.Connectivity = c.series.ConnectivityFraction(dur)
+	res.ConnectionDurations = c.series.ConnectionDurations(dur)
+	res.DisruptionDurations = c.series.DisruptionDurations(dur)
+	for _, r := range c.series.NonzeroRates(dur) {
+		res.InstRatesKBps = append(res.InstRatesKBps, r/1024)
+	}
+	for _, r := range c.series.Rates(dur) {
+		res.PerSecondKBps = append(res.PerSecondKBps, r/1024)
+	}
+	if s.inj != nil {
+		res.Chaos = s.inj.Stats()
+	}
+	res.Medium = s.medium.Stats()
+	if c.manager == nil {
+		// Stack never built (StartOffset beyond the run): an all-zero
+		// result with only world-level counters.
+		return res
+	}
+	res.Joins = c.manager.Joins()
+	res.LMM = c.manager.Stats()
+	res.Driver = c.drv.Stats()
+	res.Energy = energy.Compute(energy.DefaultProfile(), c.drv.TxAirtime(), c.drv.SwitchTime(), dur)
+	res.EnergyPerBitMicroJ = res.Energy.PerBitMicroJ(res.BytesReceived)
+	return res
+}

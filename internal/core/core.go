@@ -1,31 +1,55 @@
-// Package core assembles complete Spider scenarios: a mobile client (radio,
-// virtual driver, link management module, TCP receivers) moving through a
-// deployment of simulated access points, with bulk TCP downloads flowing
-// through every established link. It is the engine behind all of the
-// paper's system experiments (Tables 1-4, Figures 5-17).
+// Package core assembles complete Spider scenarios: one shared world (a
+// Scenario: engine, radio medium, deployed access points, fault injector)
+// traversed by any number of mobile clients (each a Client: radio position,
+// virtual driver, link management module, TCP receivers), with bulk TCP
+// downloads flowing through every established link. It is the engine behind
+// all of the paper's system experiments (Tables 1-4, Figures 5-17) and the
+// N-client population studies layered on top of them.
 package core
 
 import (
 	"fmt"
 	"io"
-	"sort"
+	"time"
 
-	"spider/internal/ap"
-	"spider/internal/capture"
 	"spider/internal/chaos"
 	"spider/internal/dhcp"
 	"spider/internal/dot11"
 	"spider/internal/driver"
 	"spider/internal/energy"
-	"spider/internal/geo"
 	"spider/internal/ipnet"
 	"spider/internal/lmm"
 	"spider/internal/mobility"
 	"spider/internal/phy"
-	"spider/internal/predict"
 	"spider/internal/sim"
-	"spider/internal/stats"
-	"spider/internal/tcpsim"
+)
+
+// Named durations for the timer profiles and controllers below; the
+// simulation clock is a time.Duration, so time package constants apply
+// directly.
+const (
+	// statsBucket is the metric bucket width every per-second series uses.
+	statsBucket = sim.Time(time.Second)
+	// defaultDuration is the experiment length when none is given.
+	defaultDuration = sim.Time(30 * time.Minute)
+	// defaultSlotDuration is the per-channel dwell of multi-channel
+	// schedules (Table 4).
+	defaultSlotDuration = sim.Time(200 * time.Millisecond)
+	// probeInterval is the driver's active-scan period.
+	probeInterval = sim.Time(500 * time.Millisecond)
+	// adaptiveCheckInterval is how often the Adaptive controller samples
+	// the client's speed.
+	adaptiveCheckInterval = sim.Time(time.Second)
+	// predictiveReplanInterval is how often the Predictive controller
+	// re-plans its channel schedule.
+	predictiveReplanInterval = sim.Time(2 * time.Second)
+	// predictiveLookahead is how far ahead of the client's position the
+	// Predictive controller plans.
+	predictiveLookahead = sim.Time(5 * time.Second)
+	// deadDHCPRespMin/Max park a dead DHCP server's responses far outside
+	// any client's acquisition window.
+	deadDHCPRespMin = sim.Time(120 * time.Second)
+	deadDHCPRespMax = sim.Time(240 * time.Second)
 )
 
 // Preset selects one of the paper's evaluated configurations.
@@ -95,11 +119,11 @@ type TimerProfile struct {
 // DHCP retransmits, lease cache on).
 func ReducedTimers() TimerProfile {
 	return TimerProfile{
-		LLTimeout:      100 * 1000 * 1000,
-		DHCPRetry:      200 * 1000 * 1000,
-		DHCPWindow:     3000 * 1000 * 1000,
+		LLTimeout:      100 * time.Millisecond,
+		DHCPRetry:      200 * time.Millisecond,
+		DHCPWindow:     3 * time.Second,
 		UseLeaseCache:  true,
-		FailureBackoff: 5 * 1000 * 1000 * 1000,
+		FailureBackoff: 5 * time.Second,
 	}
 }
 
@@ -107,11 +131,11 @@ func ReducedTimers() TimerProfile {
 // 1 s DHCP retransmits in a 3 s window, 60 s idle after failure, no cache.
 func DefaultTimers() TimerProfile {
 	return TimerProfile{
-		LLTimeout:      1000 * 1000 * 1000,
-		DHCPRetry:      1000 * 1000 * 1000,
-		DHCPWindow:     3000 * 1000 * 1000,
+		LLTimeout:      time.Second,
+		DHCPRetry:      time.Second,
+		DHCPWindow:     3 * time.Second,
 		UseLeaseCache:  false,
-		FailureBackoff: 60 * 1000 * 1000 * 1000,
+		FailureBackoff: 60 * time.Second,
 	}
 }
 
@@ -130,9 +154,182 @@ type APOverrides struct {
 	// LeaseSecs overrides the advertised DHCP lease duration; short
 	// leases force the LMM's mid-encounter renewal path.
 	LeaseSecs uint32
+	// DHCPPoolSize overrides the per-AP DHCP address pool size. Small
+	// pools put population runs under genuine lease pressure.
+	DHCPPoolSize int
 }
 
-// ScenarioConfig describes one run.
+// WorldConfig describes the shared world of a Scenario: everything that
+// exists independently of any particular client.
+type WorldConfig struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Duration is the simulated experiment length.
+	Duration sim.Time
+	// Sites are the deployed APs (required).
+	Sites []mobility.APSite
+	// Phy overrides the PHY parameters (zero fields default).
+	Phy phy.Params
+	// AP tunes all deployed APs.
+	AP APOverrides
+	// Chaos, when non-nil, injects the fault plan into the scenario (see
+	// internal/chaos). The plan's AP indices refer to Sites order.
+	Chaos *chaos.Plan
+	// PCAP, when non-nil, receives a pcap capture of every frame on the
+	// air (see internal/capture).
+	PCAP io.Writer
+}
+
+func (w WorldConfig) withDefaults() WorldConfig {
+	if w.Duration <= 0 {
+		w.Duration = defaultDuration
+	}
+	return w
+}
+
+// ClientConfig describes one mobile client of a Scenario.
+type ClientConfig struct {
+	// ID is the client's stable identity: its MAC address, RNG streams,
+	// flow server-IP namespace, and result slot all derive from it, so a
+	// run is a function of the ID set — never of the order AddClient was
+	// called in. IDs must be unique within a scenario and in [0, 255].
+	ID int
+	// Preset picks the Spider configuration.
+	Preset Preset
+	// PrimaryChannel is the channel for single-channel presets
+	// (default channel 1, as in Table 2).
+	PrimaryChannel dot11.Channel
+	// Channels are the rotation channels for multi-channel presets
+	// (default 1, 6, 11).
+	Channels []dot11.Channel
+	// SlotDuration is the per-channel dwell for multi-channel presets
+	// (default 200 ms, as in Table 4).
+	SlotDuration sim.Time
+	// CustomSchedule, when non-empty, overrides the preset's channel
+	// schedule entirely (used for the fractional-schedule experiments of
+	// Figures 5-8).
+	CustomSchedule []driver.Slot
+	// Timers selects the join timeout profile (default ReducedTimers,
+	// except Stock which forces DefaultTimers unless explicitly set).
+	Timers *TimerProfile
+	// Mobility is the client motion model (required). The model's clock
+	// starts at StartOffset: a client entering the world late starts at
+	// the beginning of its route.
+	Mobility mobility.Model
+	// NumVIFs overrides the interface count (default 7).
+	NumVIFs int
+	// AdaptiveSpeedThreshold is the single-channel cutover speed for the
+	// Adaptive preset (default 10 m/s, the paper's dividing speed).
+	AdaptiveSpeedThreshold float64
+	// FlowBytes bounds each per-link download; <=0 means unbounded bulk
+	// (the paper's large-file HTTP downloads).
+	FlowBytes int64
+	// StripeObjectBytes, when positive, replaces bulk downloads with
+	// back-to-back object fetches block-striped across all live links
+	// (the data-striping extension).
+	StripeObjectBytes int64
+	// DisableTraffic turns off TCP flows (join-only experiments).
+	DisableTraffic bool
+	// StartOffset delays the client's stack (radio, driver, LMM) until
+	// this virtual time, staggering population arrivals.
+	StartOffset sim.Time
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.PrimaryChannel == 0 {
+		c.PrimaryChannel = dot11.Channel1
+	}
+	if len(c.Channels) == 0 {
+		c.Channels = append([]dot11.Channel(nil), dot11.OrthogonalChannels...)
+	}
+	if c.SlotDuration <= 0 {
+		c.SlotDuration = defaultSlotDuration
+	}
+	if c.Timers == nil {
+		var t TimerProfile
+		if c.Preset == Stock {
+			t = DefaultTimers()
+		} else {
+			t = ReducedTimers()
+		}
+		c.Timers = &t
+	} else {
+		t := *c.Timers // copy: shared profiles must not alias across runs
+		c.Timers = &t
+	}
+	if c.NumVIFs <= 0 {
+		if c.Preset == Stock {
+			c.NumVIFs = 1
+		} else {
+			c.NumVIFs = 7
+		}
+	}
+	if c.AdaptiveSpeedThreshold <= 0 {
+		c.AdaptiveSpeedThreshold = 10
+	}
+	if c.StartOffset < 0 {
+		c.StartOffset = 0
+	}
+	if c.Mobility == nil {
+		panic("core: ClientConfig.Mobility is required")
+	}
+	return c
+}
+
+// schedule builds the driver schedule for the preset.
+func (c ClientConfig) schedule() []driver.Slot {
+	if len(c.CustomSchedule) > 0 {
+		return c.CustomSchedule
+	}
+	switch c.Preset {
+	case SingleChannelMultiAP, SingleChannelSingleAP, Adaptive:
+		return []driver.Slot{{Channel: c.PrimaryChannel}}
+	case Predictive:
+		// Start exploring: rotate until the history has opinions.
+		slots := make([]driver.Slot, 0, len(c.Channels))
+		for _, ch := range c.Channels {
+			slots = append(slots, driver.Slot{Channel: ch, Duration: c.SlotDuration})
+		}
+		return slots
+	default:
+		slots := make([]driver.Slot, 0, len(c.Channels))
+		for _, ch := range c.Channels {
+			slots = append(slots, driver.Slot{Channel: ch, Duration: c.SlotDuration})
+		}
+		return slots
+	}
+}
+
+// lmmConfig builds the link-manager configuration for the preset.
+func (c ClientConfig) lmmConfig() lmm.Config {
+	cfg := lmm.DefaultConfig()
+	cfg.Schedule = c.schedule()
+	cfg.DHCP = dhcp.ClientConfig{RetryTimeout: c.Timers.DHCPRetry, AcquireWindow: c.Timers.DHCPWindow}
+	cfg.UseLeaseCache = c.Timers.UseLeaseCache
+	cfg.FailureBackoff = c.Timers.FailureBackoff
+	cfg.TestTarget = TestServerAddr
+	switch c.Preset {
+	case SingleChannelSingleAP, MultiChannelSingleAP:
+		cfg.SingleAP = true
+	case Stock:
+		cfg.SingleAP = true
+		cfg.ParkOnConnect = true
+		// A stock stack is slow on both ends of a connection's life:
+		// the supplicant takes a couple of seconds to scan and decide,
+		// and loss of an AP is noticed only after many seconds without
+		// progress (no aggressive 10 Hz liveness probing).
+		cfg.ReselectInterval = 4 * time.Second
+		cfg.PingInterval = time.Second
+		cfg.PingFailLimit = 15
+		cfg.GlobalDHCPBackoff = true
+		cfg.SelectByRSSIOnly = true
+	}
+	return cfg
+}
+
+// ScenarioConfig describes one single-client run: a WorldConfig and a
+// ClientConfig flattened into the structure every pre-population caller
+// composes. Run splits it back apart.
 type ScenarioConfig struct {
 	// Seed makes the run reproducible.
 	Seed int64
@@ -186,97 +383,41 @@ type ScenarioConfig struct {
 	PCAP io.Writer
 }
 
-func (c ScenarioConfig) withDefaults() ScenarioConfig {
-	if c.Duration <= 0 {
-		c.Duration = 30 * 60 * 1000 * 1000 * 1000 // 30 min
+// split separates the flattened single-client config into its world and
+// client halves.
+func (c ScenarioConfig) split() (WorldConfig, ClientConfig) {
+	world := WorldConfig{
+		Seed:     c.Seed,
+		Duration: c.Duration,
+		Sites:    c.Sites,
+		Phy:      c.Phy,
+		AP:       c.AP,
+		Chaos:    c.Chaos,
+		PCAP:     c.PCAP,
 	}
-	if c.PrimaryChannel == 0 {
-		c.PrimaryChannel = dot11.Channel1
+	client := ClientConfig{
+		ID:                     0,
+		Preset:                 c.Preset,
+		PrimaryChannel:         c.PrimaryChannel,
+		Channels:               c.Channels,
+		SlotDuration:           c.SlotDuration,
+		CustomSchedule:         c.CustomSchedule,
+		Timers:                 c.Timers,
+		Mobility:               c.Mobility,
+		NumVIFs:                c.NumVIFs,
+		AdaptiveSpeedThreshold: c.AdaptiveSpeedThreshold,
+		FlowBytes:              c.FlowBytes,
+		StripeObjectBytes:      c.StripeObjectBytes,
+		DisableTraffic:         c.DisableTraffic,
 	}
-	if len(c.Channels) == 0 {
-		c.Channels = append([]dot11.Channel(nil), dot11.OrthogonalChannels...)
-	}
-	if c.SlotDuration <= 0 {
-		c.SlotDuration = 200 * 1000 * 1000
-	}
-	if c.Timers == nil {
-		var t TimerProfile
-		if c.Preset == Stock {
-			t = DefaultTimers()
-		} else {
-			t = ReducedTimers()
-		}
-		c.Timers = &t
-	}
-	if c.NumVIFs <= 0 {
-		if c.Preset == Stock {
-			c.NumVIFs = 1
-		} else {
-			c.NumVIFs = 7
-		}
-	}
-	if c.AdaptiveSpeedThreshold <= 0 {
-		c.AdaptiveSpeedThreshold = 10
-	}
-	if c.Mobility == nil {
-		panic("core: ScenarioConfig.Mobility is required")
-	}
-	return c
+	return world, client
 }
 
-// schedule builds the driver schedule for the preset.
-func (c ScenarioConfig) schedule() []driver.Slot {
-	if len(c.CustomSchedule) > 0 {
-		return c.CustomSchedule
-	}
-	switch c.Preset {
-	case SingleChannelMultiAP, SingleChannelSingleAP, Adaptive:
-		return []driver.Slot{{Channel: c.PrimaryChannel}}
-	case Predictive:
-		// Start exploring: rotate until the history has opinions.
-		slots := make([]driver.Slot, 0, len(c.Channels))
-		for _, ch := range c.Channels {
-			slots = append(slots, driver.Slot{Channel: ch, Duration: c.SlotDuration})
-		}
-		return slots
-	default:
-		slots := make([]driver.Slot, 0, len(c.Channels))
-		for _, ch := range c.Channels {
-			slots = append(slots, driver.Slot{Channel: ch, Duration: c.SlotDuration})
-		}
-		return slots
-	}
-}
-
-// lmmConfig builds the link-manager configuration for the preset.
-func (c ScenarioConfig) lmmConfig() lmm.Config {
-	cfg := lmm.DefaultConfig()
-	cfg.Schedule = c.schedule()
-	cfg.DHCP = dhcp.ClientConfig{RetryTimeout: c.Timers.DHCPRetry, AcquireWindow: c.Timers.DHCPWindow}
-	cfg.UseLeaseCache = c.Timers.UseLeaseCache
-	cfg.FailureBackoff = c.Timers.FailureBackoff
-	cfg.TestTarget = TestServerAddr
-	switch c.Preset {
-	case SingleChannelSingleAP, MultiChannelSingleAP:
-		cfg.SingleAP = true
-	case Stock:
-		cfg.SingleAP = true
-		cfg.ParkOnConnect = true
-		// A stock stack is slow on both ends of a connection's life:
-		// the supplicant takes a couple of seconds to scan and decide,
-		// and loss of an AP is noticed only after many seconds without
-		// progress (no aggressive 10 Hz liveness probing).
-		cfg.ReselectInterval = 4 * 1000 * 1000 * 1000
-		cfg.PingInterval = 1000 * 1000 * 1000
-		cfg.PingFailLimit = 15
-		cfg.GlobalDHCPBackoff = true
-		cfg.SelectByRSSIOnly = true
-	}
-	return cfg
-}
-
-// Result reports everything a run measured.
+// Result reports everything one client's run measured.
 type Result struct {
+	// ClientID identifies the client in population runs (0 for the
+	// classic single-client scenarios).
+	ClientID int
 	Preset   Preset
 	Seed     int64
 	Duration sim.Time
@@ -295,12 +436,13 @@ type Result struct {
 
 	// Recoveries are outage lengths in seconds: the gap from losing the
 	// last live link to the next established one. Chaos experiments
-	// report these as fault recovery times.
+	// report these as fault recovery times. Tracked per client.
 	Recoveries []float64
 	// PerSecondKBps is delivered goodput per one-second bucket over the
 	// whole run, zero seconds included (pre/post-fault goodput windows).
 	PerSecondKBps []float64
-	// Chaos counts injected faults when a fault plan was active.
+	// Chaos counts injected faults when a fault plan was active (a
+	// world-level total, identical on every client of a population).
 	Chaos chaos.Stats
 
 	// Striped-traffic results (StripeObjectBytes > 0).
@@ -313,6 +455,8 @@ type Result struct {
 
 	LMM    lmm.Stats
 	Driver driver.Stats
+	// Medium snapshots the shared medium's counters (world-level; in a
+	// population every client reports the same totals).
 	Medium phy.Stats
 
 	// Energy attributes the client radio's draw over the run; see
@@ -325,317 +469,11 @@ type Result struct {
 // connectivity tests (and answered by every non-captive AP's uplink).
 const TestServerAddr ipnet.Addr = 0xC6120001 // 198.18.0.1
 
-// flow is one per-link bulk TCP download.
-type flow struct {
-	serverIP ipnet.Addr
-	access   *ap.AP
-	link     *lmm.Link
-	snd      *tcpsim.Sender
-	rcv      *tcpsim.Receiver
-}
-
-// Run executes a scenario to completion and returns its measurements.
+// Run executes a single-client scenario to completion and returns its
+// measurements: a thin compose-and-execute over Scenario and Client.
 func Run(cfg ScenarioConfig) Result {
-	cfg = cfg.withDefaults()
-	eng := sim.NewEngine()
-	rng := sim.NewRNG(cfg.Seed)
-
-	medium := phy.NewMedium(eng, rng.Stream("phy"), cfg.Phy)
-	if cfg.PCAP != nil {
-		pw := capture.NewWriter(cfg.PCAP)
-		medium.SetTap(func(_ dot11.Channel, wire []byte, at sim.Time) {
-			// Capture failures only surface through the writer's error;
-			// frames keep flowing either way.
-			_ = pw.WritePacket(at, wire)
-		})
-	}
-	pos := func() geo.Point { return cfg.Mobility.PositionAt(eng.Now()) }
-
-	// Deploy APs. apList keeps Sites order for chaos targeting.
-	aps := make(map[dot11.MACAddr]*ap.AP, len(cfg.Sites))
-	apList := make([]*ap.AP, 0, len(cfg.Sites))
-	flows := make(map[ipnet.Addr]*flow)
-	// uplink handles packets that crossed an AP's backhaul: TCP ACKs back
-	// to flow senders, and echo requests to the well-known test server
-	// (Spider's end-to-end connectivity check).
-	uplink := func(src *ap.AP, p ipnet.Packet) {
-		switch p.Proto {
-		case ipnet.ProtoICMP:
-			if p.Dst != TestServerAddr {
-				return
-			}
-			if echo, err := ipnet.DecodeEcho(p.Payload); err == nil && echo.Type == ipnet.ICMPEchoRequest {
-				src.FromInternet(ipnet.EchoReplyPacket(p, echo))
-			}
-		case ipnet.ProtoTCP:
-			f, ok := flows[p.Dst]
-			if !ok {
-				return
-			}
-			if seg, err := tcpsim.DecodeSegment(p.Payload); err == nil {
-				f.snd.Deliver(seg)
-			}
-		}
-	}
-	for i, site := range cfg.Sites {
-		gw := ipnet.AddrFrom4(10, byte(i>>8), byte(i), 1)
-		apCfg := ap.DefaultConfig(site.SSID, site.Channel, gw)
-		apCfg.Open = site.Open
-		if site.BackhaulBps > 0 {
-			apCfg.Backhaul.RateBps = site.BackhaulBps
-		}
-		if cfg.AP.DHCPRespMin > 0 {
-			apCfg.DHCP.RespDelayMin = cfg.AP.DHCPRespMin
-		}
-		if cfg.AP.DHCPRespMax > 0 {
-			apCfg.DHCP.RespDelayMax = cfg.AP.DHCPRespMax
-		}
-		if cfg.AP.MgmtDelayMin > 0 {
-			apCfg.MgmtDelayMin = cfg.AP.MgmtDelayMin
-		}
-		if cfg.AP.MgmtDelayMax > 0 {
-			apCfg.MgmtDelayMax = cfg.AP.MgmtDelayMax
-		}
-		if cfg.AP.BackhaulDelay > 0 {
-			apCfg.Backhaul.Delay = cfg.AP.BackhaulDelay
-		}
-		if cfg.AP.BeaconInterval > 0 {
-			apCfg.BeaconInterval = cfg.AP.BeaconInterval
-		}
-		if cfg.AP.LeaseSecs > 0 {
-			apCfg.DHCP.LeaseSecs = cfg.AP.LeaseSecs
-		}
-		if site.DHCPDead {
-			// The server exists but never answers inside any client's
-			// acquisition window.
-			apCfg.DHCP.RespDelayMin = 120 * 1000 * 1000 * 1000
-			apCfg.DHCP.RespDelayMax = 240 * 1000 * 1000 * 1000
-		}
-		apCfg.BlockWAN = site.Captive
-		mac := dot11.MAC(uint32(0x100000 + i))
-		sitePos := site.Pos
-		var self *ap.AP
-		self = ap.New(eng, rng.Stream(site.SSID), medium, sitePos, mac, apCfg,
-			func(p ipnet.Packet) { uplink(self, p) })
-		aps[mac] = self
-		apList = append(apList, self)
-	}
-
-	// Arm the fault plan. The injector draws from its own stream and
-	// schedules everything up front, so a given (seed, plan) replays the
-	// same fault sequence regardless of what else the scenario does.
-	var inj *chaos.Injector
-	if cfg.Chaos != nil && !cfg.Chaos.Empty() {
-		targets := make([]chaos.Target, len(apList))
-		for i, a := range apList {
-			targets[i] = a
-		}
-		inj = chaos.New(eng, rng.Stream("chaos"), *cfg.Chaos, targets, medium)
-	}
-
-	// Client stack.
-	drvCfg := driver.Config{
-		NumVIFs:       cfg.NumVIFs,
-		LLTimeout:     cfg.Timers.LLTimeout,
-		ProbeInterval: 500 * 1000 * 1000,
-	}
-	drv := driver.New(eng, rng.Stream("driver"), medium, dot11.MAC(1), pos, drvCfg)
-	manager := lmm.New(eng, rng.Stream("lmm"), drv, cfg.lmmConfig())
-
-	series := stats.NewTimeSeries(1000 * 1000 * 1000) // 1 s buckets
-	res := Result{Preset: cfg.Preset, Seed: cfg.Seed, Duration: cfg.Duration, LinkSeconds: map[int]int{}}
-
-	// startFlow opens one TCP download of total bytes (negative for
-	// unbounded) through the link; onDone (optional) fires when a finite
-	// flow completes.
-	var nextServer uint32
-	startFlow := func(l *lmm.Link, total int64, onDone func()) *flow {
-		access := aps[l.BSSID]
-		if access == nil {
-			return nil
-		}
-		nextServer++
-		serverIP := ipnet.AddrFrom4(198, 19, byte(nextServer>>8), byte(nextServer))
-		f := &flow{serverIP: serverIP, access: access, link: l}
-		lease := l.Lease
-		f.rcv = tcpsim.NewReceiver(eng,
-			func(seg tcpsim.Segment) {
-				l.Send(ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: ipnet.DefaultTTL,
-					Src: lease.IP, Dst: serverIP, Payload: seg.Bytes()})
-			},
-			func(n int, at sim.Time) {
-				series.Add(at, float64(n))
-				res.BytesReceived += int64(n)
-			})
-		f.snd = tcpsim.NewSender(eng, tcpsim.Config{},
-			func(seg tcpsim.Segment) {
-				access.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: ipnet.DefaultTTL,
-					Src: serverIP, Dst: lease.IP, Payload: seg.Bytes()})
-			}, func() {
-				delete(flows, serverIP)
-				if onDone != nil {
-					onDone()
-				}
-			})
-		l.OnPacket = func(p ipnet.Packet) {
-			if p.Proto != ipnet.ProtoTCP || p.Src != serverIP {
-				return
-			}
-			if seg, err := tcpsim.DecodeSegment(p.Payload); err == nil {
-				f.rcv.Deliver(seg)
-			}
-		}
-		flows[serverIP] = f
-		f.snd.Start(total)
-		return f
-	}
-	stopLinkFlows := func(l *lmm.Link) {
-		// Stop in address order: Stop may touch the event queue, and the
-		// teardown order must not depend on map iteration for determinism.
-		var ips []ipnet.Addr
-		for ip, f := range flows {
-			if f.link == l {
-				ips = append(ips, ip)
-			}
-		}
-		sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
-		for _, ip := range ips {
-			flows[ip].snd.Stop()
-			delete(flows, ip)
-		}
-	}
-
-	switch {
-	case cfg.DisableTraffic:
-		manager.OnLinkUp = func(*lmm.Link) { res.LinkUps++ }
-		manager.OnLinkDown = func(*lmm.Link) { res.LinkDowns++ }
-	case cfg.StripeObjectBytes > 0:
-		wireStriping(eng, cfg, &res, manager, startFlow, stopLinkFlows)
-	default:
-		manager.OnLinkUp = func(l *lmm.Link) {
-			res.LinkUps++
-			total := cfg.FlowBytes
-			if total <= 0 {
-				total = -1
-			}
-			startFlow(l, total, nil)
-		}
-		manager.OnLinkDown = func(l *lmm.Link) {
-			res.LinkDowns++
-			stopLinkFlows(l)
-		}
-	}
-
-	// Outage accounting: an outage opens when the last live link drops
-	// and closes at the next established link. The LMM resets the dying
-	// conn before notifying, so ActiveLinks is already post-drop here.
-	baseUp, baseDown := manager.OnLinkUp, manager.OnLinkDown
-	outageStart := sim.Time(-1)
-	manager.OnLinkUp = func(l *lmm.Link) {
-		if outageStart >= 0 {
-			res.Recoveries = append(res.Recoveries, (eng.Now() - outageStart).Seconds())
-			outageStart = -1
-		}
-		if baseUp != nil {
-			baseUp(l)
-		}
-	}
-	manager.OnLinkDown = func(l *lmm.Link) {
-		if baseDown != nil {
-			baseDown(l)
-		}
-		if outageStart < 0 && len(manager.ActiveLinks()) == 0 {
-			outageStart = eng.Now()
-		}
-	}
-
-	// Adaptive controller (future-work extension): single channel at
-	// speed, multi-channel rotation when slow.
-	if cfg.Preset == Adaptive {
-		multi := false
-		eng.Ticker(1000*1000*1000, func() {
-			fast := cfg.Mobility.Speed() >= cfg.AdaptiveSpeedThreshold
-			if fast && multi {
-				multi = false
-				manager.SetSchedule([]driver.Slot{{Channel: c0(cfg)}})
-			} else if !fast && !multi {
-				multi = true
-				var slots []driver.Slot
-				for _, ch := range cfg.Channels {
-					slots = append(slots, driver.Slot{Channel: ch, Duration: cfg.SlotDuration})
-				}
-				manager.SetSchedule(slots)
-			}
-		})
-	}
-
-	// Predictive controller (encounter-history extension): learn per-road
-	// channel quality from join outcomes, then plan the schedule for the
-	// position a few seconds ahead; rotate channels in unexplored areas.
-	if cfg.Preset == Predictive {
-		hist := predict.New(predict.Config{})
-		manager.OnJoin = func(j lmm.JoinRecord) {
-			score := 0.0
-			switch j.Stage {
-			case lmm.StageComplete:
-				score = 1.0
-			case lmm.StagePingFailed:
-				score = -0.2 // joinable but useless (captive): steer away
-			case lmm.StageDHCPFailed:
-				score = 0.1
-			case lmm.StageAssocFailed:
-				score = -0.3
-			}
-			hist.Record(predict.Observation{
-				Pos: pos(), Channel: j.Channel, BSSID: j.BSSID, Score: score,
-			})
-		}
-		rotation := cfg.schedule()
-		const lookahead = 5 * 1000 * 1000 * 1000
-		planned := dot11.Channel(0) // 0 = rotating (exploring)
-		eng.Ticker(2*1000*1000*1000, func() {
-			ahead := cfg.Mobility.PositionAt(eng.Now() + lookahead)
-			if ch, ok := hist.BestChannel(ahead); ok {
-				if planned != ch {
-					planned = ch
-					manager.SetSchedule([]driver.Slot{{Channel: ch}})
-				}
-				return
-			}
-			if planned != 0 {
-				planned = 0
-				manager.SetSchedule(rotation)
-			}
-		})
-	}
-
-	// Sample concurrent-link counts once a second (Section 4.4).
-	eng.Ticker(1000*1000*1000, func() {
-		res.LinkSeconds[len(manager.ActiveLinks())]++
-	})
-
-	eng.Run(cfg.Duration)
-
-	res.ThroughputKBps = float64(res.BytesReceived) / 1024 / cfg.Duration.Seconds()
-	res.Connectivity = series.ConnectivityFraction(cfg.Duration)
-	res.ConnectionDurations = series.ConnectionDurations(cfg.Duration)
-	res.DisruptionDurations = series.DisruptionDurations(cfg.Duration)
-	for _, r := range series.NonzeroRates(cfg.Duration) {
-		res.InstRatesKBps = append(res.InstRatesKBps, r/1024)
-	}
-	for _, r := range series.Rates(cfg.Duration) {
-		res.PerSecondKBps = append(res.PerSecondKBps, r/1024)
-	}
-	if inj != nil {
-		res.Chaos = inj.Stats()
-	}
-	res.Joins = manager.Joins()
-	res.LMM = manager.Stats()
-	res.Driver = drv.Stats()
-	res.Medium = medium.Stats()
-	res.Energy = energy.Compute(energy.DefaultProfile(), drv.TxAirtime(), drv.SwitchTime(), cfg.Duration)
-	res.EnergyPerBitMicroJ = res.Energy.PerBitMicroJ(res.BytesReceived)
-	return res
+	world, client := cfg.split()
+	s := NewScenario(world)
+	s.AddClient(client)
+	return s.Run()[0]
 }
-
-func c0(cfg ScenarioConfig) dot11.Channel { return cfg.PrimaryChannel }

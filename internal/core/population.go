@@ -1,0 +1,64 @@
+package core
+
+import (
+	"spider/internal/phy"
+	"spider/internal/stats"
+)
+
+// PopulationResult aggregates one N-client scenario: the per-client
+// Results plus the population-scale numbers the scaling experiments
+// report — aggregate and per-client goodput, Jain's fairness index, and
+// the world's contention and DHCP-pool-pressure counters.
+type PopulationResult struct {
+	// Clients holds every client's Result in ID order.
+	Clients []Result
+
+	// AggregateKBps is the population's total delivered goodput.
+	AggregateKBps float64
+	// MeanKBps, P50KBps, P95KBps summarize the per-client goodput
+	// distribution.
+	MeanKBps float64
+	P50KBps  float64
+	P95KBps  float64
+	// JainFairness is Jain's index over per-client goodput: 1 when the
+	// medium is shared evenly, toward 1/n as it collapses onto one
+	// client.
+	JainFairness float64
+	// MeanConnectivity averages per-client connected-second fractions.
+	MeanConnectivity float64
+
+	// DHCPPoolExhausted counts lease requests refused across all APs
+	// because the address pool was full.
+	DHCPPoolExhausted int
+	// Medium snapshots the shared medium (airtime contention shows up as
+	// Collisions and retries here).
+	Medium phy.Stats
+}
+
+// RunPopulation executes one scenario with the given clients and returns
+// the per-client results plus population aggregates. Clients may be listed
+// in any order; results come back in ID order.
+func RunPopulation(world WorldConfig, clients []ClientConfig) PopulationResult {
+	s := NewScenario(world)
+	for _, cc := range clients {
+		s.AddClient(cc)
+	}
+	results := s.Run()
+
+	p := PopulationResult{Clients: results, DHCPPoolExhausted: s.DHCPPoolExhausted()}
+	goodputs := make([]float64, len(results))
+	for i, r := range results {
+		goodputs[i] = r.ThroughputKBps
+		p.AggregateKBps += r.ThroughputKBps
+		p.MeanConnectivity += r.Connectivity
+	}
+	if len(results) > 0 {
+		p.MeanKBps = p.AggregateKBps / float64(len(results))
+		p.MeanConnectivity /= float64(len(results))
+		p.Medium = results[0].Medium
+	}
+	p.P50KBps = stats.Percentile(goodputs, 0.50)
+	p.P95KBps = stats.Percentile(goodputs, 0.95)
+	p.JainFairness = stats.Jain(goodputs)
+	return p
+}

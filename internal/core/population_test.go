@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"spider/internal/chaos"
+	"spider/internal/dot11"
+	"spider/internal/geo"
+	"spider/internal/ipnet"
+	"spider/internal/mobility"
+	"spider/internal/sim"
+)
+
+// corridorWorld is a short two-AP shared road for population tests.
+func corridorWorld(seed int64) (WorldConfig, mobility.Model) {
+	sites, model, dur := road(dot11.Channel1, dot11.Channel1)
+	return WorldConfig{Seed: seed, Duration: sim.Time(dur), Sites: sites}, model
+}
+
+func fingerprint(results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "%+v\n", r)
+	}
+	return b.String()
+}
+
+// TestPopulationDeterminismAndOrderInvariance is the refactor's core
+// acceptance check: a 2-client run is bit-identical across repeats and
+// across reversed AddClient order.
+func TestPopulationDeterminismAndOrderInvariance(t *testing.T) {
+	run := func(reversed bool) string {
+		world, model := corridorWorld(42)
+		ccs := []ClientConfig{
+			{ID: 0, Preset: SingleChannelMultiAP, Mobility: model},
+			{ID: 1, Preset: SingleChannelMultiAP, Mobility: model, StartOffset: 2 * time.Second},
+		}
+		if reversed {
+			ccs[0], ccs[1] = ccs[1], ccs[0]
+		}
+		s := NewScenario(world)
+		for _, cc := range ccs {
+			s.AddClient(cc)
+		}
+		return fingerprint(s.Run())
+	}
+	base := run(false)
+	if again := run(false); again != base {
+		t.Fatal("same-seed 2-client runs differ between repeats")
+	}
+	if rev := run(true); rev != base {
+		t.Fatal("reversed AddClient order changed the run")
+	}
+	if !strings.Contains(base, "ClientID:0") || !strings.Contains(base, "ClientID:1") {
+		t.Fatal("results missing client IDs")
+	}
+}
+
+// TestPopulationCapacitySharing: N clients sharing one corridor cannot
+// beat N private copies of it — the shared medium serializes airtime and
+// collides contenders, so aggregate goodput stays below single × N.
+func TestPopulationCapacitySharing(t *testing.T) {
+	world, model := corridorWorld(7)
+	single := RunPopulation(world, []ClientConfig{
+		{ID: 0, Preset: SingleChannelMultiAP, Mobility: model},
+	})
+	if single.AggregateKBps <= 0 {
+		t.Fatal("single client moved no data; corridor misconfigured")
+	}
+	const n = 4
+	var ccs []ClientConfig
+	for i := 0; i < n; i++ {
+		ccs = append(ccs, ClientConfig{
+			ID: i, Preset: SingleChannelMultiAP, Mobility: model,
+			StartOffset: sim.Time(i) * sim.Time(500*time.Millisecond),
+		})
+	}
+	world, _ = corridorWorld(7)
+	pop := RunPopulation(world, ccs)
+	if pop.AggregateKBps >= single.AggregateKBps*float64(n) {
+		t.Fatalf("aggregate %g KB/s >= %d × single %g KB/s: capacity not shared",
+			pop.AggregateKBps, n, single.AggregateKBps)
+	}
+	if pop.MeanKBps >= single.AggregateKBps {
+		t.Fatalf("per-client mean %g KB/s under contention >= uncontended single %g KB/s",
+			pop.MeanKBps, single.AggregateKBps)
+	}
+	if pop.JainFairness <= 0 || pop.JainFairness > 1 {
+		t.Fatalf("Jain index %g outside (0,1]", pop.JainFairness)
+	}
+	if pop.Medium.Collisions == 0 {
+		t.Fatal("4 contending clients produced no collisions")
+	}
+}
+
+// TestPerClientOutageIndependence (satellite): two clients camp on
+// different APs; crashing one AP must open an outage window for its
+// client only, and the windows must be accounted per client.
+func TestPerClientOutageIndependence(t *testing.T) {
+	sec := sim.Time(time.Second)
+	sites := []mobility.APSite{
+		{Pos: geo.Point{X: 0, Y: 10}, Channel: dot11.Channel1, SSID: "left", Open: true, BackhaulBps: 2e6},
+		{Pos: geo.Point{X: 600, Y: 10}, Channel: dot11.Channel6, SSID: "right", Open: true, BackhaulBps: 2e6},
+	}
+	plan := chaos.Plan{Events: []chaos.Event{
+		{At: 20 * sec, Kind: chaos.APCrash, AP: 0, Duration: 10 * sec},
+	}}
+	world := WorldConfig{Seed: 5, Duration: 60 * sec, Sites: sites, Chaos: &plan}
+	results := func() []Result {
+		s := NewScenario(world)
+		s.AddClient(ClientConfig{ID: 0, Preset: SingleChannelMultiAP,
+			PrimaryChannel: dot11.Channel1, Mobility: mobility.Static(geo.Point{X: 0, Y: 0})})
+		s.AddClient(ClientConfig{ID: 1, Preset: SingleChannelMultiAP,
+			PrimaryChannel: dot11.Channel6, Mobility: mobility.Static(geo.Point{X: 600, Y: 0})})
+		return s.Run()
+	}()
+	left, right := results[0], results[1]
+	if len(left.Recoveries) == 0 {
+		t.Fatal("client on the crashed AP recorded no outage recovery")
+	}
+	if len(right.Recoveries) != 0 {
+		t.Fatalf("client on the healthy AP recorded %d recoveries; outage state leaked across clients",
+			len(right.Recoveries))
+	}
+	if right.LinkDowns != 0 {
+		t.Fatalf("healthy client lost %d links during the other AP's crash", right.LinkDowns)
+	}
+	if left.LinkDowns == 0 {
+		t.Fatal("crashed AP's client never lost its link")
+	}
+}
+
+// TestPopulationDHCPPoolPressure: more clients than pool addresses on one
+// AP — the surplus joiners must be refused, counted, and must not corrupt
+// the leases of the clients that fit.
+func TestPopulationDHCPPoolPressure(t *testing.T) {
+	sites := []mobility.APSite{
+		{Pos: geo.Point{X: 0, Y: 10}, Channel: dot11.Channel1, SSID: "only", Open: true, BackhaulBps: 2e6},
+	}
+	world := WorldConfig{
+		Seed: 9, Duration: sim.Time(60 * time.Second), Sites: sites,
+		AP: APOverrides{DHCPPoolSize: 2},
+	}
+	var ccs []ClientConfig
+	for i := 0; i < 4; i++ {
+		ccs = append(ccs, ClientConfig{
+			ID: i, Preset: SingleChannelMultiAP, DisableTraffic: true,
+			Mobility: mobility.Static(geo.Point{X: float64(i) * 3, Y: 0}),
+		})
+	}
+	pop := RunPopulation(world, ccs)
+	if pop.DHCPPoolExhausted == 0 {
+		t.Fatal("4 clients on a 2-address pool produced no refusals")
+	}
+	joined := 0
+	for _, r := range pop.Clients {
+		if r.LMM.JoinsComplete > 0 {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Fatal("no client completed a join at all")
+	}
+	if joined > 2 {
+		t.Fatalf("%d clients hold completed joins on a 2-address pool", joined)
+	}
+}
+
+// TestFlowServerIPNamespacing (satellite): every client allocates flow
+// server addresses from its own 203.<id>/16 block, and exhaustion panics
+// instead of wrapping into a neighbour's block.
+func TestFlowServerIPNamespacing(t *testing.T) {
+	a := &Client{id: 0}
+	b := &Client{id: 5}
+	seen := map[ipnet.Addr]bool{}
+	for i := 0; i < 100; i++ {
+		for _, c := range []*Client{a, b} {
+			ip := c.nextServerIP()
+			if seen[ip] {
+				t.Fatalf("duplicate server IP %v", ip)
+			}
+			seen[ip] = true
+			if got := byte(ip >> 24); got != 203 {
+				t.Fatalf("server IP %v outside the 203/8 flow range", ip)
+			}
+			if got := byte(ip >> 16); int(got) != c.id {
+				t.Fatalf("server IP %v not in client %d's block", ip, c.id)
+			}
+		}
+	}
+	// Exhaustion fails loudly.
+	ex := &Client{id: 1, nextServer: maxFlowsPerClient}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("server-IP exhaustion did not panic")
+		}
+	}()
+	ex.nextServerIP()
+}
+
+// TestScenarioRejectsBadClientIDs: duplicate or out-of-range IDs are
+// configuration bugs and must fail loudly before anything runs.
+func TestScenarioRejectsBadClientIDs(t *testing.T) {
+	world, model := corridorWorld(1)
+	expectPanic := func(name string, ccs []ClientConfig) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Run did not panic", name)
+			}
+		}()
+		s := NewScenario(world)
+		for _, cc := range ccs {
+			s.AddClient(cc)
+		}
+		s.Run()
+	}
+	expectPanic("duplicate ID", []ClientConfig{
+		{ID: 3, Preset: SingleChannelMultiAP, Mobility: model},
+		{ID: 3, Preset: SingleChannelMultiAP, Mobility: model},
+	})
+	expectPanic("ID out of range", []ClientConfig{
+		{ID: 256, Preset: SingleChannelMultiAP, Mobility: model},
+	})
+}
+
+// TestStartOffsetBeyondDuration: a client whose stack never starts yields
+// an all-zero result instead of wedging the run.
+func TestStartOffsetBeyondDuration(t *testing.T) {
+	world, model := corridorWorld(1)
+	s := NewScenario(world)
+	s.AddClient(ClientConfig{ID: 0, Preset: SingleChannelMultiAP, Mobility: model})
+	s.AddClient(ClientConfig{ID: 1, Preset: SingleChannelMultiAP, Mobility: model,
+		StartOffset: world.Duration + sim.Time(time.Hour)})
+	results := s.Run()
+	if results[0].BytesReceived == 0 {
+		t.Fatal("on-time client moved no data")
+	}
+	late := results[1]
+	if late.BytesReceived != 0 || late.LinkUps != 0 || len(late.Joins) != 0 {
+		t.Fatalf("never-started client has activity: %+v", late)
+	}
+}

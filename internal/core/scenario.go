@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spider/internal/ap"
+	"spider/internal/capture"
+	"spider/internal/chaos"
+	"spider/internal/dot11"
+	"spider/internal/ipnet"
+	"spider/internal/lmm"
+	"spider/internal/phy"
+	"spider/internal/sim"
+	"spider/internal/tcpsim"
+)
+
+// flow is one per-link bulk TCP download.
+type flow struct {
+	serverIP ipnet.Addr
+	access   *ap.AP
+	link     *lmm.Link
+	snd      *tcpsim.Sender
+	rcv      *tcpsim.Receiver
+}
+
+// Scenario is the shared world of a run: one event engine, one radio
+// medium, the deployed APs, and the fault injector, traversed by any number
+// of clients. Clients are declared with AddClient and materialized by Run
+// in client-ID order, so a run is a pure function of (WorldConfig, set of
+// ClientConfigs) — never of AddClient call order.
+type Scenario struct {
+	cfg        WorldConfig
+	clientCfgs []ClientConfig
+
+	eng     *sim.Engine
+	rng     *sim.RNG
+	medium  *phy.Medium
+	aps     map[dot11.MACAddr]*ap.AP
+	apList  []*ap.AP
+	inj     *chaos.Injector
+	flows   map[ipnet.Addr]*flow
+	clients []*Client
+}
+
+// NewScenario prepares a scenario for the given world. Nothing is built
+// until Run; AddClient may be called in any order before it.
+func NewScenario(cfg WorldConfig) *Scenario {
+	return &Scenario{cfg: cfg.withDefaults()}
+}
+
+// AddClient declares one client. It only records the config; the client's
+// stack is materialized by Run, in ID order.
+func (s *Scenario) AddClient(cfg ClientConfig) {
+	s.clientCfgs = append(s.clientCfgs, cfg)
+}
+
+// Clients returns the materialized clients in ID order (valid after Run).
+func (s *Scenario) Clients() []*Client { return s.clients }
+
+// APs returns the deployed APs in Sites order (valid after Run).
+func (s *Scenario) APs() []*ap.AP { return s.apList }
+
+// DHCPPoolExhausted sums refused-lease counts across every deployed AP
+// (valid after Run): the population-scale pool-pressure signal.
+func (s *Scenario) DHCPPoolExhausted() int {
+	total := 0
+	for _, a := range s.apList {
+		total += a.DHCPServer().PoolExhausted
+	}
+	return total
+}
+
+// Run materializes the world and every declared client, executes the
+// scenario to completion, and returns one Result per client in ID order.
+func (s *Scenario) Run() []Result {
+	if len(s.clientCfgs) == 0 {
+		panic("core: Scenario.Run with no clients")
+	}
+	s.buildWorld()
+
+	// Materialize clients in ID order so AddClient order cannot matter.
+	cfgs := make([]ClientConfig, len(s.clientCfgs))
+	for i, cc := range s.clientCfgs {
+		cfgs[i] = cc.withDefaults()
+	}
+	sort.SliceStable(cfgs, func(i, j int) bool { return cfgs[i].ID < cfgs[j].ID })
+	seen := make(map[int]bool, len(cfgs))
+	for _, cc := range cfgs {
+		if cc.ID < 0 || cc.ID > 255 {
+			panic(fmt.Sprintf("core: client ID %d out of range [0,255]", cc.ID))
+		}
+		if seen[cc.ID] {
+			panic(fmt.Sprintf("core: duplicate client ID %d", cc.ID))
+		}
+		seen[cc.ID] = true
+		c := newClient(s, cc)
+		s.clients = append(s.clients, c)
+		// Each client's RNG is a pure function of (seed, ID) — Derive
+		// consumes no parent state — so neither AddClient order nor the
+		// ID set of other clients perturbs a client's random sequence.
+		crng := s.rng.Derive(fmt.Sprintf("client-%03d", cc.ID))
+		if cc.StartOffset > 0 {
+			c := c
+			s.eng.Schedule(cc.StartOffset, func() { c.build(crng) })
+		} else {
+			c.build(crng)
+		}
+	}
+
+	s.eng.Run(s.cfg.Duration)
+
+	results := make([]Result, len(s.clients))
+	for i, c := range s.clients {
+		results[i] = c.finalize()
+	}
+	return results
+}
+
+// buildWorld constructs everything that exists independently of clients:
+// medium (+ capture tap), APs, and the fault injector. World RNG streams
+// are drawn in a fixed order — phy, one per site, chaos — so world
+// randomness is independent of the client population.
+func (s *Scenario) buildWorld() {
+	cfg := s.cfg
+	s.eng = sim.NewEngine()
+	s.rng = sim.NewRNG(cfg.Seed)
+	s.flows = make(map[ipnet.Addr]*flow)
+
+	s.medium = phy.NewMedium(s.eng, s.rng.Stream("phy"), cfg.Phy)
+	if cfg.PCAP != nil {
+		pw := capture.NewWriter(cfg.PCAP)
+		s.medium.SetTap(func(_ dot11.Channel, wire []byte, at sim.Time) {
+			// Capture failures only surface through the writer's error;
+			// frames keep flowing either way.
+			_ = pw.WritePacket(at, wire)
+		})
+	}
+
+	// uplink handles packets that crossed an AP's backhaul: TCP ACKs back
+	// to flow senders, and echo requests to the well-known test server
+	// (Spider's end-to-end connectivity check).
+	uplink := func(src *ap.AP, p ipnet.Packet) {
+		switch p.Proto {
+		case ipnet.ProtoICMP:
+			if p.Dst != TestServerAddr {
+				return
+			}
+			if echo, err := ipnet.DecodeEcho(p.Payload); err == nil && echo.Type == ipnet.ICMPEchoRequest {
+				src.FromInternet(ipnet.EchoReplyPacket(p, echo))
+			}
+		case ipnet.ProtoTCP:
+			f, ok := s.flows[p.Dst]
+			if !ok {
+				return
+			}
+			if seg, err := tcpsim.DecodeSegment(p.Payload); err == nil {
+				f.snd.Deliver(seg)
+			}
+		}
+	}
+
+	// Deploy APs. apList keeps Sites order for chaos targeting.
+	s.aps = make(map[dot11.MACAddr]*ap.AP, len(cfg.Sites))
+	for i, site := range cfg.Sites {
+		gw := ipnet.AddrFrom4(10, byte(i>>8), byte(i), 1)
+		apCfg := ap.DefaultConfig(site.SSID, site.Channel, gw)
+		apCfg.Open = site.Open
+		if site.BackhaulBps > 0 {
+			apCfg.Backhaul.RateBps = site.BackhaulBps
+		}
+		if cfg.AP.DHCPRespMin > 0 {
+			apCfg.DHCP.RespDelayMin = cfg.AP.DHCPRespMin
+		}
+		if cfg.AP.DHCPRespMax > 0 {
+			apCfg.DHCP.RespDelayMax = cfg.AP.DHCPRespMax
+		}
+		if cfg.AP.MgmtDelayMin > 0 {
+			apCfg.MgmtDelayMin = cfg.AP.MgmtDelayMin
+		}
+		if cfg.AP.MgmtDelayMax > 0 {
+			apCfg.MgmtDelayMax = cfg.AP.MgmtDelayMax
+		}
+		if cfg.AP.BackhaulDelay > 0 {
+			apCfg.Backhaul.Delay = cfg.AP.BackhaulDelay
+		}
+		if cfg.AP.BeaconInterval > 0 {
+			apCfg.BeaconInterval = cfg.AP.BeaconInterval
+		}
+		if cfg.AP.LeaseSecs > 0 {
+			apCfg.DHCP.LeaseSecs = cfg.AP.LeaseSecs
+		}
+		if cfg.AP.DHCPPoolSize > 0 {
+			apCfg.DHCP.PoolSize = cfg.AP.DHCPPoolSize
+		}
+		if site.DHCPDead {
+			// The server exists but never answers inside any client's
+			// acquisition window.
+			apCfg.DHCP.RespDelayMin = deadDHCPRespMin
+			apCfg.DHCP.RespDelayMax = deadDHCPRespMax
+		}
+		apCfg.BlockWAN = site.Captive
+		mac := dot11.MAC(uint32(0x100000 + i))
+		sitePos := site.Pos
+		var self *ap.AP
+		self = ap.New(s.eng, s.rng.Stream(site.SSID), s.medium, sitePos, mac, apCfg,
+			func(p ipnet.Packet) { uplink(self, p) })
+		s.aps[mac] = self
+		s.apList = append(s.apList, self)
+	}
+
+	// Arm the fault plan. The injector draws from its own stream and
+	// schedules everything up front, so a given (seed, plan) replays the
+	// same fault sequence regardless of what else the scenario does.
+	if cfg.Chaos != nil && !cfg.Chaos.Empty() {
+		targets := make([]chaos.Target, len(s.apList))
+		for i, a := range s.apList {
+			targets[i] = a
+		}
+		s.inj = chaos.New(s.eng, s.rng.Stream("chaos"), *cfg.Chaos, targets, s.medium)
+	}
+}

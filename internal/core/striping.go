@@ -11,7 +11,7 @@ import (
 // across every link that is up (the Horde/MAR/PERM integration the paper's
 // related-work section anticipates). Completed-object counts and latencies
 // land in the Result.
-func wireStriping(eng *sim.Engine, cfg ScenarioConfig, res *Result, manager *lmm.LMM,
+func wireStriping(eng *sim.Engine, objectBytes int64, res *Result, manager *lmm.LMM,
 	startFlow func(*lmm.Link, int64, func()) *flow, stopLinkFlows func(*lmm.Link)) {
 
 	links := make(map[int]*lmm.Link) // vif id -> live link
@@ -41,7 +41,7 @@ func wireStriping(eng *sim.Engine, cfg ScenarioConfig, res *Result, manager *lmm
 	var startObject func()
 	startObject = func() {
 		objectStart = eng.Now()
-		ctrl = stripe.New(eng, cfg.StripeObjectBytes, stripe.DefaultConfig(), fetch)
+		ctrl = stripe.New(eng, objectBytes, stripe.DefaultConfig(), fetch)
 		ctrl.OnComplete = func() {
 			res.StripeObjects++
 			res.StripeObjectSecs = append(res.StripeObjectSecs, (eng.Now() - objectStart).Seconds())

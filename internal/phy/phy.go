@@ -36,6 +36,16 @@ type Params struct {
 	SwitchLatency sim.Time
 	// RetryLimit is the number of MAC retransmissions for unicast frames.
 	RetryLimit int
+	// CollisionProb is the per-contender collision probability of the
+	// multi-station contention model. When a frame is committed to the air
+	// while k other radios have frames in flight or queued on the same
+	// channel, the attempt is corrupted with probability 1-(1-p)^k —
+	// approximating simultaneous backoff expiry under CSMA/CA. Corrupted
+	// unicast attempts go through the normal MAC retry path, so contention
+	// costs airtime as well as loss. Zero selects the default; negative
+	// disables collisions entirely (capacity is still shared, because all
+	// transmissions on a channel serialize).
+	CollisionProb float64
 	// Loss optionally overrides the distance-loss curve. It receives the
 	// transmitter-receiver distance in metres and returns a per-try loss
 	// probability in [0,1] (ignoring the transmit rate).
@@ -58,6 +68,7 @@ func Defaults() Params {
 		PerFrameOverhead: 400 * 1000, // 400µs: preamble+DIFS+SIFS+ACK
 		SwitchLatency:    5 * 1000 * 1000,
 		RetryLimit:       3,
+		CollisionProb:    0.03,
 		RateAdaptation:   true,
 	}
 }
@@ -83,6 +94,11 @@ func (p Params) withDefaults() Params {
 	}
 	if p.RetryLimit <= 0 {
 		p.RetryLimit = d.RetryLimit
+	}
+	if p.CollisionProb < 0 {
+		p.CollisionProb = 0
+	} else if p.CollisionProb == 0 {
+		p.CollisionProb = d.CollisionProb
 	}
 	return p
 }
@@ -128,6 +144,7 @@ type Stats struct {
 	FramesSent       uint64 // transmission attempts, including retries
 	FramesDelivered  uint64
 	FramesLost       uint64 // unicast tries lost to channel error
+	Collisions       uint64 // attempts corrupted by a contending transmitter
 	Broadcasts       uint64
 	UnicastFailed    uint64 // unicast gave up after all retries
 	RateUps          uint64 // ARF rate increases
@@ -147,6 +164,11 @@ type Medium struct {
 	byChannel map[dot11.Channel][]*Radio // registration order, so delivery iteration is deterministic
 	busyUntil map[dot11.Channel]sim.Time
 	noise     map[dot11.Channel]float64 // injected extra per-try loss
+	// pendingTx counts frames committed but not yet off the air, per
+	// channel and transmitter MAC — the contention the collision model
+	// charges against. Only counts feed the model, so map iteration order
+	// never matters.
+	pendingTx map[dot11.Channel]map[dot11.MACAddr]int
 	stats     Stats
 	tap       func(ch dot11.Channel, wire []byte, at sim.Time)
 }
@@ -162,6 +184,7 @@ func NewMedium(eng *sim.Engine, rng *sim.RNG, params Params) *Medium {
 		byChannel: make(map[dot11.Channel][]*Radio),
 		busyUntil: make(map[dot11.Channel]sim.Time),
 		noise:     make(map[dot11.Channel]float64),
+		pendingTx: make(map[dot11.Channel]map[dot11.MACAddr]int),
 		stats:     Stats{AirtimeByChannel: make(map[dot11.Channel]sim.Time)},
 	}
 }
@@ -382,6 +405,35 @@ func (r *Radio) Send(f dot11.Frame, status func(ok bool)) {
 	r.m.transmit(r, r.channel, f, wire, 0, status)
 }
 
+// contenders counts OTHER radios with frames committed but not yet off the
+// air on ch — the stations this transmission races against.
+func (m *Medium) contenders(ch dot11.Channel, src dot11.MACAddr) int {
+	pending := m.pendingTx[ch]
+	k := len(pending)
+	if pending[src] > 0 {
+		k--
+	}
+	return k
+}
+
+func (m *Medium) addPending(ch dot11.Channel, src dot11.MACAddr) {
+	pending := m.pendingTx[ch]
+	if pending == nil {
+		pending = make(map[dot11.MACAddr]int)
+		m.pendingTx[ch] = pending
+	}
+	pending[src]++
+}
+
+func (m *Medium) removePending(ch dot11.Channel, src dot11.MACAddr) {
+	pending := m.pendingTx[ch]
+	if pending[src] <= 1 {
+		delete(pending, src)
+		return
+	}
+	pending[src]--
+}
+
 // transmit performs one on-air attempt (attempt is the retry index). The
 // rate is re-evaluated per attempt so ARF fallback applies to retries.
 func (m *Medium) transmit(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byte, attempt int, status func(ok bool)) {
@@ -396,6 +448,15 @@ func (m *Medium) transmit(src *Radio, ch dot11.Channel, f dot11.Frame, wire []by
 	} else {
 		rate = src.rateFor(f.Addr1)
 	}
+	// Contention: every other station with a frame committed on this
+	// channel is racing our backoff. The collision draw happens at commit
+	// time so the outcome is a pure function of the event sequence.
+	collided := false
+	if p := m.params.CollisionProb; p > 0 {
+		if k := m.contenders(ch, src.mac); k > 0 {
+			collided = m.rng.Bool(1 - math.Pow(1-p, float64(k)))
+		}
+	}
 	// Small random backoff decorrelates contending senders.
 	start += m.rng.UniformDuration(0, 100*1000) // 0-100µs
 	air := m.airtimeAt(len(wire), rate)
@@ -403,22 +464,34 @@ func (m *Medium) transmit(src *Radio, ch dot11.Channel, f dot11.Frame, wire []by
 	src.txAirtime += air
 	m.stats.FramesSent++
 	m.stats.AirtimeByChannel[ch] += air
+	m.addPending(ch, src.mac)
 	end := start + air - now
 	m.eng.Schedule(end, func() {
-		m.deliver(src, ch, f, wire, rate, attempt, status)
+		m.removePending(ch, src.mac)
+		m.deliver(src, ch, f, wire, rate, attempt, collided, status)
 	})
 }
 
-func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byte, rate float64, attempt int, status func(ok bool)) {
+func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byte, rate float64, attempt int, collided bool, status func(ok bool)) {
 	if m.tap != nil {
 		m.tap(ch, wire, m.eng.Now())
 	}
 	if src.closed {
 		return
 	}
+	if collided {
+		m.stats.Collisions++
+	}
 	srcPos := src.pos()
 	if f.Addr1.IsBroadcast() {
 		m.stats.Broadcasts++
+		if collided {
+			m.stats.FramesLost++
+			if status != nil {
+				status(true)
+			}
+			return
+		}
 		for _, rx := range m.byChannel[ch] {
 			if rx == src || rx.closed || rx.switching || rx.down || rx.recv == nil {
 				continue
@@ -434,6 +507,8 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 			m.deliverTo(rx, wire, ch, d)
 		}
 		if status != nil {
+			// Broadcasts are unacknowledged: the sender only knows the
+			// frame has been on air, collided or not.
 			status(true)
 		}
 		return
@@ -448,7 +523,7 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 		}
 	}
 	ok := false
-	if target != nil {
+	if target != nil && !collided {
 		d := target.pos().Distance(srcPos)
 		if d <= m.params.Range {
 			// Success requires the data frame and the returning ACK to

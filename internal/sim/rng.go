@@ -6,23 +6,40 @@ import "math/rand"
 // own streams so that adding events to one component does not perturb the
 // random sequence seen by another.
 type RNG struct {
-	r *rand.Rand
+	r    *rand.Rand
+	seed int64
 }
 
 // NewRNG returns a deterministic generator for the given seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	return &RNG{r: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
-// Stream derives an independent child generator. The derivation mixes the
-// label so distinct labels yield decorrelated streams.
-func (g *RNG) Stream(label string) *RNG {
+func fnv1a(label string) int64 {
 	h := int64(1469598103934665603) // FNV-1a offset basis
 	for i := 0; i < len(label); i++ {
 		h ^= int64(label[i])
 		h *= 1099511628211
 	}
-	return NewRNG(h ^ g.r.Int63())
+	return h
+}
+
+// Stream derives an independent child generator. The derivation mixes the
+// label so distinct labels yield decorrelated streams. Each Stream call
+// consumes parent state, so the derivation depends on how many streams were
+// drawn before it; use Derive when the caller cannot guarantee a fixed
+// derivation order.
+func (g *RNG) Stream(label string) *RNG {
+	return NewRNG(fnv1a(label) ^ g.r.Int63())
+}
+
+// Derive returns an independent child generator that is a pure function of
+// (seed, label): unlike Stream it consumes no parent state, so siblings can
+// be derived in any order — or concurrently with Stream calls — without
+// perturbing one another. Scenario clients use it so that client
+// construction order cannot change a run.
+func (g *RNG) Derive(label string) *RNG {
+	return NewRNG(fnv1a(label) ^ (g.seed * 0x5851f42d4c957f2d) ^ 0x14057b7ef767814f)
 }
 
 // Float64 returns a uniform value in [0,1).

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJain(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0, 0}, 0},
+		{"perfectly fair", []float64{5, 5, 5, 5}, 1},
+		{"single client", []float64{7}, 1},
+		{"one hog of four", []float64{12, 0, 0, 0}, 0.25},
+		{"two of four", []float64{6, 6, 0, 0}, 0.5},
+	} {
+		if got := Jain(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Jain = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestJainBounds(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	j := Jain(xs)
+	if j <= 1.0/float64(len(xs)) || j > 1 {
+		t.Fatalf("Jain = %v outside (1/n, 1]", j)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 4 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("p50 = %v, want 2.5", got)
+	}
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 0.5); !math.IsNaN(got) {
+		t.Fatalf("empty percentile = %v, want NaN", got)
+	}
+	// Agrees with the CDF quantile on the same data.
+	c := NewCDF(xs)
+	if a, b := Percentile(xs, 0.95), c.Quantile(0.95); math.Abs(a-b) > 1e-12 {
+		t.Fatalf("Percentile %v != CDF.Quantile %v", a, b)
+	}
+}

@@ -104,6 +104,35 @@ func quantileSorted(xs []float64, q float64) float64 {
 	return xs[lo]*(1-frac) + xs[lo+1]*frac
 }
 
+// Percentile returns the q-quantile (q in [0,1], linearly interpolated) of
+// an unsorted sample, without mutating it. NaN for an empty sample.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Jain returns Jain's fairness index (Σx)²/(n·Σx²) of a per-client
+// allocation: 1 when every client gets the same share, 1/n when one client
+// gets everything. An empty or all-zero sample yields 0.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Point is one (x, cumulative fraction) pair of a rendered CDF.
 type Point struct {
 	X float64

@@ -33,8 +33,14 @@ import (
 type (
 	// ScenarioConfig describes one simulated run; see core.ScenarioConfig.
 	ScenarioConfig = core.ScenarioConfig
+	// WorldConfig is the shared world of an N-client scenario.
+	WorldConfig = core.WorldConfig
+	// ClientConfig is one client of an N-client scenario.
+	ClientConfig = core.ClientConfig
 	// Result is a run's measurements.
 	Result = core.Result
+	// PopulationResult aggregates an N-client run.
+	PopulationResult = core.PopulationResult
 	// Preset selects one of the paper's configurations.
 	Preset = core.Preset
 	// TimerProfile groups the join timeout knobs.
@@ -72,6 +78,14 @@ const (
 // Run executes a scenario to completion; it is deterministic in
 // cfg.Seed.
 func Run(cfg ScenarioConfig) Result { return core.Run(cfg) }
+
+// RunPopulation executes one shared world traversed by N clients and
+// returns per-client results plus population aggregates (goodput
+// distribution, Jain's fairness index, DHCP pool pressure). Deterministic
+// in world.Seed and the client ID set — client order never matters.
+func RunPopulation(world WorldConfig, clients []ClientConfig) PopulationResult {
+	return core.RunPopulation(world, clients)
+}
 
 // ReducedTimers returns Spider's tuned join-timeout profile.
 func ReducedTimers() TimerProfile { return core.ReducedTimers() }

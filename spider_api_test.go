@@ -76,6 +76,35 @@ func TestPublicAPITimers(t *testing.T) {
 	}
 }
 
+// TestPublicAPIPopulation drives the N-client entry point: two clients on
+// one corridor, with aggregates consistent with the per-client results.
+func TestPublicAPIPopulation(t *testing.T) {
+	sites := []spider.APSite{{
+		Pos: spider.Point{X: 200, Y: 20}, Channel: spider.Channel1,
+		SSID: "cafe", Open: true, BackhaulBps: 2e6,
+	}}
+	route := spider.Route([]spider.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}}, 10, false)
+	pop := spider.RunPopulation(
+		spider.WorldConfig{Seed: 42, Duration: 90 * time.Second, Sites: sites},
+		[]spider.ClientConfig{
+			{ID: 0, Preset: spider.SingleChannelMultiAP, Mobility: route},
+			{ID: 1, Preset: spider.SingleChannelMultiAP, Mobility: route, StartOffset: 3 * time.Second},
+		})
+	if len(pop.Clients) != 2 {
+		t.Fatalf("clients = %d", len(pop.Clients))
+	}
+	sum := pop.Clients[0].ThroughputKBps + pop.Clients[1].ThroughputKBps
+	if pop.AggregateKBps != sum {
+		t.Fatalf("aggregate %g != sum of per-client %g", pop.AggregateKBps, sum)
+	}
+	if pop.AggregateKBps <= 0 {
+		t.Fatal("population moved no data")
+	}
+	if pop.JainFairness <= 0 || pop.JainFairness > 1 {
+		t.Fatalf("fairness %g outside (0,1]", pop.JainFairness)
+	}
+}
+
 func TestPublicAPIStatic(t *testing.T) {
 	m := spider.StaticClient(spider.Point{X: 5, Y: 5})
 	if m.PositionAt(0) != m.PositionAt(time.Hour) || m.Speed() != 0 {
