@@ -6,6 +6,7 @@
 //	spider-bench -run all -scale 0.2
 //	spider-bench -run fig2,table2 -format csv -out results/
 //	spider-bench -run all -workers 8 -progress -timings results/bench_timings.json
+//	spider-bench -run chaos -events out.jsonl -pprof localhost:6060
 //
 // Each experiment is deterministic in -seed. -scale in (0,1] trades
 // fidelity for runtime (1.0 reproduces the full paper-scale runs).
@@ -22,6 +23,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -33,6 +36,7 @@ import (
 	"spider/internal/core"
 	"spider/internal/experiments"
 	"spider/internal/fleet"
+	"spider/internal/obs"
 )
 
 type renderable interface {
@@ -155,6 +159,9 @@ func main() {
 		progress = flag.Bool("progress", false, "report fleet progress (jobs, cache, ETA) on stderr")
 		timings  = flag.String("timings", "", "write machine-readable per-experiment timings JSON to this file")
 		popjson  = flag.String("popjson", "", "benchmark the population experiment (1/8/64 clients) and write goodput, ns/op, and allocs JSON to this file")
+		events   = flag.String("events", "", "record every simulation run's structured event stream and write merged JSONL to this file")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		obsOver  = flag.String("obsoverhead", "", "measure event-recording overhead on the chaos scenario and write the report to this file")
 	)
 	flag.Parse()
 	if *workers <= 0 {
@@ -197,12 +204,29 @@ func main() {
 		}
 	}
 
+	if *pprofSrv != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofSrv, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "# pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "# pprof serving on http://%s/debug/pprof/\n", *pprofSrv)
+	}
+
 	var onEvent func(fleet.Event)
 	if *progress {
 		onEvent = progressPrinter()
 	}
 	pool := fleet.New(fleet.Config{Workers: *workers, Retries: 1, OnEvent: onEvent})
 	defer pool.Close()
+
+	// One collector shared by every experiment: each run files its event
+	// stream under a canonical job label, and export is in sorted label
+	// order, so the JSONL is byte-identical at any -workers value.
+	var collector *obs.Collector
+	if *events != "" {
+		collector = obs.NewCollector()
+	}
 
 	var selected []experiment
 	for _, e := range registry {
@@ -226,7 +250,7 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			group := pool.Group(e.id)
-			opts := experiments.Options{Seed: *seed, Scale: *scale, Fleet: group}
+			opts := experiments.Options{Seed: *seed, Scale: *scale, Fleet: group, Events: collector}
 			start := time.Now()
 			defer func() {
 				if r := recover(); r != nil {
@@ -293,6 +317,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# %s done in %v\n", e.id, oc.wall.Round(time.Millisecond))
 	}
 
+	if *events != "" {
+		if err := writeEvents(*events, collector); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# %d events (%d runs) written to %s\n",
+			collector.Summary().Total(), len(collector.Runs()), *events)
+	}
+	if *obsOver != "" {
+		if err := writeObsOverhead(*obsOver, *seed, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# obs overhead report written to %s\n", *obsOver)
+	}
 	if *timings != "" {
 		tf := timingsFile{
 			Seed:        *seed,
@@ -393,6 +432,80 @@ func writePopulationBench(path string, seed int64, scale float64) error {
 	return os.WriteFile(path, append(body, '\n'), 0o644)
 }
 
+// writeEvents exports the collector's merged event streams as JSONL, one
+// object per event, runs in sorted label order. The artifact carries only
+// sim-time timestamps, so repeated runs at any worker count produce
+// byte-identical files.
+func writeEvents(path string, c *obs.Collector) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeObsOverhead times the chaos scenario (the event-densest workload)
+// with recording disabled and enabled and reports the relative cost of the
+// observability layer. One warm-up run absorbs JIT-ish effects (page
+// faults, allocator growth) before either timed arm.
+func writeObsOverhead(path string, seed int64, scale float64) error {
+	o := experiments.Options{Seed: seed, Scale: scale}
+	cfg := experiments.ChaosScenario(o)
+
+	run := func(record bool) (time.Duration, int64) {
+		c := cfg
+		var rec *obs.Recorder
+		if record {
+			rec = obs.NewRecorder()
+		}
+		c.Obs = rec
+		start := time.Now()
+		core.Run(c)
+		return time.Since(start), rec.Summary().Total()
+	}
+	// One untimed warm-up per arm, then interleaved trials with the
+	// per-arm minimum taken: the minimum is the least-noise estimate of a
+	// deterministic workload's true cost, and interleaving keeps slow
+	// drift (thermal, allocator growth) from biasing one arm.
+	run(false)
+	run(true)
+	const trials = 5
+	off, on := time.Duration(1<<62), time.Duration(1<<62)
+	var events int64
+	for i := 0; i < trials; i++ {
+		if d, _ := run(false); d < off {
+			off = d
+		}
+		d, n := run(true)
+		if d < on {
+			on = d
+		}
+		events = n
+	}
+	overhead := float64(on-off) / float64(off) * 100
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "obs overhead: chaos scenario, seed=%d scale=%g, min of %d interleaved trials per arm\n", seed, scale, trials)
+	fmt.Fprintf(&b, "recording disabled: %v per run\n", off.Round(time.Microsecond))
+	fmt.Fprintf(&b, "recording enabled:  %v per run (%d events)\n", on.Round(time.Microsecond), events)
+	fmt.Fprintf(&b, "overhead: %+.1f%%\n", overhead)
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
 // progressPrinter renders fleet telemetry as throttled stderr lines:
 // queue depth, completions, cache traffic, and the pool's ETA.
 func progressPrinter() func(fleet.Event) {
@@ -430,6 +543,9 @@ func progressPrinter() func(fleet.Event) {
 		if !s.Health.Empty() {
 			line += fmt.Sprintf(" faults=%d recovered=%d drops=%d",
 				s.Health.Faults, s.Health.Recoveries, s.Health.LinkDrops)
+		}
+		if !s.Events.Empty() {
+			line += fmt.Sprintf(" events=%d", s.Events.Total())
 		}
 		if s.ETA > 0 {
 			line += fmt.Sprintf(" eta=%v", s.ETA.Round(time.Second))

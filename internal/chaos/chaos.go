@@ -207,6 +207,12 @@ type Injector struct {
 	aps   []Target
 	noise NoiseField
 	stats Stats
+
+	// OnFault, when non-nil, observes every applied fault: begin=true at
+	// injection, begin=false when a transient fault reverts. aps holds
+	// the resolved target indices (RandomAP is resolved by then). Set it
+	// before the engine runs; the callback must not mutate the plan.
+	OnFault func(e Event, aps []int, begin bool)
 }
 
 // New builds the injector and schedules the whole plan. rng must be a
@@ -250,20 +256,25 @@ func (inj *Injector) startProcess(pr Process) {
 	arm(pr.Start + inj.rng.ExpDuration(pr.Mean))
 }
 
-// targets resolves an Event.AP selector to concrete targets. RandomAP
-// draws here, at injection time.
-func (inj *Injector) targets(sel int) []Target {
+// targets resolves an Event.AP selector to concrete targets and their
+// indices in the target list. RandomAP draws here, at injection time.
+func (inj *Injector) targets(sel int) ([]Target, []int) {
 	switch {
 	case len(inj.aps) == 0:
-		return nil
+		return nil, nil
 	case sel == AllAPs:
-		return inj.aps
+		idxs := make([]int, len(inj.aps))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return inj.aps, idxs
 	case sel == RandomAP:
-		return inj.aps[inj.rng.Intn(len(inj.aps)):][:1]
+		i := inj.rng.Intn(len(inj.aps))
+		return inj.aps[i:][:1], []int{i}
 	case sel >= 0 && sel < len(inj.aps):
-		return inj.aps[sel:][:1]
+		return inj.aps[sel:][:1], []int{sel}
 	}
-	return nil
+	return nil, nil
 }
 
 // apply injects one fault and, for transient kinds with a Duration,
@@ -271,11 +282,26 @@ func (inj *Injector) targets(sel int) []Target {
 // last-writer-wins; plans wanting precise overlap semantics should use
 // disjoint windows.
 func (inj *Injector) apply(e Event) {
-	ts := inj.targets(e.AP)
-	if e.Kind != NoiseBurst && len(ts) == 0 {
+	ts, idxs := inj.targets(e.AP)
+	// Validate before counting or observing, so Stats.Injected and the
+	// fault timeline only ever report faults that actually landed.
+	switch e.Kind {
+	case APCrash, APReboot, DHCPSilence, DHCPNakStorm, DHCPExhaust,
+		BeaconSuppress, BackhaulBlackhole, BackhaulLatency:
+		if len(ts) == 0 {
+			return
+		}
+	case NoiseBurst:
+		if inj.noise == nil {
+			return
+		}
+	default:
 		return
 	}
 	inj.stats.Injected++
+	if inj.OnFault != nil {
+		inj.OnFault(e, idxs, true)
+	}
 	revert := func(fn func()) {
 		if e.Duration <= 0 {
 			return
@@ -283,6 +309,9 @@ func (inj *Injector) apply(e Event) {
 		inj.eng.Schedule(e.Duration, func() {
 			inj.stats.Reverted++
 			fn()
+			if inj.OnFault != nil {
+				inj.OnFault(e, idxs, false)
+			}
 		})
 	}
 	switch e.Kind {
@@ -350,15 +379,9 @@ func (inj *Injector) apply(e Event) {
 			}
 		})
 	case NoiseBurst:
-		if inj.noise == nil {
-			inj.stats.Injected--
-			return
-		}
 		inj.stats.NoiseBursts++
 		ch := e.Channel
 		inj.noise.SetChannelNoise(ch, e.Loss)
 		revert(func() { inj.noise.SetChannelNoise(ch, 0) })
-	default:
-		inj.stats.Injected--
 	}
 }

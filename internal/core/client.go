@@ -10,6 +10,7 @@ import (
 	"spider/internal/geo"
 	"spider/internal/ipnet"
 	"spider/internal/lmm"
+	"spider/internal/obs"
 	"spider/internal/predict"
 	"spider/internal/sim"
 	"spider/internal/stats"
@@ -42,6 +43,10 @@ type Client struct {
 	// outageStart tracks this client's open outage window (-1 = none);
 	// per-client state so populations account outages independently.
 	outageStart sim.Time
+	// events is this client's structured timeline (nil no-op when the
+	// world has no recorder); lastBSSID detects handoffs across link-ups.
+	events    *obs.ClientLog
+	lastBSSID dot11.MACAddr
 }
 
 func newClient(s *Scenario, cfg ClientConfig) *Client {
@@ -87,13 +92,20 @@ func (c *Client) nextServerIP() ipnet.Addr {
 func (c *Client) build(rng *sim.RNG) {
 	s, cfg, eng := c.s, c.cfg, c.s.eng
 
+	c.events = s.cfg.Obs.Client(c.id)
+	reg := s.cfg.Obs.Metrics()
 	drvCfg := driver.Config{
 		NumVIFs:       cfg.NumVIFs,
 		LLTimeout:     cfg.Timers.LLTimeout,
 		ProbeInterval: probeInterval,
+		Events:        c.events,
+		Obs:           reg,
 	}
 	c.drv = driver.New(eng, rng.Stream("driver"), s.medium, c.MAC(), c.pos, drvCfg)
-	c.manager = lmm.New(eng, rng.Stream("lmm"), c.drv, cfg.lmmConfig())
+	lcfg := cfg.lmmConfig()
+	lcfg.Events = c.events
+	lcfg.Obs = reg
+	c.manager = lmm.New(eng, rng.Stream("lmm"), c.drv, lcfg)
 	manager := c.manager
 
 	switch {
@@ -124,20 +136,49 @@ func (c *Client) build(rng *sim.RNG) {
 	// already post-drop here.
 	baseUp, baseDown := manager.OnLinkUp, manager.OnLinkDown
 	manager.OnLinkUp = func(l *lmm.Link) {
+		c.events.Emit(obs.Event{
+			At:    eng.Now(),
+			Kind:  obs.KindLinkUp,
+			BSSID: l.BSSID.String(),
+		})
+		if c.lastBSSID != (dot11.MACAddr{}) && c.lastBSSID != l.BSSID {
+			c.events.Emit(obs.Event{
+				At:    eng.Now(),
+				Kind:  obs.KindHandoff,
+				BSSID: l.BSSID.String(),
+				Note:  c.lastBSSID.String(),
+			})
+		}
+		c.lastBSSID = l.BSSID
 		if c.outageStart >= 0 {
-			c.res.Recoveries = append(c.res.Recoveries, (eng.Now() - c.outageStart).Seconds())
+			outage := eng.Now() - c.outageStart
+			c.res.Recoveries = append(c.res.Recoveries, outage.Seconds())
 			c.outageStart = -1
+			c.events.Emit(obs.Event{
+				At:    eng.Now(),
+				Kind:  obs.KindOutageEnd,
+				Value: int64(outage),
+			})
 		}
 		if baseUp != nil {
 			baseUp(l)
 		}
 	}
 	manager.OnLinkDown = func(l *lmm.Link) {
+		c.events.Emit(obs.Event{
+			At:    eng.Now(),
+			Kind:  obs.KindLinkDown,
+			BSSID: l.BSSID.String(),
+		})
 		if baseDown != nil {
 			baseDown(l)
 		}
 		if c.outageStart < 0 && len(manager.ActiveLinks()) == 0 {
 			c.outageStart = eng.Now()
+			c.events.Emit(obs.Event{
+				At:   eng.Now(),
+				Kind: obs.KindOutageBegin,
+			})
 		}
 	}
 
@@ -284,6 +325,7 @@ func (c *Client) finalize() Result {
 	if s.inj != nil {
 		res.Chaos = s.inj.Stats()
 	}
+	res.Events = s.cfg.Obs.Summary()
 	res.Medium = s.medium.Stats()
 	if c.manager == nil {
 		// Stack never built (StartOffset beyond the run): an all-zero

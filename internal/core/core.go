@@ -20,6 +20,7 @@ import (
 	"spider/internal/ipnet"
 	"spider/internal/lmm"
 	"spider/internal/mobility"
+	"spider/internal/obs"
 	"spider/internal/phy"
 	"spider/internal/sim"
 )
@@ -178,6 +179,11 @@ type WorldConfig struct {
 	// PCAP, when non-nil, receives a pcap capture of every frame on the
 	// air (see internal/capture).
 	PCAP io.Writer
+	// Obs, when non-nil, records the run's structured event timeline and
+	// counters (see internal/obs). Events carry sim-time only, so a
+	// recorded run stays bit-reproducible. Nil disables recording with no
+	// cost beyond a nil check at each instrumentation site.
+	Obs *obs.Recorder
 }
 
 func (w WorldConfig) withDefaults() WorldConfig {
@@ -381,6 +387,9 @@ type ScenarioConfig struct {
 	// PCAP, when non-nil, receives a pcap capture of every frame on the
 	// air (see internal/capture).
 	PCAP io.Writer
+	// Obs, when non-nil, records the run's structured event timeline and
+	// counters (see internal/obs).
+	Obs *obs.Recorder
 }
 
 // split separates the flattened single-client config into its world and
@@ -394,6 +403,7 @@ func (c ScenarioConfig) split() (WorldConfig, ClientConfig) {
 		AP:       c.AP,
 		Chaos:    c.Chaos,
 		PCAP:     c.PCAP,
+		Obs:      c.Obs,
 	}
 	client := ClientConfig{
 		ID:                     0,
@@ -444,6 +454,11 @@ type Result struct {
 	// Chaos counts injected faults when a fault plan was active (a
 	// world-level total, identical on every client of a population).
 	Chaos chaos.Stats
+	// Events summarizes the run's recorded event stream by kind when a
+	// WorldConfig.Obs recorder was attached (a world-level total covering
+	// every client, identical on each client of a population). Zero when
+	// recording was disabled.
+	Events obs.Summary
 
 	// Striped-traffic results (StripeObjectBytes > 0).
 	StripeObjects    int

@@ -10,6 +10,7 @@ import (
 	"spider/internal/dot11"
 	"spider/internal/ipnet"
 	"spider/internal/lmm"
+	"spider/internal/obs"
 	"spider/internal/phy"
 	"spider/internal/sim"
 	"spider/internal/tcpsim"
@@ -128,6 +129,9 @@ func (s *Scenario) buildWorld() {
 	s.flows = make(map[ipnet.Addr]*flow)
 
 	s.medium = phy.NewMedium(s.eng, s.rng.Stream("phy"), cfg.Phy)
+	if cfg.Obs != nil {
+		s.medium.SetObs(cfg.Obs.Metrics())
+	}
 	if cfg.PCAP != nil {
 		pw := capture.NewWriter(cfg.PCAP)
 		s.medium.SetTap(func(_ dot11.Channel, wire []byte, at sim.Time) {
@@ -218,5 +222,36 @@ func (s *Scenario) buildWorld() {
 			targets[i] = a
 		}
 		s.inj = chaos.New(s.eng, s.rng.Stream("chaos"), *cfg.Chaos, targets, s.medium)
+		if cfg.Obs != nil {
+			world := cfg.Obs.World()
+			s.inj.OnFault = func(e chaos.Event, aps []int, begin bool) {
+				kind := obs.KindFaultEnd
+				if begin {
+					kind = obs.KindFaultBegin
+				}
+				// One event per resolved AP keeps the timeline joinable
+				// against per-client events by AP index; channel-scoped
+				// faults (noise bursts) have no AP and report one event.
+				if len(aps) == 0 {
+					world.Emit(obs.Event{
+						At:      s.eng.Now(),
+						Kind:    kind,
+						Channel: int(e.Channel),
+						Value:   -1,
+						Note:    e.Kind.String(),
+					})
+					return
+				}
+				for _, idx := range aps {
+					world.Emit(obs.Event{
+						At:      s.eng.Now(),
+						Kind:    kind,
+						Channel: int(e.Channel),
+						Value:   int64(idx),
+						Note:    e.Kind.String(),
+					})
+				}
+			}
+		}
 	}
 }

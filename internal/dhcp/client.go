@@ -3,6 +3,7 @@ package dhcp
 import (
 	"spider/internal/dot11"
 	"spider/internal/ipnet"
+	"spider/internal/obs"
 	"spider/internal/sim"
 )
 
@@ -24,6 +25,9 @@ type ClientConfig struct {
 	// AcquireWindow bounds the whole acquisition; the default stack tries
 	// for 3 s before going idle.
 	AcquireWindow sim.Time
+	// Obs, when non-nil, resolves the client's counters (retransmits,
+	// acks, naks). Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // DefaultClientConfig mirrors a stock DHCP client.
@@ -70,6 +74,10 @@ type Client struct {
 
 	// Retransmits counts messages sent beyond the first of each phase.
 	Retransmits int
+
+	obsRetransmits *obs.Counter
+	obsAcks        *obs.Counter
+	obsNaks        *obs.Counter
 }
 
 // NewClient creates a client for one interface. send transmits a message
@@ -85,7 +93,11 @@ func NewClient(eng *sim.Engine, rng *sim.RNG, cfg ClientConfig, mac dot11.MACAdd
 	if send == nil || done == nil {
 		panic("dhcp: NewClient requires send and done callbacks")
 	}
-	return &Client{eng: eng, rng: rng, cfg: cfg, mac: mac, send: send, done: done}
+	return &Client{eng: eng, rng: rng, cfg: cfg, mac: mac, send: send, done: done,
+		obsRetransmits: cfg.Obs.Counter("dhcp.retransmits"),
+		obsAcks:        cfg.Obs.Counter("dhcp.acks"),
+		obsNaks:        cfg.Obs.Counter("dhcp.naks"),
+	}
 }
 
 // Start begins acquisition. If cached is non-nil the client skips Discover
@@ -133,6 +145,7 @@ func (c *Client) cancelTimer() {
 func (c *Client) transmit(first bool) {
 	if !first {
 		c.Retransmits++
+		c.obsRetransmits.Inc()
 	}
 	c.send(c.pending)
 	c.cancelTimer()
@@ -170,10 +183,12 @@ func (c *Client) Deliver(msg Message) {
 			YourIP: msg.YourIP, ServerIP: msg.ServerIP}
 		c.transmit(true)
 	case msg.Type == Ack && c.state == stateRequesting:
+		c.obsAcks.Inc()
 		c.cancelTimer()
 		c.state = stateBound
 		c.done(Lease{IP: msg.YourIP, Server: msg.ServerIP, LeaseSecs: msg.LeaseSecs}, true)
 	case msg.Type == Nak && c.state == stateRequesting:
+		c.obsNaks.Inc()
 		// Cached lease rejected: restart with Discover inside the same
 		// window if any time remains.
 		if c.eng.Now() >= c.deadline {

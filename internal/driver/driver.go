@@ -15,6 +15,7 @@ import (
 
 	"spider/internal/dot11"
 	"spider/internal/geo"
+	"spider/internal/obs"
 	"spider/internal/phy"
 	"spider/internal/sim"
 )
@@ -36,6 +37,12 @@ type Config struct {
 	ProbeInterval sim.Time
 	// ScanEntryTTL ages out scan-table entries not heard from.
 	ScanEntryTTL sim.Time
+	// Events, when non-nil, receives the driver's structured timeline
+	// (channel switches, probes, auth/assoc transmissions, PSM drains).
+	// Nil disables recording at zero cost.
+	Events *obs.ClientLog
+	// Obs, when non-nil, resolves the driver's counters. Nil disables.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns Spider's deployed settings.
@@ -116,6 +123,12 @@ type Driver struct {
 	stopProbe func()
 	stats     Stats
 
+	// Resolved observability handles (nil-receiver no-ops when disabled).
+	events      *obs.ClientLog
+	obsSwitches *obs.Counter
+	obsProbes   *obs.Counter
+	obsDrops    *obs.Counter
+
 	// OnChannelActive, if set, fires each time the radio settles on a
 	// channel (after the PS-Poll flush).
 	OnChannelActive func(ch dot11.Channel)
@@ -132,6 +145,11 @@ func New(eng *sim.Engine, rng *sim.RNG, medium *phy.Medium, mac dot11.MACAddr, p
 		cfg:  cfg,
 		txq:  make(map[dot11.Channel][]dot11.Frame),
 		scan: make(map[dot11.MACAddr]ScanEntry),
+
+		events:      cfg.Events,
+		obsSwitches: cfg.Obs.Counter("driver.channel_switches"),
+		obsProbes:   cfg.Obs.Counter("driver.probes_sent"),
+		obsDrops:    cfg.Obs.Counter("driver.tx_queue_drops"),
 	}
 	d.radio = medium.NewRadio(mac, pos)
 	d.radio.SetReceiver(d.onFrame)
@@ -253,6 +271,12 @@ func (d *Driver) probe() {
 		return
 	}
 	d.stats.ProbesSent++
+	d.obsProbes.Inc()
+	d.events.Emit(obs.Event{
+		At:      d.eng.Now(),
+		Kind:    obs.KindProbe,
+		Channel: int(d.radio.Channel()),
+	})
 	d.radio.Send(dot11.Frame{
 		Type:  dot11.TypeProbeReq,
 		Addr1: dot11.Broadcast,
@@ -302,6 +326,13 @@ func (d *Driver) switchTo(ch dot11.Channel) {
 	}
 	d.switching = true
 	d.stats.Switches++
+	d.obsSwitches.Inc()
+	d.events.Emit(obs.Event{
+		At:      d.eng.Now(),
+		Kind:    obs.KindChannelSwitch,
+		Channel: int(ch),
+		Value:   int64(old),
+	})
 	d.radio.SetChannel(ch, func() {
 		d.switching = false
 		d.arriveOn(ch)
@@ -323,6 +354,14 @@ func (d *Driver) arriveOn(ch dot11.Channel) {
 	}
 	q := d.txq[ch]
 	d.txq[ch] = nil
+	if len(q) > 0 {
+		d.events.Emit(obs.Event{
+			At:      d.eng.Now(),
+			Kind:    obs.KindPSMDrain,
+			Channel: int(ch),
+			Value:   int64(len(q)),
+		})
+	}
 	for _, f := range q {
 		d.radio.Send(f, nil)
 	}
@@ -341,6 +380,7 @@ func (d *Driver) sendOrQueue(ch dot11.Channel, f dot11.Frame) {
 	}
 	if len(d.txq[ch]) >= d.cfg.TxQueueLimit {
 		d.stats.TxQueueDrops++
+		d.obsDrops.Inc()
 		return
 	}
 	d.stats.TxQueued++

@@ -5,6 +5,7 @@ import (
 
 	"spider/internal/dot11"
 	"spider/internal/ipnet"
+	"spider/internal/obs"
 	"spider/internal/sim"
 )
 
@@ -147,6 +148,15 @@ func (v *VIF) fail() {
 func (v *VIF) sendAuth() {
 	if v.drv.radio.Channel() == v.channel && !v.drv.switching {
 		v.AuthAttempts++
+		// Record only real transmissions, not timer re-arms while the
+		// radio dwells elsewhere — the timeline shows frames on air.
+		v.drv.events.Emit(obs.Event{
+			At:      v.drv.eng.Now(),
+			Kind:    obs.KindAuth,
+			BSSID:   v.bssid.String(),
+			Channel: int(v.channel),
+			Value:   int64(v.AuthAttempts),
+		})
 		body := dot11.AuthBody{SeqNum: 1}
 		v.drv.radio.Send(dot11.Frame{
 			Type:  dot11.TypeAuth,
@@ -162,6 +172,13 @@ func (v *VIF) sendAuth() {
 func (v *VIF) sendAssoc() {
 	if v.drv.radio.Channel() == v.channel && !v.drv.switching {
 		v.AssocAttempts++
+		v.drv.events.Emit(obs.Event{
+			At:      v.drv.eng.Now(),
+			Kind:    obs.KindAssoc,
+			BSSID:   v.bssid.String(),
+			Channel: int(v.channel),
+			Value:   int64(v.AssocAttempts),
+		})
 		v.drv.radio.Send(dot11.Frame{
 			Type:  dot11.TypeAssocReq,
 			Addr1: v.bssid,

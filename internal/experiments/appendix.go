@@ -25,24 +25,27 @@ func AppendixA(o Options) Table {
 	}
 	rng := sim.NewRNG(o.seed())
 	trials := o.n(40, 5)
+	// All wall-clock reads go through the Options clock so tests can make
+	// the µs columns deterministic; solver outputs never depend on it.
+	clk := o.clock()
 	for _, n := range []int{8, 12, 16, 20} {
 		var qBrute, qDP, qGreedy, qUtil float64
 		var tBrute, tDP, tGreedy, tUtil time.Duration
 		for trial := 0; trial < trials; trial++ {
 			items := opt.RandomInstance(rng, n, 0.3)
 			budget := 60.0
-			start := time.Now()
+			start := clk.Now()
 			brute := opt.SolveBruteForce(items, budget)
-			tBrute += time.Since(start)
-			start = time.Now()
+			tBrute += clk.Since(start)
+			start = clk.Now()
 			dp := opt.SolveExact(items, budget, 2000)
-			tDP += time.Since(start)
-			start = time.Now()
+			tDP += clk.Since(start)
+			start = clk.Now()
 			greedy := opt.SolveGreedy(items, budget)
-			tGreedy += time.Since(start)
-			start = time.Now()
+			tGreedy += clk.Since(start)
+			start = clk.Now()
 			util := opt.SolveByUtility(items, budget)
-			tUtil += time.Since(start)
+			tUtil += clk.Since(start)
 			optimum := brute.Value
 			if optimum <= 0 {
 				continue

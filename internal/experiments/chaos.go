@@ -47,6 +47,26 @@ func chaosPlan(crashesPerMin float64) chaos.Plan {
 	}}
 }
 
+// ChaosScenario returns the 2-crashes/min point of the chaos sweep as a
+// standalone scenario config — the representative faulted run that
+// spider-bench's -events export and the obs-overhead benchmark execute
+// directly, bypassing the fleet result cache so events are always
+// generated fresh.
+func ChaosScenario(o Options) core.ScenarioConfig {
+	plan := chaosPlan(2)
+	mob, sites := townLoop(o.seed(), 10, 0.4)
+	return core.ScenarioConfig{
+		Seed:           o.seed(),
+		Duration:       o.dur(10*time.Minute, 2*time.Minute),
+		Preset:         core.SingleChannelMultiAP,
+		PrimaryChannel: dot11.Channel1,
+		Mobility:       mob,
+		Sites:          sites,
+		AP:             core.APOverrides{LeaseSecs: 15},
+		Chaos:          &plan,
+	}
+}
+
 // ChaosStudy sweeps fault intensity over the town drive in the paper's
 // winning configuration (channel 1, multi-AP). The bundle is memoized
 // under the canonical key plus every plan hash, so editing the fault mix

@@ -57,9 +57,16 @@ func runConfigs(o Options, id string, cfgs []core.ScenarioConfig) []core.Result 
 			t := *cfg.Timers
 			cfg.Timers = &t
 		}
+		label := fmt.Sprintf("%s#%d", id, i)
 		jobs[i] = job[core.Result]{
-			id: fmt.Sprintf("%s#%d", id, i),
-			fn: func() core.Result { return core.Run(cfg) },
+			id: label,
+			fn: func() core.Result {
+				rec := o.recorder()
+				cfg.Obs = rec
+				r := core.Run(cfg)
+				o.collect(label, rec)
+				return r
+			},
 		}
 	}
 	return mapJobs(o, jobs)
@@ -78,10 +85,14 @@ func runConfigsHealth(o Options, id string, cfgs []core.ScenarioConfig) []core.R
 			t := *cfg.Timers
 			cfg.Timers = &t
 		}
+		label := fmt.Sprintf("%s#%d", id, i)
 		jobs[i] = job[core.Result]{
-			id: fmt.Sprintf("%s#%d", id, i),
+			id: label,
 			fn: func() core.Result {
+				rec := o.recorder()
+				cfg.Obs = rec
 				r := core.Run(cfg)
+				o.collect(label, rec)
 				if o.Fleet != nil {
 					o.Fleet.AddHealth(fleet.Health{
 						Faults:     int64(r.Chaos.Injected),

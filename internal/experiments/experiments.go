@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"spider/internal/fleet"
+	"spider/internal/obs"
 	"spider/internal/sim"
 )
 
@@ -31,6 +32,19 @@ type Options struct {
 	// happen in canonical job order. Fleet never participates in cache
 	// keys.
 	Fleet *fleet.Group
+	// Clock supplies the wall-clock reads behind timing columns some
+	// tables report (AppendixA's µs columns). Nil means the real clock;
+	// tests substitute obs.NewManual so rendered artifacts containing
+	// wall times become byte-stable. Never part of cache keys.
+	Clock obs.Clock
+	// Events, when non-nil, collects every simulation run's structured
+	// event stream under its job label ("chaos#0", …). Each stream is a
+	// pure function of the run's (seed, config) and the collector exports
+	// in sorted label order, so the merged JSONL is byte-identical at any
+	// fleet worker count. Note the fleet result cache can satisfy a
+	// memoized experiment without re-running its jobs; collect events
+	// with a fresh pool when a complete stream matters.
+	Events *obs.Collector
 }
 
 // Key returns the canonical result-cache key for an experiment with these
@@ -53,6 +67,34 @@ func (o Options) scale() float64 {
 		return 1
 	}
 	return o.Scale
+}
+
+func (o Options) clock() obs.Clock {
+	if o.Clock == nil {
+		return obs.Wall()
+	}
+	return o.Clock
+}
+
+// recorder returns a fresh per-run event recorder when collection is on,
+// nil (recording disabled end to end) otherwise.
+func (o Options) recorder() *obs.Recorder {
+	if o.Events == nil {
+		return nil
+	}
+	return obs.NewRecorder()
+}
+
+// collect files one finished run's event stream under its job label and
+// folds the per-kind summary into the fleet telemetry.
+func (o Options) collect(label string, rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	o.Events.Add(label, rec.Events())
+	if o.Fleet != nil {
+		o.Fleet.AddEvents(rec.Summary())
+	}
 }
 
 // dur scales a full-fidelity duration, with a floor to stay meaningful.

@@ -24,6 +24,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"spider/internal/obs"
 )
 
 // Config parameterizes a Pool.
@@ -36,6 +38,11 @@ type Config struct {
 	// OnEvent, when non-nil, receives telemetry for every job lifecycle
 	// transition. Callbacks are serialized and must be fast.
 	OnEvent func(Event)
+	// Clock supplies every wall-clock read the pool makes (job wall
+	// times, elapsed, ETA). Nil means the real clock. Wall time feeds
+	// telemetry only — never results or cache keys — so substituting
+	// obs.NewManual makes the pool's reporting fully deterministic.
+	Clock obs.Clock
 }
 
 // Job is one independent unit of work.
@@ -104,6 +111,7 @@ func (e *SweepError) Error() string {
 // Pool executes jobs on a fixed set of workers.
 type Pool struct {
 	cfg     Config
+	clock   obs.Clock
 	workers int
 	tasks   chan *task
 	done    sync.WaitGroup
@@ -119,6 +127,7 @@ type Pool struct {
 	misses  int
 	wallSum time.Duration
 	health  Health
+	events  obs.Summary
 
 	cacheMu sync.Mutex
 	cache   map[string]*cacheEntry
@@ -139,11 +148,16 @@ func New(cfg Config) *Pool {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = obs.Wall()
+	}
 	p := &Pool{
 		cfg:     cfg,
+		clock:   clock,
 		workers: w,
 		tasks:   make(chan *task),
-		start:   time.Now(),
+		start:   clock.Now(),
 		cache:   make(map[string]*cacheEntry),
 	}
 	p.done.Add(w)
@@ -232,7 +246,7 @@ func (p *Pool) exec(t *task) {
 		return
 	}
 	p.noteStarted(t)
-	start := time.Now()
+	start := p.clock.Now()
 	var res JobResult
 	if t.job.Key != "" {
 		value, err, hit := p.cacheDo(t.group, t.job.Key, func() (any, error) {
@@ -256,7 +270,7 @@ func (p *Pool) exec(t *task) {
 		value, attempts, jerr := p.attempt(t)
 		res = JobResult{ID: t.job.ID, Value: value, Attempts: attempts, Err: jerr}
 	}
-	res.Wall = time.Since(start)
+	res.Wall = p.clock.Since(start)
 	p.finishTask(t, res, start)
 }
 

@@ -3,6 +3,8 @@ package fleet
 import (
 	"sync"
 	"time"
+
+	"spider/internal/obs"
 )
 
 // EventType enumerates job lifecycle transitions.
@@ -96,6 +98,9 @@ type Stats struct {
 	ETA time.Duration
 	// Health sums the fault/recovery counters chaos jobs reported.
 	Health Health
+	// Events sums the per-kind event counts jobs reported via AddEvents.
+	// Addition commutes, so the totals are identical at any worker count.
+	Events obs.Summary
 }
 
 // Stats returns a consistent snapshot of pool progress.
@@ -114,8 +119,9 @@ func (p *Pool) statsLocked() Stats {
 		Failed:    p.nfailed,
 		CacheHits: p.hits,
 		WallSum:   p.wallSum,
-		Elapsed:   time.Since(p.start),
+		Elapsed:   p.clock.Since(p.start),
 		Health:    p.health,
+		Events:    p.events,
 	}
 	finished := s.Done + s.Failed
 	pending := s.Queued + s.Running
@@ -209,6 +215,7 @@ type Group struct {
 	misses int
 	wall   time.Duration
 	health Health
+	events obs.Summary
 }
 
 // Group returns a named telemetry scope on the pool.
@@ -244,6 +251,19 @@ func (g *Group) AddHealth(h Health) {
 	g.pool.mu.Unlock()
 }
 
+// AddEvents folds one completed job's per-kind event summary into the
+// group and pool totals. Summary addition commutes, so the merged counts
+// are independent of completion order and worker count. Safe to call
+// from job functions on any worker.
+func (g *Group) AddEvents(s obs.Summary) {
+	g.mu.Lock()
+	g.events.Add(s)
+	g.mu.Unlock()
+	g.pool.mu.Lock()
+	g.pool.events.Add(s)
+	g.pool.mu.Unlock()
+}
+
 func (g *Group) recordCache(hit bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -264,11 +284,13 @@ type GroupStats struct {
 	JobWall time.Duration
 	// Health sums the fault/recovery counters this group's jobs reported.
 	Health Health
+	// Events sums the per-kind event summaries this group's jobs reported.
+	Events obs.Summary
 }
 
 // Stats snapshots the group's counters.
 func (g *Group) Stats() GroupStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return GroupStats{Jobs: g.jobs, Failed: g.failed, CacheHits: g.hits, JobWall: g.wall, Health: g.health}
+	return GroupStats{Jobs: g.jobs, Failed: g.failed, CacheHits: g.hits, JobWall: g.wall, Health: g.health, Events: g.events}
 }

@@ -13,6 +13,7 @@ import (
 	"spider/internal/dot11"
 	"spider/internal/driver"
 	"spider/internal/ipnet"
+	"spider/internal/obs"
 	"spider/internal/sim"
 )
 
@@ -79,6 +80,12 @@ type Config struct {
 	// RecencyAlpha is the exponential weight given to the newest join
 	// attempt when updating utility.
 	RecencyAlpha float64
+	// Events, when non-nil, receives the module's structured timeline
+	// (join pipeline stages, DHCP message arrivals, lease renewals).
+	Events *obs.ClientLog
+	// Obs, when non-nil, resolves counters here and in the DHCP clients
+	// the module spawns. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns Spider's deployed settings: single channel 1,
@@ -305,6 +312,7 @@ type LMM struct {
 // begins selecting APs immediately.
 func New(eng *sim.Engine, rng *sim.RNG, drv *driver.Driver, cfg Config) *LMM {
 	cfg = cfg.withDefaults()
+	cfg.DHCP.Obs = cfg.Obs
 	m := &LMM{
 		eng:          eng,
 		rng:          rng,
@@ -514,6 +522,12 @@ func (c *conn) startJoin(e driver.ScanEntry) {
 	c.channel = e.Channel
 	c.started = m.eng.Now()
 	c.cacheHit = false
+	m.cfg.Events.Emit(obs.Event{
+		At:      m.eng.Now(),
+		Kind:    obs.KindJoinStart,
+		BSSID:   e.BSSID.String(),
+		Channel: int(e.Channel),
+	})
 	if m.cfg.ParkOnConnect {
 		// A stock driver stops scanning and camps on the candidate's
 		// channel for the whole join, not just once the link is up.
@@ -611,10 +625,22 @@ func (c *conn) renewLease() {
 			}
 			if !ok {
 				m.stats.RenewalFails++
+				m.cfg.Events.Emit(obs.Event{
+					At:    m.eng.Now(),
+					Kind:  obs.KindDHCPRenew,
+					BSSID: c.bssid.String(),
+					Note:  "failed",
+				})
 				c.down(true)
 				return
 			}
 			m.stats.LeaseRenewals++
+			m.cfg.Events.Emit(obs.Event{
+				At:    m.eng.Now(),
+				Kind:  obs.KindDHCPRenew,
+				BSSID: c.bssid.String(),
+				Note:  "ok",
+			})
 			c.lease = lease
 			if c.link != nil {
 				c.link.Lease = lease
@@ -691,6 +717,14 @@ func (c *conn) finishJoin(stage JoinStage) {
 		UsedCache: c.cacheHit,
 	}
 	m.joins = append(m.joins, rec)
+	m.cfg.Events.Emit(obs.Event{
+		At:      m.eng.Now(),
+		Kind:    obs.KindJoinFail,
+		BSSID:   c.bssid.String(),
+		Channel: int(c.channel),
+		Value:   int64(rec.TotalDur),
+		Note:    stage.String(),
+	})
 	if m.OnJoin != nil {
 		m.OnJoin(rec)
 	}
@@ -719,6 +753,13 @@ func (c *conn) goUp() {
 		UsedCache: c.cacheHit,
 	}
 	m.joins = append(m.joins, rec)
+	m.cfg.Events.Emit(obs.Event{
+		At:      m.eng.Now(),
+		Kind:    obs.KindJoinComplete,
+		BSSID:   c.bssid.String(),
+		Channel: int(c.channel),
+		Value:   int64(rec.TotalDur),
+	})
 	if m.OnJoin != nil {
 		m.OnJoin(rec)
 	}
@@ -815,6 +856,26 @@ func (c *conn) onPacket(p ipnet.Packet) {
 			return
 		}
 		if msg, err := dhcp.DecodeMessage(u.Payload); err == nil && c.dhcpCli != nil {
+			var kind obs.Kind
+			known := true
+			switch msg.Type {
+			case dhcp.Offer:
+				kind = obs.KindDHCPOffer
+			case dhcp.Ack:
+				kind = obs.KindDHCPAck
+			case dhcp.Nak:
+				kind = obs.KindDHCPNak
+			default:
+				known = false
+			}
+			if known {
+				c.m.cfg.Events.Emit(obs.Event{
+					At:      c.m.eng.Now(),
+					Kind:    kind,
+					BSSID:   c.bssid.String(),
+					Channel: int(c.channel),
+				})
+			}
 			c.dhcpCli.Deliver(msg)
 		}
 	case ipnet.ProtoICMP:

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the single seam wall-clock reads pass through. Simulation
+// results must never touch it — it exists for telemetry (ETA, progress,
+// timing tables) and so tests can substitute a deterministic clock and
+// assert that result artifacts are byte-identical across runs.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                  { return time.Now() }
+func (wallClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Wall returns the real wall clock.
+func Wall() Clock { return wallClock{} }
+
+// Manual is a deterministic Clock for tests: it starts at the Unix epoch
+// and advances by a fixed step on every Now (and Since) call, so two runs
+// making the same sequence of reads observe identical times.
+type Manual struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewManual returns a deterministic clock advancing by step per read.
+func NewManual(step time.Duration) *Manual {
+	return &Manual{now: time.Unix(0, 0).UTC(), step: step}
+}
+
+// Now returns the current reading and advances the clock by one step.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.now
+	m.now = m.now.Add(m.step)
+	return t
+}
+
+// Since returns the elapsed time from t to the next reading.
+func (m *Manual) Since(t time.Time) time.Duration { return m.Now().Sub(t) }

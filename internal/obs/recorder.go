@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Recorder collects one run's event timeline and hosts its metrics
+// registry. A Recorder belongs to a single scenario run and is written
+// from that run's (single) simulation goroutine; reading happens after
+// the run completes. A nil *Recorder disables recording everywhere: the
+// ClientLogs and Registry it hands out are nil, and every method on those
+// is a no-op.
+type Recorder struct {
+	seq  uint64
+	logs map[int]*ClientLog
+	reg  *Registry
+}
+
+// NewRecorder returns an empty recorder with a live metrics registry.
+func NewRecorder() *Recorder {
+	return &Recorder{logs: make(map[int]*ClientLog), reg: NewRegistry()}
+}
+
+// Client returns the log for one client ID, creating it on first use.
+// Returns nil (the disabled log) on a nil recorder.
+func (r *Recorder) Client(id int) *ClientLog {
+	if r == nil {
+		return nil
+	}
+	l, ok := r.logs[id]
+	if !ok {
+		l = &ClientLog{r: r, id: id}
+		r.logs[id] = l
+	}
+	return l
+}
+
+// World returns the log world-scoped events (chaos faults) record under.
+func (r *Recorder) World() *ClientLog { return r.Client(WorldClient) }
+
+// Metrics returns the recorder's registry (nil when the recorder is nil,
+// which disables every instrument resolved from it).
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Events returns the merged timeline ordered by (sim-time, client ID,
+// sequence) — the canonical artifact order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	var n int
+	for _, l := range r.logs {
+		n += len(l.evs)
+	}
+	out := make([]Event, 0, n)
+	for _, l := range r.logs {
+		out = append(out, l.evs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Client != out[j].Client {
+			return out[i].Client < out[j].Client
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Summary counts the recorded events by kind.
+func (r *Recorder) Summary() Summary {
+	var s Summary
+	if r == nil {
+		return s
+	}
+	for _, l := range r.logs {
+		for _, e := range l.evs {
+			if int(e.Kind) < NumKinds {
+				s.Counts[e.Kind]++
+			}
+		}
+	}
+	return s
+}
+
+// ClientLog is one client's slice of the timeline. The zero of usefulness
+// is nil: Emit on a nil log is a single branch and no work.
+type ClientLog struct {
+	r   *Recorder
+	id  int
+	evs []Event
+}
+
+// Emit records one event. The log fills Client and Seq; callers set At,
+// Kind, and any payload fields. Safe (and free) on a nil log.
+func (l *ClientLog) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	ev.Client = l.id
+	ev.Seq = l.r.seq
+	l.r.seq++
+	l.evs = append(l.evs, ev)
+}
+
+// Enabled reports whether events emitted here are recorded, for callers
+// that want to skip payload construction entirely.
+func (l *ClientLog) Enabled() bool { return l != nil }
+
+// WriteJSONL writes events as one JSON object per line.
+func WriteJSONL(w io.Writer, run string, evs []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range evs {
+		if run == "" {
+			if err := enc.Encode(e); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := enc.Encode(struct {
+			Run string `json:"run"`
+			Event
+		}{Run: run, Event: e}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes events as a CSV timeline with header.
+func WriteCSV(w io.Writer, evs []Event) error {
+	var b strings.Builder
+	b.WriteString(CSVHeader)
+	b.WriteByte('\n')
+	for _, e := range evs {
+		e.appendCSV(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Collector accumulates the per-run event streams of a multi-run sweep
+// and exports them in canonical run-label order, so the merged artifact
+// is byte-identical however runs were scheduled across workers. Add is
+// safe to call from fleet job goroutines.
+type Collector struct {
+	mu   sync.Mutex
+	runs map[string][]Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{runs: make(map[string][]Event)} }
+
+// Add stores one run's (already ordered) event stream under its label.
+// Adding the same label twice appends, preserving call order per label.
+func (c *Collector) Add(run string, evs []Event) {
+	if c == nil || len(evs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.runs[run] = append(c.runs[run], evs...)
+	c.mu.Unlock()
+}
+
+// Runs returns the stored run labels in sorted (export) order.
+func (c *Collector) Runs() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := make([]string, 0, len(c.runs))
+	for l := range c.runs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// WriteJSONL exports every run's stream, runs in sorted label order and
+// events in recorded order within each run.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	for _, run := range c.Runs() {
+		c.mu.Lock()
+		evs := c.runs[run]
+		c.mu.Unlock()
+		if err := WriteJSONL(w, run, evs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary folds every stored run's events into one summary.
+func (c *Collector) Summary() Summary {
+	var s Summary
+	if c == nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, evs := range c.runs {
+		for _, e := range evs {
+			if int(e.Kind) < NumKinds {
+				s.Counts[e.Kind]++
+			}
+		}
+	}
+	return s
+}

@@ -16,6 +16,7 @@ import (
 
 	"spider/internal/dot11"
 	"spider/internal/geo"
+	"spider/internal/obs"
 	"spider/internal/sim"
 )
 
@@ -171,6 +172,14 @@ type Medium struct {
 	pendingTx map[dot11.Channel]map[dot11.MACAddr]int
 	stats     Stats
 	tap       func(ch dot11.Channel, wire []byte, at sim.Time)
+
+	// Observability counters; nil (no-op) unless SetObs installed a
+	// registry. Kept as resolved handles so the hot path pays one atomic
+	// add when enabled and a nil check when not.
+	obsSent       *obs.Counter
+	obsDelivered  *obs.Counter
+	obsLost       *obs.Counter
+	obsCollisions *obs.Counter
 }
 
 // NewMedium creates a medium on the given engine. rng must be a dedicated
@@ -187,6 +196,15 @@ func NewMedium(eng *sim.Engine, rng *sim.RNG, params Params) *Medium {
 		pendingTx: make(map[dot11.Channel]map[dot11.MACAddr]int),
 		stats:     Stats{AirtimeByChannel: make(map[dot11.Channel]sim.Time)},
 	}
+}
+
+// SetObs resolves the medium's counters against reg. A nil reg leaves
+// instrumentation disabled (every counter call is a nil-receiver no-op).
+func (m *Medium) SetObs(reg *obs.Registry) {
+	m.obsSent = reg.Counter("phy.frames_sent")
+	m.obsDelivered = reg.Counter("phy.frames_delivered")
+	m.obsLost = reg.Counter("phy.frames_lost")
+	m.obsCollisions = reg.Counter("phy.collisions")
 }
 
 // SetChannelNoise injects an additional per-try loss probability applied
@@ -463,6 +481,7 @@ func (m *Medium) transmit(src *Radio, ch dot11.Channel, f dot11.Frame, wire []by
 	m.busyUntil[ch] = start + air
 	src.txAirtime += air
 	m.stats.FramesSent++
+	m.obsSent.Inc()
 	m.stats.AirtimeByChannel[ch] += air
 	m.addPending(ch, src.mac)
 	end := start + air - now
@@ -481,12 +500,14 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 	}
 	if collided {
 		m.stats.Collisions++
+		m.obsCollisions.Inc()
 	}
 	srcPos := src.pos()
 	if f.Addr1.IsBroadcast() {
 		m.stats.Broadcasts++
 		if collided {
 			m.stats.FramesLost++
+			m.obsLost.Inc()
 			if status != nil {
 				status(true)
 			}
@@ -502,6 +523,7 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 			}
 			if m.rng.Bool(m.lossOn(ch, d, rate)) {
 				m.stats.FramesLost++
+				m.obsLost.Inc()
 				continue
 			}
 			m.deliverTo(rx, wire, ch, d)
@@ -543,6 +565,7 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 		return
 	}
 	m.stats.FramesLost++
+	m.obsLost.Inc()
 	if attempt < m.params.RetryLimit && !src.closed && !src.switching && !src.down && src.channel == ch {
 		retry := f
 		retry.Retry = true
@@ -570,5 +593,6 @@ func (m *Medium) deliverTo(rx *Radio, wire []byte, ch dot11.Channel, dist float6
 		panic(fmt.Sprintf("phy: frame failed to decode on delivery: %v", err))
 	}
 	m.stats.FramesDelivered++
+	m.obsDelivered.Inc()
 	rx.recv(decoded, RxInfo{Channel: ch, RSSI: rssiAt(dist), At: m.eng.Now()})
 }

@@ -62,9 +62,16 @@ func Synthesize(rng *sim.RNG, cfg MeshConfig) MeshTrace {
 	if cfg.Users <= 0 || cfg.Flows <= 0 {
 		panic("trace: Synthesize needs users and flows")
 	}
+	// One gap per flow beyond each user's first; with fewer flows than
+	// users no gaps exist, so the capacity clamps to zero rather than
+	// passing a negative value to make (which panics).
+	gapCap := cfg.Flows - cfg.Users
+	if gapCap < 0 {
+		gapCap = 0
+	}
 	t := MeshTrace{
 		FlowDurations:       make([]float64, 0, cfg.Flows),
-		InterConnectionGaps: make([]float64, 0, cfg.Flows-cfg.Users),
+		InterConnectionGaps: make([]float64, 0, gapCap),
 	}
 	perUser := cfg.Flows / cfg.Users
 	extra := cfg.Flows % cfg.Users

@@ -55,6 +55,39 @@ func TestSynthesizeDeterminism(t *testing.T) {
 	}
 }
 
+// TestSynthesizeFewerFlowsThanUsers is the regression test for the
+// negative-capacity panic: with 0 < Flows < Users, the gap slice
+// capacity used to go negative. Sparse populations are legitimate (each
+// user gets 0 or 1 flows, so no inter-connection gaps exist).
+func TestSynthesizeFewerFlowsThanUsers(t *testing.T) {
+	for _, tc := range []struct{ users, flows int }{
+		{161, 1},
+		{161, 160},
+		{10, 3},
+		{2, 1},
+		{1, 1},
+	} {
+		cfg := DefaultMeshConfig()
+		cfg.Users = tc.users
+		cfg.Flows = tc.flows
+		tr := Synthesize(sim.NewRNG(5), cfg)
+		if len(tr.FlowDurations) != tc.flows {
+			t.Fatalf("users=%d flows=%d: got %d durations", tc.users, tc.flows, len(tr.FlowDurations))
+		}
+		if len(tr.InterConnectionGaps) != 0 {
+			t.Fatalf("users=%d flows=%d: got %d gaps, want 0 (no user has two flows)",
+				tc.users, tc.flows, len(tr.InterConnectionGaps))
+		}
+	}
+	// Just past the boundary: one user gets a second flow, one gap.
+	cfg := DefaultMeshConfig()
+	cfg.Users = 10
+	cfg.Flows = 11
+	if tr := Synthesize(sim.NewRNG(5), cfg); len(tr.InterConnectionGaps) != 1 {
+		t.Fatalf("flows=users+1: got %d gaps, want 1", len(tr.InterConnectionGaps))
+	}
+}
+
 func TestSynthesizeValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {
