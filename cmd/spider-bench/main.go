@@ -7,6 +7,8 @@
 //	spider-bench -run fig2,table2 -format csv -out results/
 //	spider-bench -run all -workers 8 -progress -timings results/bench_timings.json
 //	spider-bench -run chaos -events out.jsonl -pprof localhost:6060
+//	spider-bench -run population -spans spans.jsonl   (analyze with spider-trace)
+//	spider-bench -run none -benchgate BENCH_population.json
 //
 // Each experiment is deterministic in -seed. -scale in (0,1] trades
 // fidelity for runtime (1.0 reproduces the full paper-scale runs).
@@ -33,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"spider/internal/benchgate"
 	"spider/internal/core"
 	"spider/internal/experiments"
 	"spider/internal/fleet"
@@ -159,7 +162,10 @@ func main() {
 		progress = flag.Bool("progress", false, "report fleet progress (jobs, cache, ETA) on stderr")
 		timings  = flag.String("timings", "", "write machine-readable per-experiment timings JSON to this file")
 		popjson  = flag.String("popjson", "", "benchmark the population experiment (1/8/64 clients) and write goodput, ns/op, and allocs JSON to this file")
+		gate     = flag.String("benchgate", "", "re-measure the population benchmark and exit non-zero if it regressed past -benchgate-threshold vs this baseline JSON (at default -seed/-scale, gates against the baseline's own workload)")
+		gateThr  = flag.Float64("benchgate-threshold", 0.15, "relative regression tolerated by -benchgate (0.15 = 15%)")
 		events   = flag.String("events", "", "record every simulation run's structured event stream and write merged JSONL to this file")
+		spansOut = flag.String("spans", "", "record every simulation run's causal spans and write merged JSONL to this file (analyze with spider-trace)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
 		obsOver  = flag.String("obsoverhead", "", "measure event-recording overhead on the chaos scenario and write the report to this file")
 	)
@@ -175,7 +181,7 @@ func main() {
 		return
 	}
 	want := map[string]bool{}
-	if *runList != "all" {
+	if *runList != "all" && *runList != "none" {
 		for _, id := range strings.Split(*runList, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
@@ -224,7 +230,7 @@ func main() {
 	// stream under a canonical job label, and export is in sorted label
 	// order, so the JSONL is byte-identical at any -workers value.
 	var collector *obs.Collector
-	if *events != "" {
+	if *events != "" || *spansOut != "" {
 		collector = obs.NewCollector()
 	}
 
@@ -325,6 +331,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# %d events (%d runs) written to %s\n",
 			collector.Summary().Total(), len(collector.Runs()), *events)
 	}
+	if *spansOut != "" {
+		if err := writeSpans(*spansOut, collector); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# %d spans (%d runs) written to %s\n",
+			collector.SpanCount(), len(collector.SpanRuns()), *spansOut)
+	}
 	if *obsOver != "" {
 		if err := writeObsOverhead(*obsOver, *seed, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -367,60 +381,72 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "# population bench written to %s\n", *popjson)
 	}
+	if *gate != "" {
+		report, ok, err := runBenchGate(*gate, *seed, *scale, *gateThr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "# %d experiment(s) failed\n", failures)
 		os.Exit(1)
 	}
 }
 
-// popBenchRecord is one population rung's performance sample: what the run
-// delivered and what it cost.
-type popBenchRecord struct {
-	Clients       int     `json:"clients"`
-	AggregateKBps float64 `json:"aggregate_kbps"`
-	JainFairness  float64 `json:"jain_fairness"`
-	// WallNS is the rung's single-run wall time (the experiment's ns/op).
-	WallNS      int64  `json:"wall_ns"`
-	NSPerClient int64  `json:"ns_per_client"`
-	Allocs      uint64 `json:"allocs"`
-	AllocBytes  uint64 `json:"alloc_bytes"`
-}
-
-// popBenchFile is the BENCH_population.json layout: the repo's population
-// perf trajectory, one record per benchmarked rung.
-type popBenchFile struct {
-	Seed    int64            `json:"seed"`
-	Scale   float64          `json:"scale"`
-	NumCPU  int              `json:"num_cpu"`
-	Records []popBenchRecord `json:"records"`
-}
-
-// writePopulationBench runs the 1/8/64-client rungs of the population
-// experiment inline (no fleet: one run per rung, timed alone) and writes
-// their goodput, wall time, and allocation counts.
-func writePopulationBench(path string, seed int64, scale float64) error {
+// measurePopulation runs the 1/8/64-client rungs of the population
+// experiment inline (no fleet: one run per rung, timed alone) and samples
+// their goodput, wall time, and allocation counts — the measurement behind
+// both -popjson (record a baseline) and -benchgate (compare against one).
+// Each rung reports the minimum over a few trials: the simulation is
+// deterministic, so the minimum is the least-noise estimate of its true
+// cost and keeps scheduler jitter from tripping the regression gate.
+func measurePopulation(seed int64, scale float64) benchgate.File {
+	const trials = 3
 	o := experiments.Options{Seed: seed, Scale: scale}
-	out := popBenchFile{Seed: seed, Scale: scale, NumCPU: runtime.NumCPU()}
+	out := benchgate.File{Seed: seed, Scale: scale, NumCPU: runtime.NumCPU()}
 	for _, n := range []int{1, 8, 64} {
-		world, clients := experiments.PopulationScenario(o, n)
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		p := core.RunPopulation(world, clients)
-		wall := time.Since(start)
-		runtime.ReadMemStats(&after)
-		out.Records = append(out.Records, popBenchRecord{
-			Clients:       n,
-			AggregateKBps: p.AggregateKBps,
-			JainFairness:  p.JainFairness,
-			WallNS:        wall.Nanoseconds(),
-			NSPerClient:   wall.Nanoseconds() / int64(n),
-			Allocs:        after.Mallocs - before.Mallocs,
-			AllocBytes:    after.TotalAlloc - before.TotalAlloc,
-		})
+		var rec benchgate.Record
+		for trial := 0; trial < trials; trial++ {
+			world, clients := experiments.PopulationScenario(o, n)
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			p := core.RunPopulation(world, clients)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+			sample := benchgate.Record{
+				Clients:       n,
+				AggregateKBps: p.AggregateKBps,
+				JainFairness:  p.JainFairness,
+				WallNS:        wall.Nanoseconds(),
+				NSPerClient:   wall.Nanoseconds() / int64(n),
+				Allocs:        after.Mallocs - before.Mallocs,
+				AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+			}
+			if trial == 0 || sample.WallNS < rec.WallNS {
+				rec.WallNS, rec.NSPerClient = sample.WallNS, sample.NSPerClient
+			}
+			if trial == 0 || sample.Allocs < rec.Allocs {
+				rec.Allocs, rec.AllocBytes = sample.Allocs, sample.AllocBytes
+			}
+			rec.Clients = sample.Clients
+			rec.AggregateKBps = sample.AggregateKBps
+			rec.JainFairness = sample.JainFairness
+		}
+		out.Records = append(out.Records, rec)
 	}
-	body, err := json.MarshalIndent(out, "", "  ")
+	return out
+}
+
+// writePopulationBench records a fresh population baseline file.
+func writePopulationBench(path string, seed int64, scale float64) error {
+	body, err := json.MarshalIndent(measurePopulation(seed, scale), "", "  ")
 	if err != nil {
 		return err
 	}
@@ -430,6 +456,29 @@ func writePopulationBench(path string, seed int64, scale float64) error {
 		}
 	}
 	return os.WriteFile(path, append(body, '\n'), 0o644)
+}
+
+// runBenchGate measures the population rungs fresh, compares them against
+// the committed baseline, and returns the rendered verdict plus whether
+// the gate passed. Wall-time comparisons only mean something on hardware
+// comparable to the baseline's; CI re-records its baseline on the same
+// machine before gating.
+func runBenchGate(baselinePath string, seed int64, scale float64, threshold float64) (string, bool, error) {
+	baseline, err := benchgate.Load(baselinePath)
+	if err != nil {
+		return "", false, err
+	}
+	// Gate against the baseline's own workload: a -scale mismatch would
+	// otherwise just error out in Compare.
+	if seed == 1 && scale == 1.0 {
+		seed, scale = baseline.Seed, baseline.Scale
+	}
+	current := measurePopulation(seed, scale)
+	regs, err := benchgate.Compare(baseline, current, threshold)
+	if err != nil {
+		return "", false, err
+	}
+	return benchgate.Report(baseline, current, regs, threshold), len(regs) == 0, nil
 }
 
 // writeEvents exports the collector's merged event streams as JSONL, one
@@ -447,6 +496,26 @@ func writeEvents(path string, c *obs.Collector) error {
 		return err
 	}
 	if err := c.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSpans exports the collector's merged causal spans as JSONL in the
+// same canonical order as the event export: runs sorted by label, spans in
+// recorded (Start, Client, ID) order within each run.
+func writeSpans(path string, c *obs.Collector) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteSpansJSONL(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,160 @@
+// Package benchgate implements the population benchmark regression gate:
+// it compares a fresh BENCH_population-style measurement against a
+// committed baseline and flags rungs whose cost grew (wall time,
+// allocations) or whose delivered goodput shrank beyond a threshold.
+// The comparison logic is pure so the gate's pass/fail decision is unit-
+// testable without running benchmarks; cmd/spider-bench -benchgate wires
+// it to a live measurement and turns failures into a non-zero exit.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Record is one population rung's performance sample — the JSON layout of
+// BENCH_population.json entries.
+type Record struct {
+	Clients       int     `json:"clients"`
+	AggregateKBps float64 `json:"aggregate_kbps"`
+	JainFairness  float64 `json:"jain_fairness"`
+	// WallNS is the rung's single-run wall time (the experiment's ns/op).
+	WallNS      int64  `json:"wall_ns"`
+	NSPerClient int64  `json:"ns_per_client"`
+	Allocs      uint64 `json:"allocs"`
+	AllocBytes  uint64 `json:"alloc_bytes"`
+}
+
+// File is the BENCH_population.json layout: the repo's population perf
+// trajectory, one record per benchmarked rung.
+type File struct {
+	Seed    int64    `json:"seed"`
+	Scale   float64  `json:"scale"`
+	NumCPU  int      `json:"num_cpu"`
+	Records []Record `json:"records"`
+}
+
+// Find returns the record for a rung by client count.
+func (f File) Find(clients int) (Record, bool) {
+	for _, r := range f.Records {
+		if r.Clients == clients {
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// Load reads a baseline file.
+func Load(path string) (File, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(body, &f); err != nil {
+		return File{}, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if len(f.Records) == 0 {
+		return File{}, fmt.Errorf("benchgate: %s: no records", path)
+	}
+	return f, nil
+}
+
+// Regression is one metric on one rung that moved past the threshold in
+// the bad direction.
+type Regression struct {
+	Clients  int
+	Metric   string
+	Baseline float64
+	Current  float64
+	// Ratio is current/baseline: >1 for cost metrics that grew, <1 for
+	// goodput that shrank.
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("clients=%d %s: baseline %.4g -> current %.4g (%.2fx)",
+		r.Clients, r.Metric, r.Baseline, r.Current, r.Ratio)
+}
+
+// Compare flags regressions of current against baseline. Deterministic
+// cost metrics (allocation count and bytes) regress when they grow by
+// more than threshold (0.15 = 15%); aggregate goodput regresses when it
+// drops by more than threshold — a perf gate should also catch "faster
+// because it silently does less". Wall time is inherently noisy even as
+// a min-of-trials on a shared machine, so it gets twice the threshold:
+// a real 2x slowdown still trips it, scheduler jitter does not. Rungs
+// present in only one file are ignored: the ladder may grow over time.
+// An error means the files are not comparable at all (different seed or
+// scale measure different work).
+func Compare(baseline, current File, threshold float64) ([]Regression, error) {
+	if baseline.Seed != current.Seed || baseline.Scale != current.Scale {
+		return nil, fmt.Errorf(
+			"benchgate: baseline (seed=%d scale=%g) and current (seed=%d scale=%g) measure different workloads",
+			baseline.Seed, baseline.Scale, current.Seed, current.Scale)
+	}
+	var regs []Regression
+	for _, base := range baseline.Records {
+		cur, ok := current.Find(base.Clients)
+		if !ok {
+			continue
+		}
+		check := func(metric string, b, c float64, thr float64, costly bool) {
+			if b <= 0 {
+				return
+			}
+			ratio := c / b
+			bad := costly && ratio > 1+thr || !costly && ratio < 1-thr
+			if bad {
+				regs = append(regs, Regression{
+					Clients: base.Clients, Metric: metric,
+					Baseline: b, Current: c, Ratio: ratio,
+				})
+			}
+		}
+		check("wall_ns", float64(base.WallNS), float64(cur.WallNS), 2*threshold, true)
+		check("allocs", float64(base.Allocs), float64(cur.Allocs), threshold, true)
+		check("alloc_bytes", float64(base.AllocBytes), float64(cur.AllocBytes), threshold, true)
+		check("aggregate_kbps", base.AggregateKBps, cur.AggregateKBps, threshold, false)
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Clients != regs[j].Clients {
+			return regs[i].Clients < regs[j].Clients
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs, nil
+}
+
+// Report renders the gate outcome as text: every compared rung's verdict
+// plus one line per regression.
+func Report(baseline, current File, regs []Regression, threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchgate: threshold %.0f%%, baseline num_cpu=%d current num_cpu=%d\n",
+		threshold*100, baseline.NumCPU, current.NumCPU)
+	for _, base := range baseline.Records {
+		cur, ok := current.Find(base.Clients)
+		if !ok {
+			fmt.Fprintf(&b, "clients=%-3d SKIP (no current measurement)\n", base.Clients)
+			continue
+		}
+		fmt.Fprintf(&b, "clients=%-3d wall %.1fms -> %.1fms (%.2fx)  allocs %d -> %d  goodput %.1f -> %.1f KB/s\n",
+			base.Clients,
+			float64(base.WallNS)/1e6, float64(cur.WallNS)/1e6,
+			float64(cur.WallNS)/float64(base.WallNS),
+			base.Allocs, cur.Allocs,
+			base.AggregateKBps, cur.AggregateKBps)
+	}
+	if len(regs) == 0 {
+		b.WriteString("PASS: no metric regressed past the threshold\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "FAIL: %d regression(s)\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return b.String()
+}

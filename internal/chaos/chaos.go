@@ -102,6 +102,10 @@ type Event struct {
 	Loss float64
 	// Delay is the added one-way delay for BackhaulLatency.
 	Delay sim.Time
+	// Cause names the fault's provenance ("<plan>/event[i]" or
+	// "<plan>/proc[i]"); New fills it when empty, so OnFault observers can
+	// attribute an outage to the exact plan entry that caused it.
+	Cause string
 }
 
 // Process is a seeded stochastic fault source: firings arrive with
@@ -123,11 +127,16 @@ type Process struct {
 	Channel  dot11.Channel
 	Loss     float64
 	Delay    sim.Time
+	// Cause labels every Event this process injects (see Event.Cause).
+	Cause string
 }
 
 // Plan is a declarative fault schedule: fixed events plus stochastic
 // processes. The zero value injects nothing.
 type Plan struct {
+	// Name labels the plan in fault-cause metadata; empty plans inject as
+	// "plan".
+	Name   string
 	Events []Event
 	Procs  []Process
 }
@@ -145,8 +154,10 @@ func (p Plan) Hash() string {
 		binary.BigEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
+	h.Write([]byte(p.Name))
 	w(uint64(len(p.Events)))
 	for _, e := range p.Events {
+		h.Write([]byte(e.Cause))
 		w(uint64(e.At))
 		w(uint64(e.Kind))
 		w(uint64(int64(e.AP)))
@@ -157,6 +168,7 @@ func (p Plan) Hash() string {
 	}
 	w(uint64(len(p.Procs)))
 	for _, pr := range p.Procs {
+		h.Write([]byte(pr.Cause))
 		w(uint64(pr.Kind))
 		w(uint64(pr.Mean))
 		w(uint64(pr.Start))
@@ -217,13 +229,25 @@ type Injector struct {
 
 // New builds the injector and schedules the whole plan. rng must be a
 // dedicated stream; noise may be nil when the plan has no NoiseBurst.
+// Every scheduled fault carries cause metadata: explicit Cause fields pass
+// through, empty ones default to "<plan>/event[i]" / "<plan>/proc[i]".
 func New(eng *sim.Engine, rng *sim.RNG, plan Plan, aps []Target, noise NoiseField) *Injector {
 	inj := &Injector{eng: eng, rng: rng, aps: aps, noise: noise}
-	for _, e := range plan.Events {
+	name := plan.Name
+	if name == "" {
+		name = "plan"
+	}
+	for i, e := range plan.Events {
 		e := e
+		if e.Cause == "" {
+			e.Cause = fmt.Sprintf("%s/event[%d]", name, i)
+		}
 		eng.ScheduleAt(e.At, func() { inj.apply(e) })
 	}
-	for _, pr := range plan.Procs {
+	for i, pr := range plan.Procs {
+		if pr.Cause == "" {
+			pr.Cause = fmt.Sprintf("%s/proc[%d]", name, i)
+		}
 		inj.startProcess(pr)
 	}
 	return inj
@@ -248,7 +272,7 @@ func (inj *Injector) startProcess(pr Process) {
 			inj.apply(Event{
 				At: at, Kind: pr.Kind, AP: pr.AP,
 				Duration: pr.Duration, Channel: pr.Channel,
-				Loss: pr.Loss, Delay: pr.Delay,
+				Loss: pr.Loss, Delay: pr.Delay, Cause: pr.Cause,
 			})
 			arm(inj.eng.Now() + inj.rng.ExpDuration(pr.Mean))
 		})

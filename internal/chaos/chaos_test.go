@@ -298,3 +298,55 @@ func TestEmpty(t *testing.T) {
 		t.Error("plan with process reported Empty")
 	}
 }
+
+func TestFaultCauseMetadata(t *testing.T) {
+	eng, _, targets := rig(1)
+	sec := sim.Time(time.Second)
+	plan := Plan{
+		Name: "nightly",
+		Events: []Event{
+			{At: 1 * sec, Kind: DHCPSilence, AP: 0, Duration: 1 * sec},
+			{At: 3 * sec, Kind: APCrash, AP: 0, Cause: "custom-cause"},
+		},
+		Procs: []Process{{Kind: BeaconSuppress, Mean: 4 * sec, AP: 0, Duration: sec / 2}},
+	}
+	inj := New(eng, sim.NewRNG(1).Stream("chaos"), plan, targets, nil)
+	var got []string
+	inj.OnFault = func(e Event, _ []int, begin bool) {
+		got = append(got, fmt.Sprintf("%s begin=%v", e.Cause, begin))
+	}
+	eng.Run(20 * sec)
+
+	causes := map[string]int{}
+	for _, g := range got {
+		causes[g]++
+	}
+	if causes["nightly/event[0] begin=true"] != 1 || causes["nightly/event[0] begin=false"] != 1 {
+		t.Errorf("event[0] cause missing or duplicated: %v", got)
+	}
+	if causes["custom-cause begin=true"] != 1 {
+		t.Errorf("explicit Cause not passed through: %v", got)
+	}
+	procFired := false
+	for c := range causes {
+		if len(c) > 0 && c[0] == 'n' && causes[c] > 0 && c != "nightly/event[0] begin=true" &&
+			c != "nightly/event[0] begin=false" {
+			procFired = true
+		}
+	}
+	if !procFired {
+		t.Errorf("process firings carry no cause: %v", got)
+	}
+}
+
+func TestDefaultPlanNameInCause(t *testing.T) {
+	eng, _, targets := rig(1)
+	plan := Plan{Events: []Event{{At: 1, Kind: APCrash, AP: 0}}}
+	inj := New(eng, sim.NewRNG(1).Stream("chaos"), plan, targets, nil)
+	var cause string
+	inj.OnFault = func(e Event, _ []int, _ bool) { cause = e.Cause }
+	eng.Run(sim.Time(time.Second))
+	if cause != "plan/event[0]" {
+		t.Errorf("unnamed plan cause = %q, want plan/event[0]", cause)
+	}
+}

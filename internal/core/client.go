@@ -47,10 +47,15 @@ type Client struct {
 	// world has no recorder); lastBSSID detects handoffs across link-ups.
 	events    *obs.ClientLog
 	lastBSSID dot11.MACAddr
+	// outSpan is the open cause-attributed outage span; linkSpans the open
+	// per-link spans (a multi-VIF client can hold several at once).
+	outSpan   *obs.ActiveSpan
+	linkSpans map[*lmm.Link]*obs.ActiveSpan
 }
 
 func newClient(s *Scenario, cfg ClientConfig) *Client {
-	c := &Client{s: s, cfg: cfg, id: cfg.ID, outageStart: -1}
+	c := &Client{s: s, cfg: cfg, id: cfg.ID, outageStart: -1,
+		linkSpans: make(map[*lmm.Link]*obs.ActiveSpan)}
 	c.series = stats.NewTimeSeries(statsBucket)
 	c.res = Result{ClientID: cfg.ID, Preset: cfg.Preset, Seed: s.cfg.Seed,
 		Duration: s.cfg.Duration, LinkSeconds: map[int]int{}}
@@ -141,6 +146,11 @@ func (c *Client) build(rng *sim.RNG) {
 			Kind:  obs.KindLinkUp,
 			BSSID: l.BSSID.String(),
 		})
+		if ls := c.events.StartSpan(eng.Now(), "link"); ls != nil {
+			ls.SetBSSID(l.BSSID.String())
+			ls.SetChannel(int(l.VIF.Channel()))
+			c.linkSpans[l] = ls
+		}
 		if c.lastBSSID != (dot11.MACAddr{}) && c.lastBSSID != l.BSSID {
 			c.events.Emit(obs.Event{
 				At:    eng.Now(),
@@ -159,6 +169,8 @@ func (c *Client) build(rng *sim.RNG) {
 				Kind:  obs.KindOutageEnd,
 				Value: int64(outage),
 			})
+			c.outSpan.End(eng.Now())
+			c.outSpan = nil
 		}
 		if baseUp != nil {
 			baseUp(l)
@@ -169,16 +181,26 @@ func (c *Client) build(rng *sim.RNG) {
 			At:    eng.Now(),
 			Kind:  obs.KindLinkDown,
 			BSSID: l.BSSID.String(),
+			Note:  l.DownCause,
 		})
+		if ls := c.linkSpans[l]; ls != nil {
+			ls.EndStatus(eng.Now(), l.DownCause)
+			delete(c.linkSpans, l)
+		}
 		if baseDown != nil {
 			baseDown(l)
 		}
 		if c.outageStart < 0 && len(manager.ActiveLinks()) == 0 {
 			c.outageStart = eng.Now()
+			cause := c.classifyOutage(l)
 			c.events.Emit(obs.Event{
 				At:   eng.Now(),
 				Kind: obs.KindOutageBegin,
+				Note: cause,
 			})
+			c.outSpan = c.events.StartSpan(eng.Now(), "outage")
+			c.outSpan.SetBSSID(l.BSSID.String())
+			c.outSpan.SetStatus(cause)
 		}
 	}
 
@@ -245,6 +267,26 @@ func (c *Client) build(rng *sim.RNG) {
 	eng.Ticker(statsBucket, func() {
 		c.res.LinkSeconds[len(manager.ActiveLinks())]++
 	})
+}
+
+// classifyOutage attributes a fresh outage to a cause, in precedence
+// order: an injected fault active right now ("chaos-fault:<cause>"), a
+// link demoted for an expiring lease ("lease-expiry"), no joinable AP in
+// radio range ("out-of-range"), and otherwise "contention" — APs are
+// visible and healthy but the join pipeline lost the race for them.
+func (c *Client) classifyOutage(l *lmm.Link) string {
+	if cause := c.s.activeFaultCause(); cause != "" {
+		return "chaos-fault:" + cause
+	}
+	if l.DownCause == "lease-expiry" {
+		return "lease-expiry"
+	}
+	for _, e := range c.drv.ScanTable() {
+		if e.Open {
+			return "contention"
+		}
+	}
+	return "out-of-range"
 }
 
 // startFlow opens one TCP download of total bytes (negative for unbounded)

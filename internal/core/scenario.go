@@ -42,6 +42,14 @@ type Scenario struct {
 	inj     *chaos.Injector
 	flows   map[ipnet.Addr]*flow
 	clients []*Client
+
+	// faultCauses counts the currently-active injected faults per cause
+	// label — maintained whenever an injector exists (recording or not),
+	// so outage attribution always sees the live fault set.
+	faultCauses map[string]int
+	// faultSpans holds the open world-scoped fault spans per cause (a
+	// stochastic process can overlap its own firings, hence the stack).
+	faultSpans map[string][]*obs.ActiveSpan
 }
 
 // NewScenario prepares a scenario for the given world. Nothing is built
@@ -110,6 +118,9 @@ func (s *Scenario) Run() []Result {
 	}
 
 	s.eng.Run(s.cfg.Duration)
+	// Finalize run-spanning intervals (open joins, links, outages,
+	// occupancy, persistent faults) so the span tree exports closed.
+	s.cfg.Obs.CloseOpenSpans(s.eng.Now())
 
 	results := make([]Result, len(s.clients))
 	for i, c := range s.clients {
@@ -222,36 +233,68 @@ func (s *Scenario) buildWorld() {
 			targets[i] = a
 		}
 		s.inj = chaos.New(s.eng, s.rng.Stream("chaos"), *cfg.Chaos, targets, s.medium)
-		if cfg.Obs != nil {
-			world := cfg.Obs.World()
-			s.inj.OnFault = func(e chaos.Event, aps []int, begin bool) {
-				kind := obs.KindFaultEnd
-				if begin {
-					kind = obs.KindFaultBegin
+		s.faultCauses = make(map[string]int)
+		s.faultSpans = make(map[string][]*obs.ActiveSpan)
+		world := cfg.Obs.World() // nil log (all no-ops) when recording is off
+		s.inj.OnFault = func(e chaos.Event, aps []int, begin bool) {
+			// Track the live fault set first — outage attribution reads it
+			// whether or not recording is on. Persistent faults (no
+			// revert) stay active for the rest of the run.
+			if begin {
+				s.faultCauses[e.Cause]++
+				span := world.StartSpan(s.eng.Now(), "fault")
+				span.SetChannel(int(e.Channel))
+				span.SetStatus(e.Cause + ":" + e.Kind.String())
+				if span != nil {
+					s.faultSpans[e.Cause] = append(s.faultSpans[e.Cause], span)
 				}
-				// One event per resolved AP keeps the timeline joinable
-				// against per-client events by AP index; channel-scoped
-				// faults (noise bursts) have no AP and report one event.
-				if len(aps) == 0 {
-					world.Emit(obs.Event{
-						At:      s.eng.Now(),
-						Kind:    kind,
-						Channel: int(e.Channel),
-						Value:   -1,
-						Note:    e.Kind.String(),
-					})
-					return
+			} else {
+				if s.faultCauses[e.Cause] > 0 {
+					s.faultCauses[e.Cause]--
 				}
-				for _, idx := range aps {
-					world.Emit(obs.Event{
-						At:      s.eng.Now(),
-						Kind:    kind,
-						Channel: int(e.Channel),
-						Value:   int64(idx),
-						Note:    e.Kind.String(),
-					})
+				if stack := s.faultSpans[e.Cause]; len(stack) > 0 {
+					stack[0].End(s.eng.Now())
+					s.faultSpans[e.Cause] = stack[1:]
 				}
+			}
+			kind := obs.KindFaultEnd
+			if begin {
+				kind = obs.KindFaultBegin
+			}
+			// One event per resolved AP keeps the timeline joinable
+			// against per-client events by AP index; channel-scoped
+			// faults (noise bursts) have no AP and report one event.
+			if len(aps) == 0 {
+				world.Emit(obs.Event{
+					At:      s.eng.Now(),
+					Kind:    kind,
+					Channel: int(e.Channel),
+					Value:   -1,
+					Note:    e.Kind.String(),
+				})
+				return
+			}
+			for _, idx := range aps {
+				world.Emit(obs.Event{
+					At:      s.eng.Now(),
+					Kind:    kind,
+					Channel: int(e.Channel),
+					Value:   int64(idx),
+					Note:    e.Kind.String(),
+				})
 			}
 		}
 	}
+}
+
+// activeFaultCause returns the lexicographically first live fault cause,
+// or "" when no injected fault is active right now.
+func (s *Scenario) activeFaultCause() string {
+	best := ""
+	for cause, n := range s.faultCauses {
+		if n > 0 && (best == "" || cause < best) {
+			best = cause
+		}
+	}
+	return best
 }

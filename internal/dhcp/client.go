@@ -72,6 +72,13 @@ type Client struct {
 	timer    *sim.Event
 	started  sim.Time
 
+	// Span, when non-nil, is the Join root span this acquisition's phases
+	// nest under (set by the owner between NewClient and Start). The
+	// client opens contiguous "dhcp-discover" / "dhcp-request" children;
+	// renewal clients leave Span nil and trace nothing.
+	Span  *obs.ActiveSpan
+	phase *obs.ActiveSpan
+
 	// Retransmits counts messages sent beyond the first of each phase.
 	Retransmits int
 
@@ -114,9 +121,11 @@ func (c *Client) Start(cached *Lease) {
 		c.state = stateRequesting
 		c.pending = Message{Type: Request, XID: c.xid, ClientMAC: c.mac,
 			YourIP: cached.IP, ServerIP: cached.Server}
+		c.phase = c.Span.StartChild(c.eng.Now(), "dhcp-request")
 	} else {
 		c.state = stateDiscovering
 		c.pending = Message{Type: Discover, XID: c.xid, ClientMAC: c.mac}
+		c.phase = c.Span.StartChild(c.eng.Now(), "dhcp-discover")
 	}
 	c.transmit(true)
 }
@@ -132,6 +141,8 @@ func (c *Client) Elapsed() sim.Time { return c.eng.Now() - c.started }
 // Stop abandons the acquisition without invoking the completion callback.
 func (c *Client) Stop() {
 	c.cancelTimer()
+	c.phase.EndStatus(c.eng.Now(), "stopped")
+	c.phase = nil
 	c.state = stateIdle
 }
 
@@ -166,6 +177,8 @@ func (c *Client) onTimeout() {
 
 func (c *Client) fail() {
 	c.cancelTimer()
+	c.phase.EndStatus(c.eng.Now(), "fail")
+	c.phase = nil
 	c.state = stateFailed
 	c.done(Lease{}, false)
 }
@@ -181,10 +194,14 @@ func (c *Client) Deliver(msg Message) {
 		c.state = stateRequesting
 		c.pending = Message{Type: Request, XID: c.xid, ClientMAC: c.mac,
 			YourIP: msg.YourIP, ServerIP: msg.ServerIP}
+		c.phase.EndStatus(c.eng.Now(), "ok")
+		c.phase = c.Span.StartChild(c.eng.Now(), "dhcp-request")
 		c.transmit(true)
 	case msg.Type == Ack && c.state == stateRequesting:
 		c.obsAcks.Inc()
 		c.cancelTimer()
+		c.phase.EndStatus(c.eng.Now(), "ok")
+		c.phase = nil
 		c.state = stateBound
 		c.done(Lease{IP: msg.YourIP, Server: msg.ServerIP, LeaseSecs: msg.LeaseSecs}, true)
 	case msg.Type == Nak && c.state == stateRequesting:
@@ -197,6 +214,8 @@ func (c *Client) Deliver(msg Message) {
 		}
 		c.state = stateDiscovering
 		c.pending = Message{Type: Discover, XID: c.xid, ClientMAC: c.mac}
+		c.phase.EndStatus(c.eng.Now(), "nak")
+		c.phase = c.Span.StartChild(c.eng.Now(), "dhcp-discover")
 		c.transmit(true)
 	}
 }

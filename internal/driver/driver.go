@@ -128,6 +128,10 @@ type Driver struct {
 	obsSwitches *obs.Counter
 	obsProbes   *obs.Counter
 	obsDrops    *obs.Counter
+	// occSpan is the open schedule-occupancy span for the channel the
+	// radio currently dwells on; switches close it and arrivals open the
+	// next, so the span timeline tiles the run per channel.
+	occSpan *obs.ActiveSpan
 
 	// OnChannelActive, if set, fires each time the radio settles on a
 	// channel (after the PS-Poll flush).
@@ -157,6 +161,8 @@ func New(eng *sim.Engine, rng *sim.RNG, medium *phy.Medium, mac dot11.MACAddr, p
 		d.vifs = append(d.vifs, &VIF{id: i, drv: d})
 	}
 	d.schedule = []Slot{{Channel: d.radio.Channel(), Duration: 0}}
+	d.occSpan = d.events.StartSpan(eng.Now(), "occupancy")
+	d.occSpan.SetChannel(int(d.radio.Channel()))
 	if cfg.ProbeInterval > 0 {
 		d.stopProbe = eng.Ticker(cfg.ProbeInterval, d.probe)
 	}
@@ -327,6 +333,8 @@ func (d *Driver) switchTo(ch dot11.Channel) {
 	d.switching = true
 	d.stats.Switches++
 	d.obsSwitches.Inc()
+	d.occSpan.End(d.eng.Now())
+	d.occSpan = nil
 	d.events.Emit(obs.Event{
 		At:      d.eng.Now(),
 		Kind:    obs.KindChannelSwitch,
@@ -341,6 +349,13 @@ func (d *Driver) switchTo(ch dot11.Channel) {
 
 // arriveOn completes a switch: wake associated APs and drain the queue.
 func (d *Driver) arriveOn(ch dot11.Channel) {
+	d.occSpan = d.events.StartSpan(d.eng.Now(), "occupancy")
+	d.occSpan.SetChannel(int(ch))
+	for _, v := range d.vifs {
+		if v.Joining() && v.channel == ch {
+			v.onChannelArrive()
+		}
+	}
 	for _, v := range d.vifs {
 		if v.state == vifAssociated && v.channel == ch {
 			d.stats.PollsSent++

@@ -37,6 +37,15 @@ type VIF struct {
 	OnJoinResult func(ok bool)
 	// OnPacket receives decoded IP packets addressed to this interface.
 	OnPacket func(ipnet.Packet)
+	// Span, when non-nil, is the Join root span this attempt's link-layer
+	// phases nest under (set by the LMM before Associate). The VIF opens
+	// contiguous children — scan (waiting for the radio), probe (dwell to
+	// first frame), auth, assoc — so phase durations sum to the handshake
+	// exactly.
+	Span *obs.ActiveSpan
+
+	phase     *obs.ActiveSpan
+	phaseName string
 
 	// Stats.
 	AuthAttempts  int
@@ -78,7 +87,27 @@ func (v *VIF) Associate(bssid dot11.MACAddr, ch dot11.Channel) {
 	v.bssid = bssid
 	v.channel = ch
 	v.deadline = v.drv.eng.Now() + v.drv.cfg.JoinWindow
+	v.startPhase("scan")
 	v.sendAuth()
+}
+
+// startPhase closes the open join phase and opens the next at the same
+// instant, keeping the phase children contiguous under the root span.
+func (v *VIF) startPhase(name string) {
+	now := v.drv.eng.Now()
+	v.phase.EndStatus(now, "ok")
+	v.phase = v.Span.StartChild(now, name)
+	v.phase.SetBSSID(v.bssid.String())
+	v.phase.SetChannel(int(v.channel))
+	v.phaseName = name
+}
+
+// onChannelArrive notes the radio settling on this joining VIF's channel:
+// the scan wait is over and the probe-to-first-frame dwell begins.
+func (v *VIF) onChannelArrive() {
+	if v.phaseName == "scan" {
+		v.startPhase("probe")
+	}
 }
 
 // Disassociate releases the binding, notifying the AP when reachable.
@@ -99,6 +128,11 @@ func (v *VIF) Disassociate() {
 
 func (v *VIF) reset() {
 	v.cancelTimer()
+	// An abandoned handshake closes its open phase here; completed joins
+	// already closed theirs, so this End is the idempotent no-op.
+	v.phase.EndStatus(v.drv.eng.Now(), "aborted")
+	v.phase, v.phaseName = nil, ""
+	v.Span = nil
 	v.state = vifIdle
 	v.bssid = dot11.MACAddr{}
 	v.channel = 0
@@ -135,6 +169,7 @@ func (v *VIF) onTimeout() {
 }
 
 func (v *VIF) fail() {
+	v.phase.EndStatus(v.drv.eng.Now(), "fail")
 	cb := v.OnJoinResult
 	v.reset()
 	if cb != nil {
@@ -148,6 +183,10 @@ func (v *VIF) fail() {
 func (v *VIF) sendAuth() {
 	if v.drv.radio.Channel() == v.channel && !v.drv.switching {
 		v.AuthAttempts++
+		if v.phaseName == "scan" || v.phaseName == "probe" {
+			// First frame on air ends the pre-handshake wait.
+			v.startPhase("auth")
+		}
 		// Record only real transmissions, not timer re-arms while the
 		// radio dwells elsewhere — the timeline shows frames on air.
 		v.drv.events.Emit(obs.Event{
@@ -202,6 +241,7 @@ func (v *VIF) onMgmt(f dot11.Frame) {
 			return
 		}
 		v.state = vifAssocWait
+		v.startPhase("assoc")
 		v.sendAssoc()
 	case f.Type == dot11.TypeAssocResp && v.state == vifAssocWait:
 		body, err := dot11.DecodeAssocRespBody(f.Body)
@@ -214,6 +254,9 @@ func (v *VIF) onMgmt(f dot11.Frame) {
 		}
 		v.cancelTimer()
 		v.state = vifAssociated
+		v.phase.EndStatus(v.drv.eng.Now(), "ok")
+		v.phase, v.phaseName = nil, ""
+		v.Span = nil // link-layer phases done; DHCP children follow
 		if v.OnJoinResult != nil {
 			v.OnJoinResult(true)
 		}

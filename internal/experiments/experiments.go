@@ -85,13 +85,14 @@ func (o Options) recorder() *obs.Recorder {
 	return obs.NewRecorder()
 }
 
-// collect files one finished run's event stream under its job label and
-// folds the per-kind summary into the fleet telemetry.
+// collect files one finished run's event and span streams under its job
+// label and folds the per-kind summary into the fleet telemetry.
 func (o Options) collect(label string, rec *obs.Recorder) {
 	if rec == nil {
 		return
 	}
 	o.Events.Add(label, rec.Events())
+	o.Events.AddSpans(label, rec.Spans())
 	if o.Fleet != nil {
 		o.Fleet.AddEvents(rec.Summary())
 	}

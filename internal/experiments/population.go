@@ -99,11 +99,16 @@ func PopulationStudy(o Options) *PopulationResults {
 		jobs := make([]job[core.PopulationResult], len(populationSizes))
 		for i, n := range populationSizes {
 			n := n
+			label := fmt.Sprintf("population#n=%d", n)
 			jobs[i] = job[core.PopulationResult]{
-				id: fmt.Sprintf("population#n=%d", n),
+				id: label,
 				fn: func() core.PopulationResult {
 					world, route := populationWorld(o.seed(), d)
-					return core.RunPopulation(world, populationClients(n, route))
+					rec := o.recorder()
+					world.Obs = rec
+					r := core.RunPopulation(world, populationClients(n, route))
+					o.collect(label, rec)
+					return r
 				},
 			}
 		}

@@ -208,6 +208,11 @@ type Link struct {
 	// OnPacket receives non-DHCP, non-liveness packets for this link.
 	OnPacket func(ipnet.Packet)
 
+	// DownCause names why the link went down ("ping-timeout",
+	// "lease-expiry", "schedule-change", "shutdown"), set before the
+	// OnLinkDown callback so outage attribution can read it.
+	DownCause string
+
 	conn *conn
 }
 
@@ -246,6 +251,11 @@ type conn struct {
 	lease   dhcp.Lease
 	link    *Link
 	renewEv *sim.Event // pending lease-renewal timer
+
+	// joinSpan is the attempt's Join root span; testSpan the open
+	// conn-test child. Both nil when recording is off or no join runs.
+	joinSpan *obs.ActiveSpan
+	testSpan *obs.ActiveSpan
 
 	pingSeq      uint16
 	pingPending  map[uint16]*sim.Event
@@ -341,6 +351,7 @@ func (m *LMM) Close() {
 	m.stopSelect()
 	for _, c := range m.conns {
 		if c.state == connUp {
+			c.link.DownCause = "shutdown"
 			c.down(false)
 		}
 	}
@@ -528,6 +539,10 @@ func (c *conn) startJoin(e driver.ScanEntry) {
 		BSSID:   e.BSSID.String(),
 		Channel: int(e.Channel),
 	})
+	c.joinSpan = m.cfg.Events.StartSpan(m.eng.Now(), "join")
+	c.joinSpan.SetBSSID(e.BSSID.String())
+	c.joinSpan.SetChannel(int(e.Channel))
+	c.vif.Span = c.joinSpan
 	if m.cfg.ParkOnConnect {
 		// A stock driver stops scanning and camps on the candidate's
 		// channel for the whole join, not just once the link is up.
@@ -582,6 +597,7 @@ func (c *conn) startDHCP() {
 			}
 			c.startConnTest()
 		})
+	c.dhcpCli.Span = c.joinSpan
 	c.dhcpCli.Start(cached)
 }
 
@@ -631,6 +647,9 @@ func (c *conn) renewLease() {
 					BSSID: c.bssid.String(),
 					Note:  "failed",
 				})
+				if c.link != nil {
+					c.link.DownCause = "lease-expiry"
+				}
 				c.down(true)
 				return
 			}
@@ -659,6 +678,7 @@ func (c *conn) startConnTest() {
 	c.state = connPing
 	c.testAttempts = 0
 	c.pingPending = make(map[uint16]*sim.Event)
+	c.testSpan = c.joinSpan.StartChild(c.m.eng.Now(), "conn-test")
 	c.sendTestPing()
 }
 
@@ -696,6 +716,7 @@ func (c *conn) sendPingTo(target ipnet.Addr) {
 			c.pingFails++
 			if c.pingFails >= c.m.cfg.PingFailLimit && c.state == connUp {
 				c.m.stats.LinksDropped++
+				c.link.DownCause = "ping-timeout"
 				c.down(true)
 			}
 		})
@@ -725,6 +746,10 @@ func (c *conn) finishJoin(stage JoinStage) {
 		Value:   int64(rec.TotalDur),
 		Note:    stage.String(),
 	})
+	c.testSpan.EndStatus(m.eng.Now(), stage.String())
+	c.testSpan = nil
+	c.joinSpan.EndStatus(m.eng.Now(), stage.String())
+	c.joinSpan = nil
 	if m.OnJoin != nil {
 		m.OnJoin(rec)
 	}
@@ -760,6 +785,10 @@ func (c *conn) goUp() {
 		Channel: int(c.channel),
 		Value:   int64(rec.TotalDur),
 	})
+	c.testSpan.EndStatus(m.eng.Now(), "ok")
+	c.testSpan = nil
+	c.joinSpan.EndStatus(m.eng.Now(), "complete")
+	c.joinSpan = nil
 	if m.OnJoin != nil {
 		m.OnJoin(rec)
 	}
@@ -813,6 +842,7 @@ func (c *conn) down(notify bool) {
 // (used on schedule changes).
 func (c *conn) abort() {
 	if c.state == connUp {
+		c.link.DownCause = "schedule-change"
 		c.down(true)
 		return
 	}
@@ -824,6 +854,12 @@ func (c *conn) abort() {
 
 func (c *conn) reset() {
 	m := c.m
+	// Aborted attempts (schedule change, Close) still hold an open root
+	// span; terminal paths already closed theirs, making this a no-op.
+	c.testSpan.EndStatus(m.eng.Now(), "aborted")
+	c.testSpan = nil
+	c.joinSpan.EndStatus(m.eng.Now(), "aborted")
+	c.joinSpan = nil
 	if c.dhcpCli != nil {
 		c.dhcpCli.Stop()
 		c.dhcpCli = nil

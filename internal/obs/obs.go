@@ -143,7 +143,27 @@ type Event struct {
 // WorldClient is the pseudo client ID world-scoped events record under.
 const WorldClient = -1
 
-// appendCSV appends the event as one CSV row matching CSVHeader.
+// csvEscape quotes a field per RFC 4180 when it contains a comma, quote,
+// or line break; embedded quotes double. Plain fields pass through
+// unchanged, so the common all-clean row costs one scan and no copies.
+func csvEscape(b *strings.Builder, field string) {
+	if !strings.ContainsAny(field, ",\"\r\n") {
+		b.WriteString(field)
+		return
+	}
+	b.WriteByte('"')
+	for i := 0; i < len(field); i++ {
+		if field[i] == '"' {
+			b.WriteByte('"')
+		}
+		b.WriteByte(field[i])
+	}
+	b.WriteByte('"')
+}
+
+// appendCSV appends the event as one CSV row matching CSVHeader. The
+// free-form fields (BSSID, Note) are RFC-4180-escaped: a fault cause or
+// outage attribution note may legally contain commas.
 func (e Event) appendCSV(b *strings.Builder) {
 	b.WriteString(strconv.FormatInt(int64(e.At), 10))
 	b.WriteByte(',')
@@ -153,7 +173,7 @@ func (e Event) appendCSV(b *strings.Builder) {
 	b.WriteByte(',')
 	b.WriteString(e.Kind.String())
 	b.WriteByte(',')
-	b.WriteString(e.BSSID)
+	csvEscape(b, e.BSSID)
 	b.WriteByte(',')
 	if e.Channel != 0 {
 		b.WriteString(strconv.Itoa(e.Channel))
@@ -163,7 +183,7 @@ func (e Event) appendCSV(b *strings.Builder) {
 		b.WriteString(strconv.FormatInt(e.Value, 10))
 	}
 	b.WriteByte(',')
-	b.WriteString(e.Note)
+	csvEscape(b, e.Note)
 	b.WriteByte('\n')
 }
 

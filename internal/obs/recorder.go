@@ -99,6 +99,12 @@ type ClientLog struct {
 	r   *Recorder
 	id  int
 	evs []Event
+
+	// spans is this client's slice of the causal span tree (span.go);
+	// spanSeq is the client-local allocation counter span IDs derive
+	// from — no global state, so IDs are reproducible per client.
+	spans   []Span
+	spanSeq uint32
 }
 
 // Emit records one event. The log fills Client and Seq; callers set At,
@@ -154,12 +160,15 @@ func WriteCSV(w io.Writer, evs []Event) error {
 // is byte-identical however runs were scheduled across workers. Add is
 // safe to call from fleet job goroutines.
 type Collector struct {
-	mu   sync.Mutex
-	runs map[string][]Event
+	mu    sync.Mutex
+	runs  map[string][]Event
+	spans map[string][]Span
 }
 
 // NewCollector returns an empty collector.
-func NewCollector() *Collector { return &Collector{runs: make(map[string][]Event)} }
+func NewCollector() *Collector {
+	return &Collector{runs: make(map[string][]Event), spans: make(map[string][]Span)}
+}
 
 // Add stores one run's (already ordered) event stream under its label.
 // Adding the same label twice appends, preserving call order per label.

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"spider/internal/sim"
+)
+
+// This file adds causal spans to the flat event timeline: intervals of
+// simulation time with parent/child links, so consumers (cmd/spider-trace)
+// can answer *where did the time go* and *why did this happen* instead of
+// re-deriving causality from interleaved events. The span layer follows
+// the same three contracts as events: sim-time only, nil-safe everywhere,
+// and no randomness — a span ID is a pure function of (client ID, per-
+// client sequence), so the exported JSONL is byte-identical across fleet
+// worker counts and repeat runs.
+
+// SpanID identifies one span. The high 32 bits hold the owning client's
+// ID + 1 (so the world log, client -1, maps to 0) and the low 32 bits the
+// client-local allocation sequence starting at 1. Zero means "no span"
+// and is what Parent carries on roots.
+type SpanID uint64
+
+// MakeSpanID derives the deterministic span ID for a (client, seq) pair.
+func MakeSpanID(client int, seq uint32) SpanID {
+	return SpanID(uint64(uint32(client+1))<<32 | uint64(seq))
+}
+
+// Client recovers the owning client ID encoded in the span ID.
+func (id SpanID) Client() int { return int(uint32(id>>32)) - 1 }
+
+// Seq recovers the client-local allocation sequence.
+func (id SpanID) Seq() uint32 { return uint32(id) }
+
+// openEnd marks a span still in progress. Recorder.CloseOpenSpans
+// finalizes every open span at end of run, so exported spans always have
+// End >= Start.
+const openEnd = sim.Time(-1)
+
+// Span is one closed (or still-open) interval of the causal timeline.
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	// Client is the owning client's ID (WorldClient for world-scoped
+	// spans such as chaos faults).
+	Client int `json:"client"`
+	// Name is the span type: "join" and its phase children ("scan",
+	// "probe", "auth", "assoc", "dhcp-discover", "dhcp-request",
+	// "conn-test"), "occupancy" (channel dwell), "link", "outage",
+	// "fault".
+	Name  string   `json:"name"`
+	Start sim.Time `json:"start_ns"`
+	// End is the close time in sim nanoseconds (-1 while open; exported
+	// artifacts never contain -1 once CloseOpenSpans ran).
+	End sim.Time `json:"end_ns"`
+	// BSSID names the AP involved, when any.
+	BSSID string `json:"bssid,omitempty"`
+	// Channel is the 802.11 channel involved, when any.
+	Channel int `json:"channel,omitempty"`
+	// Status carries the outcome or cause: a join stage, an outage
+	// cause ("chaos-fault:…", "out-of-range", "contention",
+	// "lease-expiry"), a fault's plan provenance.
+	Status string `json:"status,omitempty"`
+}
+
+// Duration returns End-Start (zero while the span is open).
+func (s Span) Duration() sim.Time {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Open reports whether the span has not ended yet.
+func (s Span) Open() bool { return s.End == openEnd }
+
+// ActiveSpan is a live handle on a recorded span. The nil handle is the
+// disabled span: every method is a single branch and no work, so
+// instrumentation sites never test for recording themselves. Handles are
+// owned by the single simulation goroutine, like the rest of a Recorder.
+type ActiveSpan struct {
+	l   *ClientLog
+	idx int
+}
+
+// span returns the underlying record (nil handle → nil).
+func (s *ActiveSpan) span() *Span {
+	if s == nil {
+		return nil
+	}
+	return &s.l.spans[s.idx]
+}
+
+// SpanID returns the span's deterministic ID (zero on the nil handle).
+func (s *ActiveSpan) SpanID() SpanID {
+	if sp := s.span(); sp != nil {
+		return sp.ID
+	}
+	return 0
+}
+
+// SetBSSID annotates the span with the AP involved.
+func (s *ActiveSpan) SetBSSID(bssid string) {
+	if sp := s.span(); sp != nil {
+		sp.BSSID = bssid
+	}
+}
+
+// SetChannel annotates the span with the channel involved.
+func (s *ActiveSpan) SetChannel(ch int) {
+	if sp := s.span(); sp != nil {
+		sp.Channel = ch
+	}
+}
+
+// SetStatus sets the span's outcome/cause label.
+func (s *ActiveSpan) SetStatus(status string) {
+	if sp := s.span(); sp != nil {
+		sp.Status = status
+	}
+}
+
+// Ended reports whether End was already called (false on nil handles, so
+// disabled instrumentation stays on the no-op path).
+func (s *ActiveSpan) Ended() bool {
+	sp := s.span()
+	return sp != nil && sp.End != openEnd
+}
+
+// End closes the span at the given sim time. Idempotent: the first close
+// wins, so teardown paths may end defensively.
+func (s *ActiveSpan) End(at sim.Time) {
+	if sp := s.span(); sp != nil && sp.End == openEnd {
+		sp.End = at
+	}
+}
+
+// EndStatus closes the span and records its outcome in one call. Like
+// End, the first close wins (status included).
+func (s *ActiveSpan) EndStatus(at sim.Time, status string) {
+	if sp := s.span(); sp != nil && sp.End == openEnd {
+		sp.End = at
+		sp.Status = status
+	}
+}
+
+// StartChild opens a child span under s. On the nil handle it returns
+// nil, so whole span trees disappear when recording is off.
+func (s *ActiveSpan) StartChild(at sim.Time, name string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	child := s.l.StartSpan(at, name)
+	child.span().Parent = s.span().ID
+	return child
+}
+
+// StartSpan opens a root span on this client's log. Returns the nil
+// handle (all methods no-ops) on a nil log.
+func (l *ClientLog) StartSpan(at sim.Time, name string) *ActiveSpan {
+	if l == nil {
+		return nil
+	}
+	l.spanSeq++
+	l.spans = append(l.spans, Span{
+		ID:     MakeSpanID(l.id, l.spanSeq),
+		Client: l.id,
+		Name:   name,
+		Start:  at,
+		End:    openEnd,
+	})
+	return &ActiveSpan{l: l, idx: len(l.spans) - 1}
+}
+
+// Spans returns the merged span set ordered by (Start, Client, ID) — the
+// canonical artifact order. Within a client, IDs allocate in creation
+// order, so a parent always sorts at or before its children.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	var n int
+	for _, l := range r.logs {
+		n += len(l.spans)
+	}
+	out := make([]Span, 0, n)
+	for _, l := range r.logs {
+		out = append(out, l.spans...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Client != out[j].Client {
+			return out[i].Client < out[j].Client
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// CloseOpenSpans finalizes every still-open span at the given time —
+// called once when a scenario's engine stops, so run-spanning intervals
+// (channel occupancy, a link still up, a persistent fault) export with a
+// definite end and parent/child containment holds throughout the tree.
+func (r *Recorder) CloseOpenSpans(at sim.Time) {
+	if r == nil {
+		return
+	}
+	for _, l := range r.logs {
+		for i := range l.spans {
+			if l.spans[i].End == openEnd {
+				l.spans[i].End = at
+			}
+		}
+	}
+}
+
+// WriteSpansJSONL writes spans as one JSON object per line, with an
+// optional run label prefix field (mirrors WriteJSONL for events).
+func WriteSpansJSONL(w io.Writer, run string, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if run == "" {
+			if err := enc.Encode(s); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := enc.Encode(struct {
+			Run string `json:"run"`
+			Span
+		}{Run: run, Span: s}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddSpans stores one run's (already ordered) span set under its label.
+// Safe from fleet job goroutines, like Add.
+func (c *Collector) AddSpans(run string, spans []Span) {
+	if c == nil || len(spans) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.spans[run] = append(c.spans[run], spans...)
+	c.mu.Unlock()
+}
+
+// SpanRuns returns the stored span run labels in sorted (export) order.
+func (c *Collector) SpanRuns() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := make([]string, 0, len(c.spans))
+	for l := range c.spans {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// SpanCount returns the number of stored spans across all runs.
+func (c *Collector) SpanCount() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.spans {
+		n += len(s)
+	}
+	return n
+}
+
+// WriteSpansJSONL exports every run's spans, runs in sorted label order
+// and spans in recorded order within each run — byte-identical at any
+// fleet worker count, like the event export.
+func (c *Collector) WriteSpansJSONL(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	for _, run := range c.SpanRuns() {
+		c.mu.Lock()
+		spans := c.spans[run]
+		c.mu.Unlock()
+		if err := WriteSpansJSONL(w, run, spans); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package tracereport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: complete ("X") events in the JSON object
+// format, loadable in Perfetto / chrome://tracing. Each run maps to one
+// pid, each client to one tid, so multi-run exports land as separate
+// process groups.
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// WriteChrome exports spans as a Chrome trace. Deterministic: pids follow
+// sorted run-label order and events follow the canonical span order of
+// the input.
+func WriteChrome(w io.Writer, spans []TraceSpan) error {
+	runs := map[string]int{}
+	var labels []string
+	for _, s := range spans {
+		if _, ok := runs[s.Run]; !ok {
+			runs[s.Run] = 0
+			labels = append(labels, s.Run)
+		}
+	}
+	sort.Strings(labels)
+	for i, l := range labels {
+		runs[l] = i + 1
+	}
+
+	var out chromeFile
+	add := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		out.TraceEvents = append(out.TraceEvents, raw)
+		return nil
+	}
+	for _, l := range labels {
+		name := l
+		if name == "" {
+			name = "spider"
+		}
+		if err := add(chromeMeta{
+			Name: "process_name", Ph: "M", Pid: runs[l],
+			Args: map[string]string{"name": name},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		args := map[string]string{}
+		if s.BSSID != "" {
+			args["bssid"] = s.BSSID
+		}
+		if s.Channel != 0 {
+			args["channel"] = fmt.Sprintf("%d", s.Channel)
+		}
+		if s.Status != "" {
+			args["status"] = s.Status
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		if err := add(chromeEvent{
+			Name: s.Name,
+			Cat:  "spider",
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Duration()) / 1e3,
+			Pid:  runs[s.Run],
+			// Client -1 is the world log; tid 0 keeps it first in the UI.
+			Tid:  s.Span.Client + 1,
+			Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

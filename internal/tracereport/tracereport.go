@@ -1,0 +1,460 @@
+// Package tracereport analyzes span JSONL exported by the obs layer (see
+// internal/obs/span.go) and renders the reports behind cmd/spider-trace:
+// the join-latency phase breakdown checked against the paper's Eq. 5-7
+// prediction, per-channel and per-AP occupancy, outage attribution, and a
+// Chrome trace-event export. Everything here is a pure function of the
+// input spans, so reports are byte-stable and golden-testable.
+package tracereport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"spider/internal/model"
+	"spider/internal/obs"
+	"spider/internal/sim"
+)
+
+// TraceSpan is one span line of a (possibly multi-run) JSONL export. Run
+// is empty for single-run exports written without a label.
+type TraceSpan struct {
+	Run string `json:"run,omitempty"`
+	obs.Span
+}
+
+// ReadSpans parses span JSONL. Lines are validated strictly — a malformed
+// line is an error, not a skip — so artifact corruption cannot silently
+// thin a report.
+func ReadSpans(r io.Reader) ([]TraceSpan, error) {
+	var out []TraceSpan
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var s TraceSpan
+		if err := json.Unmarshal([]byte(text), &s); err != nil {
+			return nil, fmt.Errorf("tracereport: line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// joinTree is one Join root with its phase children, resolved within a
+// single run's ID namespace.
+type joinTree struct {
+	root     TraceSpan
+	children []TraceSpan
+}
+
+// Analysis is the indexed span set every report section reads from.
+type Analysis struct {
+	Spans []TraceSpan
+	Runs  []string
+
+	joins []joinTree
+}
+
+// Analyze indexes spans for reporting. Joins are resolved per run: span
+// IDs are only unique within one run's recorder.
+func Analyze(spans []TraceSpan) *Analysis {
+	a := &Analysis{Spans: spans}
+	runSet := map[string]bool{}
+	type key struct {
+		run string
+		id  obs.SpanID
+	}
+	roots := map[key]int{}
+	for _, s := range spans {
+		if !runSet[s.Run] {
+			runSet[s.Run] = true
+			a.Runs = append(a.Runs, s.Run)
+		}
+		if s.Name == "join" {
+			roots[key{s.Run, s.ID}] = len(a.joins)
+			a.joins = append(a.joins, joinTree{root: s})
+		}
+	}
+	sort.Strings(a.Runs)
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		if i, ok := roots[key{s.Run, s.Parent}]; ok {
+			a.joins[i].children = append(a.joins[i].children, s)
+		}
+	}
+	return a
+}
+
+// PhaseOrder is the canonical join-pipeline phase order for reporting.
+var PhaseOrder = []string{"scan", "probe", "auth", "assoc", "dhcp-discover", "dhcp-request", "conn-test"}
+
+// PhaseStat aggregates one pipeline phase across join attempts.
+type PhaseStat struct {
+	Name  string
+	Count int
+	Total sim.Time
+	Max   sim.Time
+}
+
+// JoinStats is the roll-up of every Join root in the trace.
+type JoinStats struct {
+	Attempts  int
+	Completes int
+	// SumMismatches counts joins whose child-phase durations do not sum
+	// exactly to the root duration — always 0 for well-formed traces.
+	SumMismatches int
+	// TotalLatency / CompleteLatency sum root durations over all /
+	// completed attempts.
+	TotalLatency    sim.Time
+	CompleteLatency sim.Time
+}
+
+// Probability returns the measured join probability.
+func (j JoinStats) Probability() float64 {
+	if j.Attempts == 0 {
+		return 0
+	}
+	return float64(j.Completes) / float64(j.Attempts)
+}
+
+// JoinBreakdown aggregates the phase stats and join roll-up.
+func (a *Analysis) JoinBreakdown() (JoinStats, []PhaseStat) {
+	var js JoinStats
+	byName := map[string]*PhaseStat{}
+	for _, jt := range a.joins {
+		js.Attempts++
+		js.TotalLatency += jt.root.Duration()
+		if jt.root.Status == "complete" {
+			js.Completes++
+			js.CompleteLatency += jt.root.Duration()
+		}
+		var sum sim.Time
+		for _, c := range jt.children {
+			sum += c.Duration()
+			ps := byName[c.Name]
+			if ps == nil {
+				ps = &PhaseStat{Name: c.Name}
+				byName[c.Name] = ps
+			}
+			ps.Count++
+			ps.Total += c.Duration()
+			if c.Duration() > ps.Max {
+				ps.Max = c.Duration()
+			}
+		}
+		if sum != jt.root.Duration() {
+			js.SumMismatches++
+		}
+	}
+	var out []PhaseStat
+	for _, name := range PhaseOrder {
+		if ps := byName[name]; ps != nil {
+			out = append(out, *ps)
+			delete(byName, name)
+		}
+	}
+	// Unknown phase names (future additions) report after the canon, in
+	// name order.
+	var rest []string
+	for name := range byName {
+		rest = append(rest, name)
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		out = append(out, *byName[name])
+	}
+	return js, out
+}
+
+// ChannelStat aggregates one channel: schedule occupancy plus the join
+// outcomes of attempts targeting APs on it.
+type ChannelStat struct {
+	Channel   int
+	Dwell     sim.Time
+	Spans     int
+	Fraction  float64 // share of total recorded occupancy
+	Attempts  int
+	Completes int
+	// CompleteLatency sums completed join durations on this channel.
+	CompleteLatency sim.Time
+}
+
+// Occupancy aggregates the per-channel schedule-occupancy spans and ties
+// join outcomes to their channels.
+func (a *Analysis) Occupancy() []ChannelStat {
+	byCh := map[int]*ChannelStat{}
+	get := func(ch int) *ChannelStat {
+		cs := byCh[ch]
+		if cs == nil {
+			cs = &ChannelStat{Channel: ch}
+			byCh[ch] = cs
+		}
+		return cs
+	}
+	var total sim.Time
+	for _, s := range a.Spans {
+		if s.Name != "occupancy" {
+			continue
+		}
+		cs := get(s.Channel)
+		cs.Dwell += s.Duration()
+		cs.Spans++
+		total += s.Duration()
+	}
+	for _, jt := range a.joins {
+		cs := get(jt.root.Channel)
+		cs.Attempts++
+		if jt.root.Status == "complete" {
+			cs.Completes++
+			cs.CompleteLatency += jt.root.Duration()
+		}
+	}
+	var out []ChannelStat
+	for _, cs := range byCh {
+		if total > 0 {
+			cs.Fraction = float64(cs.Dwell) / float64(total)
+		}
+		out = append(out, *cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
+	return out
+}
+
+// APStat aggregates link time per AP from the "link" spans.
+type APStat struct {
+	BSSID string
+	Links int
+	Total sim.Time
+}
+
+// APOccupancy aggregates established-link time per AP.
+func (a *Analysis) APOccupancy() []APStat {
+	byAP := map[string]*APStat{}
+	for _, s := range a.Spans {
+		if s.Name != "link" {
+			continue
+		}
+		st := byAP[s.BSSID]
+		if st == nil {
+			st = &APStat{BSSID: s.BSSID}
+			byAP[s.BSSID] = st
+		}
+		st.Links++
+		st.Total += s.Duration()
+	}
+	var out []APStat
+	for _, st := range byAP {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BSSID < out[j].BSSID })
+	return out
+}
+
+// OutageStat aggregates outage spans per attributed cause.
+type OutageStat struct {
+	Cause string
+	Count int
+	Total sim.Time
+	Max   sim.Time
+}
+
+// OutageAttribution aggregates the cause-attributed outage spans.
+func (a *Analysis) OutageAttribution() []OutageStat {
+	byCause := map[string]*OutageStat{}
+	for _, s := range a.Spans {
+		if s.Name != "outage" {
+			continue
+		}
+		cause := s.Status
+		if cause == "" {
+			cause = "unattributed"
+		}
+		st := byCause[cause]
+		if st == nil {
+			st = &OutageStat{Cause: cause}
+			byCause[cause] = st
+		}
+		st.Count++
+		st.Total += s.Duration()
+		if s.Duration() > st.Max {
+			st.Max = s.Duration()
+		}
+	}
+	var out []OutageStat
+	for _, st := range byCause {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}
+
+// ModelRow compares one channel's measured join behaviour with the Eq. 5-7
+// prediction at the channel's measured schedule fraction.
+type ModelRow struct {
+	Channel       int
+	Fraction      float64
+	Attempts      int
+	MeasuredProb  float64
+	PredictedProb float64
+	// MeasuredLatency is the mean completed-join latency; PredictedUnjoined
+	// is E[X_i] = expected time unjoined within the residence window — the
+	// model's latency-shaped quantity (Eq. 9 uses its complement).
+	MeasuredLatency   sim.Time
+	PredictedUnjoined sim.Time
+}
+
+// ModelComparison evaluates the paper's join model per channel at the
+// measured channel fractions, with t the modeled time in AP range.
+func (a *Analysis) ModelComparison(p model.Params, t sim.Time) []ModelRow {
+	var out []ModelRow
+	for _, cs := range a.Occupancy() {
+		row := ModelRow{
+			Channel:       cs.Channel,
+			Fraction:      cs.Fraction,
+			Attempts:      cs.Attempts,
+			PredictedProb: p.JoinProbability(cs.Fraction, t),
+			PredictedUnjoined: sim.Time(
+				p.ExpectedJoinFraction(cs.Fraction, t) * float64(t)),
+		}
+		if cs.Attempts > 0 {
+			row.MeasuredProb = float64(cs.Completes) / float64(cs.Attempts)
+		}
+		if cs.Completes > 0 {
+			row.MeasuredLatency = cs.CompleteLatency / sim.Time(cs.Completes)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// ms renders a sim duration as fixed-point milliseconds.
+func ms(t sim.Time) string { return fmt.Sprintf("%.3f", float64(t)/1e6) }
+
+// table renders aligned text columns, the same shape experiments artifacts
+// use, so reports diff cleanly in golden tests.
+func table(b *strings.Builder, title string, cols []string, rows [][]string) {
+	fmt.Fprintf(b, "== %s ==\n", title)
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, c := range cols {
+		fmt.Fprintf(b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(b, "%-*s  ", w, cell)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+}
+
+// Report renders the full text report: join breakdown, model comparison,
+// occupancy, and outage attribution.
+func (a *Analysis) Report(p model.Params, t sim.Time) string {
+	var b strings.Builder
+
+	js, phases := a.JoinBreakdown()
+	fmt.Fprintf(&b, "spans: %d  runs: %d\n", len(a.Spans), len(a.Runs))
+	fmt.Fprintf(&b, "join attempts: %d  completed: %d  measured join probability: %.3f\n",
+		js.Attempts, js.Completes, js.Probability())
+	if js.Completes > 0 {
+		fmt.Fprintf(&b, "mean completed join latency: %s ms\n", ms(js.CompleteLatency/sim.Time(js.Completes)))
+	}
+	fmt.Fprintf(&b, "phase-sum mismatches: %d/%d\n\n", js.SumMismatches, js.Attempts)
+
+	var rows [][]string
+	for _, ps := range phases {
+		mean := sim.Time(0)
+		if ps.Count > 0 {
+			mean = ps.Total / sim.Time(ps.Count)
+		}
+		share := 0.0
+		if js.TotalLatency > 0 {
+			share = float64(ps.Total) / float64(js.TotalLatency)
+		}
+		rows = append(rows, []string{
+			ps.Name, fmt.Sprintf("%d", ps.Count), ms(ps.Total), ms(mean), ms(ps.Max),
+			fmt.Sprintf("%.1f%%", 100*share),
+		})
+	}
+	table(&b, "join-latency phase breakdown",
+		[]string{"phase", "spans", "total ms", "mean ms", "max ms", "share"}, rows)
+
+	rows = rows[:0]
+	for _, r := range a.ModelComparison(p, t) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Channel),
+			fmt.Sprintf("%.3f", r.Fraction),
+			fmt.Sprintf("%d", r.Attempts),
+			fmt.Sprintf("%.3f", r.MeasuredProb),
+			fmt.Sprintf("%.3f", r.PredictedProb),
+			ms(r.MeasuredLatency),
+			ms(r.PredictedUnjoined),
+		})
+	}
+	table(&b, fmt.Sprintf("measured vs Eq. 5-7 prediction (t=%s ms)", ms(t)),
+		[]string{"channel", "f_i", "attempts", "p measured", "p predicted",
+			"mean join ms", "E[unjoined] ms"}, rows)
+
+	rows = rows[:0]
+	for _, cs := range a.Occupancy() {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", cs.Channel), fmt.Sprintf("%d", cs.Spans),
+			ms(cs.Dwell), fmt.Sprintf("%.3f", cs.Fraction),
+			fmt.Sprintf("%d", cs.Attempts), fmt.Sprintf("%d", cs.Completes),
+		})
+	}
+	table(&b, "per-channel schedule occupancy",
+		[]string{"channel", "dwells", "dwell ms", "fraction", "joins", "completed"}, rows)
+
+	rows = rows[:0]
+	for _, st := range a.APOccupancy() {
+		rows = append(rows, []string{st.BSSID, fmt.Sprintf("%d", st.Links), ms(st.Total)})
+	}
+	table(&b, "per-AP link occupancy",
+		[]string{"bssid", "links", "link ms"}, rows)
+
+	rows = rows[:0]
+	for _, st := range a.OutageAttribution() {
+		rows = append(rows, []string{
+			st.Cause, fmt.Sprintf("%d", st.Count), ms(st.Total), ms(st.Max),
+		})
+	}
+	table(&b, "outage attribution",
+		[]string{"cause", "outages", "total ms", "max ms"}, rows)
+
+	return b.String()
+}
