@@ -100,6 +100,10 @@ var registry = []experiment{
 		r := experiments.PopulationStudy(o)
 		return []renderable{experiments.PopulationTable(r), experiments.PopulationFigure(r)}
 	}},
+	{"rushhour", "address-exhaustion rush: lease churn through shared IPAM pools, with/without failover and GC", func(o experiments.Options) []renderable {
+		r := experiments.RushHourStudy(o)
+		return []renderable{experiments.RushHourTable(r), experiments.RushHourFigure(r)}
+	}},
 	{"ablation", "design-choice ablations (lease cache, timers, vifs, striping, adaptive, predictive, energy)", func(o experiments.Options) []renderable {
 		return []renderable{
 			experiments.AblationLeaseCache(o),
@@ -161,7 +165,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (1 = fully sequential)")
 		progress = flag.Bool("progress", false, "report fleet progress (jobs, cache, ETA) on stderr")
 		timings  = flag.String("timings", "", "write machine-readable per-experiment timings JSON to this file")
-		popjson  = flag.String("popjson", "", "benchmark the population experiment (1/8/64 clients) and write goodput, ns/op, and allocs JSON to this file")
+		popjson  = flag.String("popjson", "", "benchmark the population experiment (1/8/64 clients, plus a 32-client ipam-enabled rung) and write goodput, ns/op, and allocs JSON to this file")
 		gate     = flag.String("benchgate", "", "re-measure the population benchmark and exit non-zero if it regressed past -benchgate-threshold vs this baseline JSON (at default -seed/-scale, gates against the baseline's own workload)")
 		gateThr  = flag.Float64("benchgate-threshold", 0.15, "relative regression tolerated by -benchgate (0.15 = 15%)")
 		events   = flag.String("events", "", "record every simulation run's structured event stream and write merged JSONL to this file")
@@ -405,14 +409,30 @@ func main() {
 // Each rung reports the minimum over a few trials: the simulation is
 // deterministic, so the minimum is the least-noise estimate of its true
 // cost and keeps scheduler jitter from tripping the regression gate.
+// The 32-client rung swaps in the production IPAM plan (shared pool
+// hierarchy, backup failover, sim-time lease GC) under the same radio
+// workload, so address-management cost regressions gate independently of
+// the plain data-path rungs. Rungs match by client count and benchgate
+// ignores rungs present in only one file, so older baselines that
+// predate the ipam rung still compare cleanly.
 func measurePopulation(seed int64, scale float64) benchgate.File {
 	const trials = 3
 	o := experiments.Options{Seed: seed, Scale: scale}
 	out := benchgate.File{Seed: seed, Scale: scale, NumCPU: runtime.NumCPU()}
-	for _, n := range []int{1, 8, 64} {
+	rungs := []struct {
+		n        int
+		scenario func(experiments.Options, int) (core.WorldConfig, []core.ClientConfig)
+	}{
+		{1, experiments.PopulationScenario},
+		{8, experiments.PopulationScenario},
+		{32, experiments.PopulationIPAMScenario},
+		{64, experiments.PopulationScenario},
+	}
+	for _, rung := range rungs {
+		n := rung.n
 		var rec benchgate.Record
 		for trial := 0; trial < trials; trial++ {
-			world, clients := experiments.PopulationScenario(o, n)
+			world, clients := rung.scenario(o, n)
 			runtime.GC()
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)

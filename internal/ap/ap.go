@@ -17,6 +17,7 @@ import (
 	"spider/internal/dhcp"
 	"spider/internal/dot11"
 	"spider/internal/geo"
+	"spider/internal/ipam"
 	"spider/internal/ipnet"
 	"spider/internal/phy"
 	"spider/internal/sim"
@@ -47,6 +48,11 @@ type Config struct {
 	// DHCP configures the embedded DHCP server. Gateway/PoolBase are
 	// overwritten with Config.Gateway.
 	DHCP dhcp.ServerConfig
+	// IPAM, when non-nil, is the ipam binding the DHCP server allocates
+	// through — how a scenario puts many APs of one backhaul segment on a
+	// shared pool hierarchy with backup failover and per-AP reserves.
+	// Nil keeps the legacy standalone per-AP pool (PoolBase/PoolSize).
+	IPAM *ipam.Binding
 	// Backhaul configures each direction of the wired link. RateBps is
 	// the AP's offered end-to-end bandwidth.
 	Backhaul backhaul.Config
@@ -143,6 +149,7 @@ func New(eng *sim.Engine, rng *sim.RNG, medium *phy.Medium, pos geo.Point, mac d
 	}
 	cfg.DHCP.Gateway = cfg.Gateway
 	cfg.DHCP.PoolBase = cfg.Gateway
+	cfg.DHCP.Binding = cfg.IPAM
 	a := &AP{
 		eng:       eng,
 		rng:       rng,

@@ -19,6 +19,10 @@ type Config struct {
 	// QueueLimit caps queued-but-not-transmitting packets; beyond it the
 	// link drops (drop-tail). Zero means DefaultQueueLimit.
 	QueueLimit int
+	// Segment labels the wired segment this link belongs to. Purely
+	// descriptive on the link itself; scenario construction uses the same
+	// label to group APs onto shared IPAM pool hierarchies.
+	Segment string
 }
 
 // DefaultQueueLimit is a typical residential-gateway buffer.

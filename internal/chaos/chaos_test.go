@@ -22,12 +22,12 @@ func (f *fakeTarget) note(format string, args ...any) {
 	f.log = append(f.log, fmt.Sprintf("%v ap%d %s", f.eng.Now(), f.id, fmt.Sprintf(format, args...)))
 }
 
-func (f *fakeTarget) Crash()                             { f.note("crash") }
-func (f *fakeTarget) Reboot()                            { f.note("reboot") }
-func (f *fakeTarget) SetBeaconing(on bool)               { f.note("beacon=%v", on) }
-func (f *fakeTarget) SetDHCPFault(mode dhcp.FaultMode)   { f.note("dhcp=%v", mode) }
-func (f *fakeTarget) SetBackhaulBlackhole(on bool)       { f.note("blackhole=%v", on) }
-func (f *fakeTarget) SetBackhaulExtraDelay(d sim.Time)   { f.note("delay=%v", d) }
+func (f *fakeTarget) Crash()                           { f.note("crash") }
+func (f *fakeTarget) Reboot()                          { f.note("reboot") }
+func (f *fakeTarget) SetBeaconing(on bool)             { f.note("beacon=%v", on) }
+func (f *fakeTarget) SetDHCPFault(mode dhcp.FaultMode) { f.note("dhcp=%v", mode) }
+func (f *fakeTarget) SetBackhaulBlackhole(on bool)     { f.note("blackhole=%v", on) }
+func (f *fakeTarget) SetBackhaulExtraDelay(d sim.Time) { f.note("delay=%v", d) }
 
 // fakeNoise records SetChannelNoise calls.
 type fakeNoise struct {

@@ -81,15 +81,26 @@ func (c *Client) pos() geo.Point {
 }
 
 // nextServerIP allocates this client's next flow server address from its
-// private 203.<id>.x.x block, failing loudly on exhaustion rather than
-// wrapping into a neighbour's block.
+// private block, failing loudly on exhaustion rather than wrapping into a
+// neighbour's. Clients 0..255 keep the original 203.<id>.0.0/16 carve;
+// the rush-hour population IDs above that get a /24 each out of
+// 204.0.0.0/8 — those scenarios run join-only traffic, so the smaller
+// per-client flow namespace holds comfortably.
 func (c *Client) nextServerIP() ipnet.Addr {
 	c.nextServer++
-	if c.nextServer > maxFlowsPerClient {
-		panic(fmt.Sprintf("core: client %d exhausted its flow server-IP space (%d flows)",
-			c.id, maxFlowsPerClient))
+	if c.id < 256 {
+		if c.nextServer > maxFlowsPerClient {
+			panic(fmt.Sprintf("core: client %d exhausted its flow server-IP space (%d flows)",
+				c.id, maxFlowsPerClient))
+		}
+		return ipnet.AddrFrom4(203, byte(c.id), byte(c.nextServer>>8), byte(c.nextServer))
 	}
-	return ipnet.AddrFrom4(203, byte(c.id), byte(c.nextServer>>8), byte(c.nextServer))
+	if c.nextServer > 0xFF {
+		panic(fmt.Sprintf("core: client %d exhausted its flow server-IP space (%d flows)",
+			c.id, 0xFF))
+	}
+	ext := uint32(c.id - 256)
+	return ipnet.AddrFrom4(204, byte(ext>>8), byte(ext), byte(c.nextServer))
 }
 
 // build materializes the client's stack. Called by Scenario.Run, either
@@ -272,8 +283,10 @@ func (c *Client) build(rng *sim.RNG) {
 // classifyOutage attributes a fresh outage to a cause, in precedence
 // order: an injected fault active right now ("chaos-fault:<cause>"), a
 // link demoted for an expiring lease ("lease-expiry"), no joinable AP in
-// radio range ("out-of-range"), and otherwise "contention" — APs are
-// visible and healthy but the join pipeline lost the race for them.
+// radio range ("out-of-range"), every visible open AP's address plane dry
+// ("ipam-exhausted" — the radio is fine, the pools ran out), and otherwise
+// "contention" — APs are visible and healthy but the join pipeline lost
+// the race for them.
 func (c *Client) classifyOutage(l *lmm.Link) string {
 	if cause := c.s.activeFaultCause(); cause != "" {
 		return "chaos-fault:" + cause
@@ -281,12 +294,25 @@ func (c *Client) classifyOutage(l *lmm.Link) string {
 	if l.DownCause == "lease-expiry" {
 		return "lease-expiry"
 	}
+	open, starved := false, true
 	for _, e := range c.drv.ScanTable() {
-		if e.Open {
-			return "contention"
+		if !e.Open {
+			continue
+		}
+		open = true
+		a := c.s.aps[e.BSSID]
+		if a == nil || a.Crashed() || !a.DHCPServer().Exhausted() {
+			starved = false
 		}
 	}
-	return "out-of-range"
+	switch {
+	case !open:
+		return "out-of-range"
+	case starved:
+		return "ipam-exhausted"
+	default:
+		return "contention"
+	}
 }
 
 // startFlow opens one TCP download of total bytes (negative for unbounded)

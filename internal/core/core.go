@@ -17,6 +17,7 @@ import (
 	"spider/internal/dot11"
 	"spider/internal/driver"
 	"spider/internal/energy"
+	"spider/internal/ipam"
 	"spider/internal/ipnet"
 	"spider/internal/lmm"
 	"spider/internal/mobility"
@@ -158,6 +159,10 @@ type APOverrides struct {
 	// DHCPPoolSize overrides the per-AP DHCP address pool size. Small
 	// pools put population runs under genuine lease pressure.
 	DHCPPoolSize int
+	// DisableLeaseExpiry turns off the server-side lease expiry sweep, so
+	// a vanished client's address is never reclaimed — the pre-ipam
+	// behaviour, kept as the rush-hour experiment's no-GC baseline arm.
+	DisableLeaseExpiry bool
 }
 
 // WorldConfig describes the shared world of a Scenario: everything that
@@ -173,6 +178,12 @@ type WorldConfig struct {
 	Phy phy.Params
 	// AP tunes all deployed APs.
 	AP APOverrides
+	// IPAM, when non-nil, declares the address plane explicitly: named
+	// pools and ordered failover groups (see internal/ipam). Each site
+	// binds to the group named by its Segment (empty = the default group),
+	// so APs on one backhaul segment share a pool hierarchy. Nil keeps the
+	// legacy plan — one private pool per AP covering gw+1..gw+PoolSize.
+	IPAM *ipam.Config
 	// Chaos, when non-nil, injects the fault plan into the scenario (see
 	// internal/chaos). The plan's AP indices refer to Sites order.
 	Chaos *chaos.Plan
@@ -198,7 +209,7 @@ type ClientConfig struct {
 	// ID is the client's stable identity: its MAC address, RNG streams,
 	// flow server-IP namespace, and result slot all derive from it, so a
 	// run is a function of the ID set — never of the order AddClient was
-	// called in. IDs must be unique within a scenario and in [0, 255].
+	// called in. IDs must be unique within a scenario and in [0, 65535].
 	ID int
 	// Preset picks the Spider configuration.
 	Preset Preset
@@ -367,6 +378,9 @@ type ScenarioConfig struct {
 	Phy phy.Params
 	// AP tunes all deployed APs.
 	AP APOverrides
+	// IPAM, when non-nil, declares the address plane explicitly (see
+	// WorldConfig.IPAM).
+	IPAM *ipam.Config
 	// NumVIFs overrides the interface count (default 7).
 	NumVIFs int
 	// AdaptiveSpeedThreshold is the single-channel cutover speed for the
@@ -401,6 +415,7 @@ func (c ScenarioConfig) split() (WorldConfig, ClientConfig) {
 		Sites:    c.Sites,
 		Phy:      c.Phy,
 		AP:       c.AP,
+		IPAM:     c.IPAM,
 		Chaos:    c.Chaos,
 		PCAP:     c.PCAP,
 		Obs:      c.Obs,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"spider/internal/ipam"
 	"spider/internal/phy"
 	"spider/internal/stats"
 )
@@ -30,6 +31,10 @@ type PopulationResult struct {
 	// DHCPPoolExhausted counts lease requests refused across all APs
 	// because the address pool was full.
 	DHCPPoolExhausted int
+	// IPAM snapshots the address plane's counters: allocations, backup-pool
+	// failovers, expiry-sweep reclaims, and the typed refusal split
+	// (exhaustion vs conflict).
+	IPAM ipam.Stats
 	// Medium snapshots the shared medium (airtime contention shows up as
 	// Collisions and retries here).
 	Medium phy.Stats
@@ -45,7 +50,11 @@ func RunPopulation(world WorldConfig, clients []ClientConfig) PopulationResult {
 	}
 	results := s.Run()
 
-	p := PopulationResult{Clients: results, DHCPPoolExhausted: s.DHCPPoolExhausted()}
+	p := PopulationResult{
+		Clients:           results,
+		DHCPPoolExhausted: s.DHCPPoolExhausted(),
+		IPAM:              s.IPAM().Stats(),
+	}
 	goodputs := make([]float64, len(results))
 	for i, r := range results {
 		goodputs[i] = r.ThroughputKBps

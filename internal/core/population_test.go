@@ -223,7 +223,10 @@ func TestScenarioRejectsBadClientIDs(t *testing.T) {
 		{ID: 3, Preset: SingleChannelMultiAP, Mobility: model},
 	})
 	expectPanic("ID out of range", []ClientConfig{
-		{ID: 256, Preset: SingleChannelMultiAP, Mobility: model},
+		{ID: 65536, Preset: SingleChannelMultiAP, Mobility: model},
+	})
+	expectPanic("negative ID", []ClientConfig{
+		{ID: -1, Preset: SingleChannelMultiAP, Mobility: model},
 	})
 }
 

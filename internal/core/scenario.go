@@ -8,6 +8,7 @@ import (
 	"spider/internal/capture"
 	"spider/internal/chaos"
 	"spider/internal/dot11"
+	"spider/internal/ipam"
 	"spider/internal/ipnet"
 	"spider/internal/lmm"
 	"spider/internal/obs"
@@ -39,6 +40,7 @@ type Scenario struct {
 	medium  *phy.Medium
 	aps     map[dot11.MACAddr]*ap.AP
 	apList  []*ap.AP
+	ipam    *ipam.Manager
 	inj     *chaos.Injector
 	flows   map[ipnet.Addr]*flow
 	clients []*Client
@@ -70,6 +72,11 @@ func (s *Scenario) Clients() []*Client { return s.clients }
 // APs returns the deployed APs in Sites order (valid after Run).
 func (s *Scenario) APs() []*ap.AP { return s.apList }
 
+// IPAM returns the world's address manager (valid after Run). Every
+// deployed DHCP server allocates through it, so its Stats and Status
+// cover the whole population's address plane.
+func (s *Scenario) IPAM() *ipam.Manager { return s.ipam }
+
 // DHCPPoolExhausted sums refused-lease counts across every deployed AP
 // (valid after Run): the population-scale pool-pressure signal.
 func (s *Scenario) DHCPPoolExhausted() int {
@@ -96,8 +103,8 @@ func (s *Scenario) Run() []Result {
 	sort.SliceStable(cfgs, func(i, j int) bool { return cfgs[i].ID < cfgs[j].ID })
 	seen := make(map[int]bool, len(cfgs))
 	for _, cc := range cfgs {
-		if cc.ID < 0 || cc.ID > 255 {
-			panic(fmt.Sprintf("core: client ID %d out of range [0,255]", cc.ID))
+		if cc.ID < 0 || cc.ID > 65535 {
+			panic(fmt.Sprintf("core: client ID %d out of range [0,65535]", cc.ID))
 		}
 		if seen[cc.ID] {
 			panic(fmt.Sprintf("core: duplicate client ID %d", cc.ID))
@@ -175,10 +182,43 @@ func (s *Scenario) buildWorld() {
 		}
 	}
 
+	// Build the address plane. An explicit WorldConfig.IPAM declares
+	// shared pool hierarchies keyed by site Segment; otherwise each AP
+	// gets a private single-pool group covering the same gw+1..gw+N range
+	// the legacy per-server carve handed out, so address assignment is
+	// byte-identical to the pre-ipam stack. Bindings are created in Sites
+	// order, which keeps reserved-range carves deterministic.
+	groups := make([]string, len(cfg.Sites))
+	if cfg.IPAM != nil {
+		s.ipam = ipam.MustNew(*cfg.IPAM)
+		for i, site := range cfg.Sites {
+			groups[i] = site.Segment
+		}
+	} else {
+		var ic ipam.Config
+		size := 64
+		if cfg.AP.DHCPPoolSize > 0 {
+			size = cfg.AP.DHCPPoolSize
+		}
+		for i := range cfg.Sites {
+			gw := siteGateway(i)
+			name := fmt.Sprintf("ap%03d", i)
+			addrs := make([]ipnet.Addr, size)
+			for j := range addrs {
+				addrs[j] = gw + ipnet.Addr(j+1)
+			}
+			ic.Pools = append(ic.Pools, ipam.PoolSpec{Name: name, Addrs: addrs})
+			ic.Groups = append(ic.Groups, ipam.GroupSpec{Name: name, Pools: []string{name}})
+			groups[i] = name
+		}
+		s.ipam = ipam.MustNew(ic)
+	}
+	s.ipam.SetObs(cfg.Obs.World(), cfg.Obs.Metrics())
+
 	// Deploy APs. apList keeps Sites order for chaos targeting.
 	s.aps = make(map[dot11.MACAddr]*ap.AP, len(cfg.Sites))
 	for i, site := range cfg.Sites {
-		gw := ipnet.AddrFrom4(10, byte(i>>8), byte(i), 1)
+		gw := siteGateway(i)
 		apCfg := ap.DefaultConfig(site.SSID, site.Channel, gw)
 		apCfg.Open = site.Open
 		if site.BackhaulBps > 0 {
@@ -216,6 +256,13 @@ func (s *Scenario) buildWorld() {
 		}
 		apCfg.BlockWAN = site.Captive
 		mac := dot11.MAC(uint32(0x100000 + i))
+		binding, err := s.ipam.Bind(mac.String(), groups[i])
+		if err != nil {
+			panic(fmt.Sprintf("core: site %d (%s): %v", i, site.SSID, err))
+		}
+		apCfg.IPAM = binding
+		apCfg.DHCP.ExpireLeases = !cfg.AP.DisableLeaseExpiry
+		apCfg.Backhaul.Segment = site.Segment
 		sitePos := site.Pos
 		var self *ap.AP
 		self = ap.New(s.eng, s.rng.Stream(site.SSID), s.medium, sitePos, mac, apCfg,
@@ -285,6 +332,12 @@ func (s *Scenario) buildWorld() {
 			}
 		}
 	}
+}
+
+// siteGateway returns site i's gateway address: 10.hi.lo.1 by Sites index,
+// giving every AP a distinct /24 regardless of its pool plan.
+func siteGateway(i int) ipnet.Addr {
+	return ipnet.AddrFrom4(10, byte(i>>8), byte(i), 1)
 }
 
 // activeFaultCause returns the lexicographically first live fault cause,

@@ -399,8 +399,14 @@ func TestServerRequestOnRealExhaustionNaks(t *testing.T) {
 	if resp.Type != Nak {
 		t.Fatalf("Request on exhausted pool got %v, want nak", resp.Type)
 	}
-	if s.PoolExhausted != 1 {
-		t.Fatalf("PoolExhausted = %d, want 1", s.PoolExhausted)
+	// The requested address is held by another client: ipam types this as
+	// a conflict, not exhaustion — the caller can tell "someone else has
+	// your address" apart from "nothing is free".
+	if s.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1", s.Conflicts)
+	}
+	if s.PoolExhausted != 0 {
+		t.Fatalf("PoolExhausted = %d, want 0 (typed as conflict)", s.PoolExhausted)
 	}
 }
 
@@ -466,5 +472,111 @@ func TestFaultModeStrings(t *testing.T) {
 			t.Errorf("mode %d has bad string %q", m, s)
 		}
 		seen[s] = true
+	}
+}
+
+// expiringServer is instantServer with the sim-time lease GC enabled.
+func expiringServer(eng *sim.Engine, leaseSecs uint32) *Server {
+	cfg := DefaultServerConfig(gw)
+	cfg.RespDelayMin, cfg.RespDelayMax = 0, 0
+	cfg.LeaseSecs = leaseSecs
+	cfg.ExpireLeases = true
+	return NewServer(eng, sim.NewRNG(1).Stream("srv"), cfg)
+}
+
+// TestServerExpiresUnrenewedLeases: with ExpireLeases on, LeasesInUse
+// decays without an explicit Release — exactly at each lease's deadline,
+// with renewals pushing their own deadline out. The final RunAll also
+// proves the sweep is event-driven: a polling ticker would never let the
+// queue drain.
+func TestServerExpiresUnrenewedLeases(t *testing.T) {
+	eng := sim.NewEngine()
+	s := expiringServer(eng, 2)
+	var acks []Message
+	var reply func(Message)
+	reply = func(m Message) {
+		switch m.Type {
+		case Offer:
+			s.Handle(Message{Type: Request, XID: m.XID, ClientMAC: m.ClientMAC, YourIP: m.YourIP}, reply)
+		case Ack:
+			acks = append(acks, m)
+		}
+	}
+	s.Handle(Message{Type: Discover, XID: 1, ClientMAC: dot11.MAC(1)}, reply)
+	s.Handle(Message{Type: Discover, XID: 2, ClientMAC: dot11.MAC(2)}, reply)
+	eng.Run(time.Second)
+	if len(acks) != 2 || s.LeasesInUse() != 2 {
+		t.Fatalf("bound %d acks, %d leases; want 2, 2", len(acks), s.LeasesInUse())
+	}
+	// Client 1 renews at t=1s; client 2 goes silent and expires at t=2s.
+	s.Handle(Message{Type: Request, XID: 3, ClientMAC: dot11.MAC(1), YourIP: acks[0].YourIP}, reply)
+	eng.Run(2500 * time.Millisecond)
+	if s.LeasesInUse() != 1 {
+		t.Fatalf("LeasesInUse = %d at 2.5s, want 1 (client 2 reclaimed)", s.LeasesInUse())
+	}
+	if !s.HasLease(dot11.MAC(1), acks[0].YourIP) {
+		t.Fatal("renewed lease was reclaimed")
+	}
+	if s.Reclaimed != 1 {
+		t.Fatalf("Reclaimed = %d, want 1", s.Reclaimed)
+	}
+	// The renewed lease runs out at t=3s; the queue then drains entirely.
+	eng.RunAll()
+	if s.LeasesInUse() != 0 || s.Reclaimed != 2 {
+		t.Fatalf("after drain: LeasesInUse = %d, Reclaimed = %d; want 0, 2",
+			s.LeasesInUse(), s.Reclaimed)
+	}
+}
+
+// TestClientCachedLeaseNakAfterReclaim is the INIT-REBOOT regression for
+// the live-pool validation path: a cached lease whose address was
+// reclaimed and re-issued to another client must get a NAK — never a
+// silent double-allocation — and the client must recover with a fresh
+// Discover.
+func TestClientCachedLeaseNakAfterReclaim(t *testing.T) {
+	eng := sim.NewEngine()
+	s := expiringServer(eng, 1)
+	// Client A (MAC 42 via loopback) binds, then vanishes: its lease is
+	// reclaimed one second later and the queue drains.
+	cA, leaseA, okA, _ := loopback(eng, s, DefaultClientConfig(), 0, 1)
+	cA.Start(nil)
+	eng.RunAll()
+	if !*okA {
+		t.Fatal("priming failed")
+	}
+	if s.LeasesInUse() != 0 {
+		t.Fatalf("LeasesInUse = %d after drain, want 0 (lease reclaimed)", s.LeasesInUse())
+	}
+	// Client B claims A's old address directly — a legitimate INIT-REBOOT
+	// onto a free pool address.
+	var bAck *Message
+	s.Handle(Message{Type: Request, XID: 7, ClientMAC: dot11.MAC(7), YourIP: leaseA.IP},
+		func(m Message) { bAck = &m })
+	// Advance just far enough for the instant Ack — a full drain would
+	// run past B's own expiry and free the address again.
+	eng.Run(eng.Now() + 10*time.Millisecond)
+	if bAck == nil || bAck.Type != Ack || bAck.YourIP != leaseA.IP {
+		t.Fatalf("B's claim of the reclaimed address got %+v, want ack", bAck)
+	}
+	// A returns with its stale cached lease: the server must NAK (typed
+	// as a conflict), and A falls back to Discover for a fresh address.
+	cA2, leaseA2, okA2, _ := loopback(eng, s, DefaultClientConfig(), 0, 2)
+	naksBefore, conflictsBefore := s.Naks, s.Conflicts
+	cA2.Start(&Lease{IP: leaseA.IP, Server: leaseA.Server})
+	eng.Run(eng.Now() + 500*time.Millisecond) // rebind + fresh acquisition, before B expires
+	if !*okA2 {
+		t.Fatal("A did not recover from the NAK")
+	}
+	if s.Naks != naksBefore+1 {
+		t.Fatalf("Naks = %d, want %d", s.Naks, naksBefore+1)
+	}
+	if s.Conflicts != conflictsBefore+1 {
+		t.Fatalf("Conflicts = %d, want %d (stale rebind is a typed conflict)", s.Conflicts, conflictsBefore+1)
+	}
+	if leaseA2.IP == leaseA.IP {
+		t.Fatal("A kept an address the server had re-issued to B")
+	}
+	if !s.HasLease(dot11.MAC(7), leaseA.IP) {
+		t.Fatal("B lost its lease to A's stale rebind")
 	}
 }

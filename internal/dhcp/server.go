@@ -1,7 +1,11 @@
 package dhcp
 
 import (
+	"errors"
+	"time"
+
 	"spider/internal/dot11"
+	"spider/internal/ipam"
 	"spider/internal/ipnet"
 	"spider/internal/sim"
 )
@@ -11,10 +15,16 @@ type ServerConfig struct {
 	// Gateway is the server/gateway address handed to clients.
 	Gateway ipnet.Addr
 	// PoolBase is the first client address; leases are PoolBase+1,
-	// PoolBase+2, ... (stable per client MAC).
+	// PoolBase+2, ... (stable per client MAC). Only used when Binding is
+	// nil: the server then owns a standalone single-pool ipam binding
+	// covering exactly that range.
 	PoolBase ipnet.Addr
-	// PoolSize caps the number of distinct leases.
+	// PoolSize caps the number of distinct leases (Binding nil only).
 	PoolSize int
+	// Binding, when non-nil, is the ipam allocation handle the server
+	// draws addresses from — how many APs on one backhaul share a pool
+	// hierarchy with backup failover and per-AP reserves.
+	Binding *ipam.Binding
 	// RespDelayMin/Max bound the uniform per-response processing delay.
 	// The paper's β is the end-to-end join response time; residential APs
 	// show βmin ≈ 0.5 s and βmax of several seconds.
@@ -22,6 +32,12 @@ type ServerConfig struct {
 	RespDelayMax sim.Time
 	// LeaseSecs is the advertised lease duration.
 	LeaseSecs uint32
+	// ExpireLeases enforces LeaseSecs server-side: a lease that is not
+	// renewed is reclaimed by a sim-time sweep exactly when it expires,
+	// so LeasesInUse decays without an explicit release. Off by default
+	// so that unit harnesses draining the event queue see no background
+	// events; core scenarios turn it on.
+	ExpireLeases bool
 }
 
 // DefaultServerConfig mirrors a typical open residential AP from the
@@ -68,22 +84,28 @@ func (m FaultMode) String() string {
 
 // Server is a DHCP server bound to one AP. It answers Discover with Offer
 // and Request with Ack (or Nak when the pool is exhausted or the requested
-// address is stale), each after a sampled processing delay.
+// address conflicts with the live pool), each after a sampled processing
+// delay. Address management lives in internal/ipam: the server translates
+// protocol messages into allocations against its binding.
 type Server struct {
 	eng *sim.Engine
 	rng *sim.RNG
 	cfg ServerConfig
 
-	leases map[dot11.MACAddr]ipnet.Addr
-	next   int
-	free   []ipnet.Addr // released addresses, reused LIFO
-	fault  FaultMode
+	binding *ipam.Binding
+	owned   bool // binding built from PoolBase/PoolSize, reset rebuilds it
+	fault   FaultMode
+
+	sweepEv *sim.Event
+	sweepAt sim.Time
 
 	// Counters for experiment reporting.
 	Offers        int
 	Acks          int
 	Naks          int
 	PoolExhausted int // requests refused because no address was free
+	Conflicts     int // requests NAKed because the address was not validly rebindable
+	Reclaimed     int // leases reclaimed by the expiry sweep
 	FaultDrops    int // messages swallowed by FaultSilent
 }
 
@@ -95,11 +117,19 @@ func NewServer(eng *sim.Engine, rng *sim.RNG, cfg ServerConfig) *Server {
 	if cfg.RespDelayMax < cfg.RespDelayMin {
 		cfg.RespDelayMax = cfg.RespDelayMin
 	}
-	return &Server{eng: eng, rng: rng, cfg: cfg, leases: make(map[dot11.MACAddr]ipnet.Addr)}
+	s := &Server{eng: eng, rng: rng, cfg: cfg, binding: cfg.Binding}
+	if s.binding == nil {
+		s.binding = ipam.Solo(cfg.Gateway.String(), cfg.PoolBase, cfg.PoolSize)
+		s.owned = true
+	}
+	return s
 }
 
 // Gateway returns the server's gateway address.
 func (s *Server) Gateway() ipnet.Addr { return s.cfg.Gateway }
+
+// Binding exposes the server's ipam allocation handle.
+func (s *Server) Binding() *ipam.Binding { return s.binding }
 
 // SetFault switches the server's fault mode (fault injection).
 func (s *Server) SetFault(m FaultMode) { s.fault = m }
@@ -108,53 +138,73 @@ func (s *Server) SetFault(m FaultMode) { s.fault = m }
 func (s *Server) Fault() FaultMode { return s.fault }
 
 // LeasesInUse reports the number of currently bound leases.
-func (s *Server) LeasesInUse() int { return len(s.leases) }
+func (s *Server) LeasesInUse() int { return s.binding.LeaseCount() }
+
+// Exhausted reports whether a fresh allocation would fail right now —
+// either the binding's whole hierarchy is in use or the server is faulted
+// to behave so. Outage attribution reads this to name `ipam-exhausted`.
+func (s *Server) Exhausted() bool {
+	return s.fault == FaultExhausted || s.binding.Full()
+}
 
 // Release returns mac's lease to the pool; a later allocation may hand
 // the address to a different client.
-func (s *Server) Release(mac dot11.MACAddr) {
-	ip, ok := s.leases[mac]
-	if !ok {
-		return
-	}
-	delete(s.leases, mac)
-	s.free = append(s.free, ip)
-}
+func (s *Server) Release(mac dot11.MACAddr) { s.binding.Release(mac) }
 
 // Reset drops every lease and clears any fault mode, as a power cycle
 // would. Responses already scheduled still fire; the AP layer gates them.
 func (s *Server) Reset() {
-	s.leases = make(map[dot11.MACAddr]ipnet.Addr)
-	s.next = 0
-	s.free = nil
+	if s.owned {
+		// Exclusive pool: rebuild from scratch so allocation restarts at
+		// PoolBase+1 (virgin order), exactly as before the power cycle.
+		s.binding = ipam.Solo(s.cfg.Gateway.String(), s.cfg.PoolBase, s.cfg.PoolSize)
+	} else {
+		s.binding.Reset()
+	}
 	s.fault = FaultNone
+	s.disarmSweep()
 }
 
-// leaseFor returns the stable lease for a client, allocating from the
-// free list first, then from the untouched pool tail. ok is false when
-// the pool is exhausted (or faulted to behave so).
-func (s *Server) leaseFor(mac dot11.MACAddr) (ipnet.Addr, bool) {
-	if ip, ok := s.leases[mac]; ok {
-		return ip, true
+// ttl returns the enforced lease duration (0 when expiry is off).
+func (s *Server) ttl() sim.Time {
+	if !s.cfg.ExpireLeases {
+		return 0
 	}
-	if s.fault == FaultExhausted {
-		s.PoolExhausted++
-		return ipnet.Unspecified, false
+	return sim.Time(s.cfg.LeaseSecs) * sim.Time(time.Second)
+}
+
+// armSweep (re)schedules the expiry sweep at the binding's earliest
+// pending lease deadline. One event exists at a time, always at the
+// earliest deadline, so expiry is exact and the queue drains when no
+// lease is pending — no polling ticker.
+func (s *Server) armSweep() {
+	next := s.binding.NextExpiry()
+	if next == 0 {
+		s.disarmSweep()
+		return
 	}
-	if n := len(s.free); n > 0 {
-		ip := s.free[n-1]
-		s.free = s.free[:n-1]
-		s.leases[mac] = ip
-		return ip, true
+	if s.sweepEv != nil && s.sweepAt <= next {
+		return
 	}
-	if s.next >= s.cfg.PoolSize {
-		s.PoolExhausted++
-		return ipnet.Unspecified, false
+	s.disarmSweep()
+	s.sweepAt = next
+	s.sweepEv = s.eng.ScheduleAt(next, s.sweep)
+}
+
+func (s *Server) disarmSweep() {
+	if s.sweepEv != nil {
+		s.eng.Cancel(s.sweepEv)
+		s.sweepEv = nil
 	}
-	s.next++
-	ip := s.cfg.PoolBase + ipnet.Addr(s.next)
-	s.leases[mac] = ip
-	return ip, true
+	s.sweepAt = 0
+}
+
+// sweep reclaims every expired lease, then re-arms for the next deadline.
+func (s *Server) sweep() {
+	s.sweepEv = nil
+	s.sweepAt = 0
+	s.Reclaimed += len(s.binding.SweepExpired(s.eng.Now()))
+	s.armSweep()
 }
 
 // nak builds the typed refusal for msg.
@@ -171,6 +221,7 @@ func (s *Server) Handle(msg Message, reply func(Message)) {
 		s.FaultDrops++
 		return
 	}
+	now := s.eng.Now()
 	var resp Message
 	switch msg.Type {
 	case Discover:
@@ -178,10 +229,16 @@ func (s *Server) Handle(msg Message, reply func(Message)) {
 			resp = s.nak(msg)
 			break
 		}
-		ip, ok := s.leaseFor(msg.ClientMAC)
-		if !ok {
+		if s.fault == FaultExhausted && !s.binding.HasLease(msg.ClientMAC) {
+			s.PoolExhausted++
+			return // behaves exhausted: silence, client times out
+		}
+		ip, err := s.binding.Allocate(now, msg.ClientMAC, s.ttl())
+		if err != nil {
+			s.PoolExhausted++
 			return // pool exhausted: silence, client times out
 		}
+		s.armSweep()
 		s.Offers++
 		resp = Message{Type: Offer, XID: msg.XID, ClientMAC: msg.ClientMAC,
 			YourIP: ip, ServerIP: s.cfg.Gateway, LeaseSecs: s.cfg.LeaseSecs}
@@ -190,23 +247,32 @@ func (s *Server) Handle(msg Message, reply func(Message)) {
 			resp = s.nak(msg)
 			break
 		}
-		ip, ok := s.leaseFor(msg.ClientMAC)
-		if !ok {
+		if s.fault == FaultExhausted && !s.binding.HasLease(msg.ClientMAC) {
 			// Typed exhaustion: refuse the Request outright so the client
 			// fails fast instead of timing out.
+			s.PoolExhausted++
 			resp = s.nak(msg)
 			break
 		}
-		if msg.YourIP != ip {
-			// Stale cached lease (e.g. from a different visit): NAK so the
-			// client restarts with Discover.
-			s.Naks++
-			resp = Message{Type: Nak, XID: msg.XID, ClientMAC: msg.ClientMAC, ServerIP: s.cfg.Gateway}
-		} else {
-			s.Acks++
-			resp = Message{Type: Ack, XID: msg.XID, ClientMAC: msg.ClientMAC,
-				YourIP: ip, ServerIP: s.cfg.Gateway, LeaseSecs: s.cfg.LeaseSecs}
+		ip, err := s.binding.AllocateSpecific(now, msg.ClientMAC, msg.YourIP, s.ttl())
+		if err != nil {
+			// The requested address did not validate against the live
+			// pool: reclaimed and re-issued to someone else, stale from a
+			// different visit, or outside this AP's hierarchy. NAK so the
+			// client restarts with Discover instead of riding a lease the
+			// server no longer stands behind.
+			if errors.Is(err, ipam.ErrConflict) {
+				s.Conflicts++
+			} else {
+				s.PoolExhausted++
+			}
+			resp = s.nak(msg)
+			break
 		}
+		s.armSweep()
+		s.Acks++
+		resp = Message{Type: Ack, XID: msg.XID, ClientMAC: msg.ClientMAC,
+			YourIP: ip, ServerIP: s.cfg.Gateway, LeaseSecs: s.cfg.LeaseSecs}
 	default:
 		return
 	}
@@ -217,6 +283,5 @@ func (s *Server) Handle(msg Message, reply func(Message)) {
 // HasLease reports whether the server currently holds a lease binding mac
 // to ip, as used by the Request fast path.
 func (s *Server) HasLease(mac dot11.MACAddr, ip ipnet.Addr) bool {
-	got, ok := s.leases[mac]
-	return ok && got == ip
+	return s.binding.Holds(mac, ip)
 }

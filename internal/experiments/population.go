@@ -7,6 +7,8 @@ import (
 	"spider/internal/core"
 	"spider/internal/dot11"
 	"spider/internal/geo"
+	"spider/internal/ipam"
+	"spider/internal/ipnet"
 	"spider/internal/mobility"
 	"spider/internal/sim"
 )
@@ -88,6 +90,32 @@ func PopulationScenario(o Options, n int) (core.WorldConfig, []core.ClientConfig
 	d := o.dur(sim.Time(5*time.Minute), sim.Time(60*time.Second))
 	world, route := populationWorld(o.seed(), d)
 	return world, populationClients(n, route)
+}
+
+// PopulationIPAMScenario is a population rung with the production address
+// plan swapped in for the legacy per-AP pools: every corridor AP joins
+// one "corridor" group — a primary pool carved from a /26 CIDR with an
+// ordered backup and a one-address per-AP reserve — and leases expire at
+// sim time. The radio workload is identical to PopulationScenario, so a
+// benchgate rung built on this isolates the cost of the full ipam data
+// path (hierarchy lookup, failover, reserve carving, expiry sweeps).
+func PopulationIPAMScenario(o Options, n int) (core.WorldConfig, []core.ClientConfig) {
+	world, clients := PopulationScenario(o, n)
+	for i := range world.Sites {
+		world.Sites[i].Segment = "corridor"
+	}
+	world.AP.DHCPPoolSize = 0
+	world.IPAM = &ipam.Config{
+		Pools: []ipam.PoolSpec{
+			{Name: "corridor-primary", CIDR: ipnet.MustParsePrefix("172.20.0.0/26")},
+			{Name: "corridor-backup", CIDR: ipnet.MustParsePrefix("172.21.0.0/26")},
+		},
+		Groups: []ipam.GroupSpec{
+			{Name: "corridor", Pools: []string{"corridor-primary", "corridor-backup"}},
+		},
+		ReservePerAP: 1,
+	}
+	return world, clients
 }
 
 // PopulationStudy sweeps the population ladder, one fleet job per rung (a

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"spider/internal/fleet"
+)
+
+// rushHourOutput renders the full rush-hour sweep (table and figure)
+// through a pool with the given worker count; 0 means inline.
+func rushHourOutput(workers int) string {
+	o := Options{Seed: 1, Scale: 0.02}
+	if workers > 0 {
+		pool := fleet.New(fleet.Config{Workers: workers})
+		defer pool.Close()
+		o.Fleet = pool.Group("rushhour")
+	}
+	r := RushHourStudy(o)
+	tab := RushHourTable(r)
+	return tab.Render() + "\n" + tab.CSV() + "\n" + RushHourFigure(r).Render()
+}
+
+// TestRushHourWorkerCountInvariance: the rush-hour sweep must render
+// byte-identically inline and at 1, 4, and 16 workers. Address
+// assignment rides on ipam's determinism contract — lowest-free-first,
+// LIFO reuse, declared failover order, ascending-address sweeps — so any
+// worker-count leak here is an ipam ordering bug, not scheduler noise.
+func TestRushHourWorkerCountInvariance(t *testing.T) {
+	inline := rushHourOutput(0)
+	if !strings.Contains(inline, "dhcp-failed") {
+		t.Fatalf("rush-hour table missing attribution column:\n%s", inline)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		if got := rushHourOutput(workers); got != inline {
+			t.Errorf("workers=%d differs from inline run:\n--- inline ---\n%s\n--- workers=%d ---\n%s",
+				workers, inline, workers, got)
+		}
+	}
+}
+
+// TestRushHourFailoverAndGCReduceFailures: under identical radio
+// conditions, each address-plane upgrade must strictly help — more
+// vehicles served and fewer IPAM-attributed join failures — which is the
+// experiment's headline claim.
+func TestRushHourFailoverAndGCReduceFailures(t *testing.T) {
+	r := RushHourStudy(Options{Seed: 1, Scale: 0.1})
+	if len(r.Arms) != 3 {
+		t.Fatalf("arms = %d, want 3", len(r.Arms))
+	}
+	single, failover, gc := r.Arms[0], r.Arms[1], r.Arms[2]
+	if !(single.Served < failover.Served && failover.Served < gc.Served) {
+		t.Errorf("served vehicles not monotone: %d, %d, %d",
+			single.Served, failover.Served, gc.Served)
+	}
+	if !(single.FailedDHCP > failover.FailedDHCP && failover.FailedDHCP > gc.FailedDHCP) {
+		t.Errorf("IPAM-attributed failures not monotone: %d, %d, %d",
+			single.FailedDHCP, failover.FailedDHCP, gc.FailedDHCP)
+	}
+	if failover.IPAM.Failovers == 0 {
+		t.Error("failover arm never used its backup pool")
+	}
+	if gc.IPAM.Reclaimed == 0 {
+		t.Error("gc arm never reclaimed a lease")
+	}
+	if single.IPAM.Reclaimed != 0 || single.IPAM.Failovers != 0 {
+		t.Errorf("single-pool arm recorded failovers=%d reclaims=%d, want none",
+			single.IPAM.Failovers, single.IPAM.Reclaimed)
+	}
+}

@@ -1,0 +1,171 @@
+package ipnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IPv4 CIDR block: a network address and a mask length. The
+// zero Prefix is invalid (IsValid reports false); construction goes
+// through PrefixFrom or ParsePrefix, both of which canonicalize the
+// address to the network base so two prefixes covering the same block
+// compare equal.
+type Prefix struct {
+	addr Addr
+	bits int
+}
+
+// PrefixFrom returns the prefix of the given mask length containing addr.
+// The address is masked down to the network base. Bits outside [0, 32]
+// panic: a malformed literal is a programming error, not input.
+func PrefixFrom(addr Addr, bits int) Prefix {
+	if bits < 0 || bits > 32 {
+		panic(fmt.Sprintf("ipnet: prefix length %d out of range [0,32]", bits))
+	}
+	return Prefix{addr: addr & maskOf(bits), bits: bits}
+}
+
+// ParsePrefix parses "a.b.c.d/len" CIDR notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("ipnet: prefix %q missing /len", s)
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("ipnet: prefix %q has invalid length", s)
+	}
+	var quad [4]int
+	parts := strings.Split(s[:slash], ".")
+	if len(parts) != 4 {
+		return Prefix{}, fmt.Errorf("ipnet: prefix %q has invalid address", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return Prefix{}, fmt.Errorf("ipnet: prefix %q has invalid octet %q", s, p)
+		}
+		quad[i] = v
+	}
+	a := AddrFrom4(byte(quad[0]), byte(quad[1]), byte(quad[2]), byte(quad[3]))
+	return PrefixFrom(a, bits), nil
+}
+
+// MustParsePrefix is ParsePrefix for literals; it panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// maskOf returns the netmask for a prefix length.
+func maskOf(bits int) Addr {
+	if bits == 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - bits))
+}
+
+// IsValid reports whether the prefix was constructed (the zero Prefix is
+// 0.0.0.0/0's sibling but distinguishable: PrefixFrom(0, 0) is valid and
+// equal to the zero value, so callers that need "unset" should use the
+// pointer or check Bits against an impossible sentinel). For the
+// simulation's purposes a /0 is never a pool, so IsValid excludes it.
+func (p Prefix) IsValid() bool { return p.bits > 0 && p.bits <= 32 }
+
+// Bits returns the mask length.
+func (p Prefix) Bits() int { return p.bits }
+
+// Mask returns the netmask.
+func (p Prefix) Mask() Addr { return maskOf(p.bits) }
+
+// Network returns the network base address (host bits zero).
+func (p Prefix) Network() Addr { return p.addr }
+
+// Broadcast returns the directed broadcast address (host bits one).
+func (p Prefix) Broadcast() Addr { return p.addr | ^maskOf(p.bits) }
+
+// NumAddrs returns the total address count, network and broadcast
+// included.
+func (p Prefix) NumAddrs() uint64 { return 1 << (32 - p.bits) }
+
+// Contains reports whether a falls inside the block.
+func (p Prefix) Contains(a Addr) bool { return a&maskOf(p.bits) == p.addr }
+
+// Overlaps reports whether the two blocks share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Contains(q.addr) || q.Contains(p.addr)
+}
+
+// FirstHost returns the lowest assignable host address: the address after
+// the network base, except in /31 and /32 blocks where every address is a
+// host (RFC 3021 semantics).
+func (p Prefix) FirstHost() Addr {
+	if p.bits >= 31 {
+		return p.addr
+	}
+	return p.addr + 1
+}
+
+// LastHost returns the highest assignable host address (the address
+// before broadcast, except in /31 and /32 blocks).
+func (p Prefix) LastHost() Addr {
+	if p.bits >= 31 {
+		return p.Broadcast()
+	}
+	return p.Broadcast() - 1
+}
+
+// NumHosts returns the assignable host count: NumAddrs minus the network
+// and broadcast addresses (which are never handed out), except in /31 and
+// /32 blocks where all addresses assign.
+func (p Prefix) NumHosts() uint64 {
+	if p.bits >= 31 {
+		return p.NumAddrs()
+	}
+	return p.NumAddrs() - 2
+}
+
+// Hosts returns every assignable host address in ascending order,
+// excluding the listed addresses (gateways live there). The slice is
+// freshly allocated; pool carving owns it outright.
+func (p Prefix) Hosts(exclude ...Addr) []Addr {
+	skip := make(map[Addr]bool, len(exclude))
+	for _, a := range exclude {
+		skip[a] = true
+	}
+	out := make([]Addr, 0, p.NumHosts())
+	for a := p.FirstHost(); ; a++ {
+		if !skip[a] {
+			out = append(out, a)
+		}
+		if a == p.LastHost() {
+			break
+		}
+	}
+	return out
+}
+
+// Subnets splits the block into equal children of the given longer mask
+// length, in address order. newBits must not be shorter than Bits; equal
+// returns the block itself.
+func (p Prefix) Subnets(newBits int) []Prefix {
+	if newBits < p.bits || newBits > 32 {
+		panic(fmt.Sprintf("ipnet: cannot split /%d into /%d", p.bits, newBits))
+	}
+	n := 1 << (newBits - p.bits)
+	step := Addr(1) << (32 - newBits)
+	out := make([]Prefix, n)
+	for i := range out {
+		out[i] = Prefix{addr: p.addr + Addr(i)*step, bits: newBits}
+	}
+	return out
+}
+
+// String formats the block in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.addr, p.bits)
+}

@@ -1,0 +1,175 @@
+package ipnet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPrefixParseAndFormat(t *testing.T) {
+	cases := []struct {
+		in      string
+		network string
+		bits    int
+	}{
+		{"10.0.0.0/24", "10.0.0.0", 24},
+		{"10.0.0.7/24", "10.0.0.0", 24},     // canonicalized to the base
+		{"172.16.5.9/12", "172.16.0.0", 12}, // host bits masked off
+		{"192.168.1.1/32", "192.168.1.1", 32},
+	}
+	for _, c := range cases {
+		p, err := ParsePrefix(c.in)
+		if err != nil {
+			t.Fatalf("ParsePrefix(%q): %v", c.in, err)
+		}
+		if got := p.Network().String(); got != c.network {
+			t.Errorf("ParsePrefix(%q).Network() = %s, want %s", c.in, got, c.network)
+		}
+		if p.Bits() != c.bits {
+			t.Errorf("ParsePrefix(%q).Bits() = %d, want %d", c.in, p.Bits(), c.bits)
+		}
+		want := fmt.Sprintf("%s/%d", c.network, c.bits)
+		if p.String() != want {
+			t.Errorf("String() = %s, want %s", p.String(), want)
+		}
+	}
+	for _, bad := range []string{"", "10.0.0.0", "10.0.0/24", "10.0.0.0/33",
+		"10.0.0.0/-1", "10.0.0.256/8", "10.0.0.x/8", "10.0.0.0/x"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestPrefixContainment(t *testing.T) {
+	p := MustParsePrefix("10.1.2.0/24")
+	for _, a := range []Addr{
+		AddrFrom4(10, 1, 2, 0), AddrFrom4(10, 1, 2, 1), AddrFrom4(10, 1, 2, 255),
+	} {
+		if !p.Contains(a) {
+			t.Errorf("%s should contain %s", p, a)
+		}
+	}
+	for _, a := range []Addr{
+		AddrFrom4(10, 1, 1, 255), AddrFrom4(10, 1, 3, 0), AddrFrom4(11, 1, 2, 1),
+	} {
+		if p.Contains(a) {
+			t.Errorf("%s should not contain %s", p, a)
+		}
+	}
+	// A parent contains its children; siblings never overlap.
+	parent := MustParsePrefix("10.1.0.0/16")
+	if !parent.Overlaps(p) || !p.Overlaps(parent) {
+		t.Error("parent and child must overlap (both directions)")
+	}
+	sib := MustParsePrefix("10.2.0.0/16")
+	if parent.Overlaps(sib) {
+		t.Error("sibling /16s must not overlap")
+	}
+}
+
+func TestPrefixHostRange(t *testing.T) {
+	p := MustParsePrefix("192.168.1.0/24")
+	if got := p.NumAddrs(); got != 256 {
+		t.Fatalf("NumAddrs = %d, want 256", got)
+	}
+	if got := p.NumHosts(); got != 254 {
+		t.Fatalf("NumHosts = %d, want 254", got)
+	}
+	if got := p.FirstHost().String(); got != "192.168.1.1" {
+		t.Fatalf("FirstHost = %s", got)
+	}
+	if got := p.LastHost().String(); got != "192.168.1.254" {
+		t.Fatalf("LastHost = %s", got)
+	}
+	if got := p.Broadcast().String(); got != "192.168.1.255" {
+		t.Fatalf("Broadcast = %s", got)
+	}
+
+	hosts := p.Hosts()
+	if len(hosts) != 254 {
+		t.Fatalf("Hosts() returned %d addresses, want 254", len(hosts))
+	}
+	// Ascending, and never the network or broadcast address.
+	for i, a := range hosts {
+		if i > 0 && hosts[i-1] >= a {
+			t.Fatalf("Hosts() not ascending at %d: %s >= %s", i, hosts[i-1], a)
+		}
+		if a == p.Network() || a == p.Broadcast() {
+			t.Fatalf("Hosts() handed out %s (network/broadcast)", a)
+		}
+	}
+
+	// Exclusions (the gateway) drop out without disturbing order.
+	gw := AddrFrom4(192, 168, 1, 1)
+	rest := p.Hosts(gw)
+	if len(rest) != 253 {
+		t.Fatalf("Hosts(gw) returned %d addresses, want 253", len(rest))
+	}
+	for _, a := range rest {
+		if a == gw {
+			t.Fatal("Hosts(gw) still contains the excluded gateway")
+		}
+	}
+}
+
+func TestPrefixSmallBlocks(t *testing.T) {
+	// RFC 3021: /31 and /32 blocks have no network/broadcast reservation.
+	p31 := MustParsePrefix("10.0.0.0/31")
+	if got := p31.NumHosts(); got != 2 {
+		t.Fatalf("/31 NumHosts = %d, want 2", got)
+	}
+	if h := p31.Hosts(); len(h) != 2 || h[0] != AddrFrom4(10, 0, 0, 0) || h[1] != AddrFrom4(10, 0, 0, 1) {
+		t.Fatalf("/31 Hosts = %v", h)
+	}
+	p32 := MustParsePrefix("10.0.0.9/32")
+	if got := p32.NumHosts(); got != 1 {
+		t.Fatalf("/32 NumHosts = %d, want 1", got)
+	}
+	if h := p32.Hosts(); len(h) != 1 || h[0] != AddrFrom4(10, 0, 0, 9) {
+		t.Fatalf("/32 Hosts = %v", h)
+	}
+}
+
+func TestPrefixSubnets(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/22")
+	quarters := p.Subnets(24)
+	want := []string{"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"}
+	if len(quarters) != len(want) {
+		t.Fatalf("Subnets(24) returned %d blocks, want %d", len(quarters), len(want))
+	}
+	for i, q := range quarters {
+		if q.String() != want[i] {
+			t.Errorf("Subnets(24)[%d] = %s, want %s", i, q, want[i])
+		}
+		if !p.Contains(q.Network()) || !p.Contains(q.Broadcast()) {
+			t.Errorf("child %s escapes parent %s", q, p)
+		}
+	}
+	// Splitting to the same length returns the block itself.
+	if same := p.Subnets(22); len(same) != 1 || same[0] != p {
+		t.Fatalf("Subnets(equal) = %v, want [%v]", same, p)
+	}
+	// Children tile the parent exactly: address counts conserve.
+	var total uint64
+	for _, q := range quarters {
+		total += q.NumAddrs()
+	}
+	if total != p.NumAddrs() {
+		t.Fatalf("children cover %d addresses, parent has %d", total, p.NumAddrs())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Subnets(shorter) did not panic")
+		}
+	}()
+	p.Subnets(20)
+}
+
+func TestPrefixFromPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PrefixFrom(_, 33) did not panic")
+		}
+	}()
+	PrefixFrom(0, 33)
+}

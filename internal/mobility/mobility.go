@@ -115,6 +115,11 @@ type APSite struct {
 	// WAN traffic (captive portal); only an end-to-end connectivity test
 	// catches it.
 	Captive bool
+	// Segment names the wired backhaul segment this AP hangs off. Sites
+	// sharing a segment share an IPAM pool group when the scenario declares
+	// an explicit address plan (core.WorldConfig.IPAM); empty means the
+	// plan's default group.
+	Segment string
 }
 
 // DeployConfig controls roadside AP placement.

@@ -76,6 +76,14 @@ const (
 	KindJoinStart
 	KindJoinComplete
 	KindJoinFail
+	// KindIPAMAlloc / Failover / GC are the address-plane lifecycle
+	// (internal/ipam): a fresh lease granted, an allocation served by a
+	// non-primary pool, and an expiry sweep reclaiming vanished clients'
+	// leases. BSSID carries the binding (AP), Note the pool involved,
+	// Value the address (alloc/failover) or the reclaim count (gc).
+	KindIPAMAlloc
+	KindIPAMFailover
+	KindIPAMGC
 
 	numKinds // sentinel: keep last
 )
@@ -89,6 +97,7 @@ var kindNames = [numKinds]string{
 	"psm-drain", "handoff", "link-up", "link-down",
 	"outage-begin", "outage-end", "fault-begin", "fault-end",
 	"join-start", "join-complete", "join-fail",
+	"ipam.alloc", "ipam.failover", "ipam.gc",
 }
 
 func (k Kind) String() string {
