@@ -28,13 +28,16 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"spider/internal/atomicwrite"
 	"spider/internal/benchgate"
 	"spider/internal/core"
 	"spider/internal/experiments"
@@ -246,6 +249,14 @@ func main() {
 		selected = append(selected, e)
 	}
 
+	// SIGINT/SIGTERM turn into a graceful flush: experiments that already
+	// finished still emit their results (atomically — a signal can never
+	// leave a truncated artifact), unfinished ones are skipped, and the
+	// process exits 128+signal instead of dying mid-write.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	var gotSig os.Signal
+
 	// Experiments launch concurrently (bounded by the worker count) and
 	// shard their simulation runs on the shared pool; emission below waits
 	// on each in registry order, so stdout is byte-identical to a
@@ -279,10 +290,27 @@ func main() {
 	}
 
 	failures := 0
+	skipped := 0
 	var records []timingRecord
 	for i, e := range selected {
 		oc := outcomes[i]
-		<-oc.done
+		if gotSig == nil {
+			select {
+			case <-oc.done:
+			case s := <-sigCh:
+				gotSig = s
+				fmt.Fprintf(os.Stderr, "# %v: flushing completed experiments and exiting\n", s)
+			}
+		}
+		if gotSig != nil {
+			// Only emit what already finished; never block on the rest.
+			select {
+			case <-oc.done:
+			default:
+				skipped++
+				continue
+			}
+		}
 		rec := timingRecord{
 			ID:        e.id,
 			Jobs:      oc.stats.Jobs,
@@ -318,7 +346,7 @@ func main() {
 				name = fmt.Sprintf("%s-%d", e.id, j)
 			}
 			path := filepath.Join(*outDir, name+"."+ext)
-			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			if err := atomicwrite.WriteFile(path, []byte(body), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -343,7 +371,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# %d spans (%d runs) written to %s\n",
 			collector.SpanCount(), len(collector.SpanRuns()), *spansOut)
 	}
-	if *obsOver != "" {
+	if *obsOver != "" && gotSig == nil {
 		if err := writeObsOverhead(*obsOver, *seed, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -372,20 +400,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*timings, append(body, '\n'), 0o644); err != nil {
+		if err := atomicwrite.WriteFile(*timings, append(body, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "# timings written to %s\n", *timings)
 	}
-	if *popjson != "" {
+	if *popjson != "" && gotSig == nil {
 		if err := writePopulationBench(*popjson, *seed, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "# population bench written to %s\n", *popjson)
 	}
-	if *gate != "" {
+	if *gate != "" && gotSig == nil {
 		report, ok, err := runBenchGate(*gate, *seed, *scale, *gateThr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -395,6 +423,15 @@ func main() {
 		if !ok {
 			os.Exit(1)
 		}
+	}
+	if gotSig != nil {
+		fmt.Fprintf(os.Stderr, "# interrupted by %v: %d experiment(s) flushed, %d skipped\n",
+			gotSig, len(records), skipped)
+		code := 1
+		if s, ok := gotSig.(syscall.Signal); ok {
+			code = 128 + int(s)
+		}
+		os.Exit(code)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "# %d experiment(s) failed\n", failures)
@@ -475,7 +512,7 @@ func writePopulationBench(path string, seed int64, scale float64) error {
 			return err
 		}
 	}
-	return os.WriteFile(path, append(body, '\n'), 0o644)
+	return atomicwrite.WriteFile(path, append(body, '\n'), 0o644)
 }
 
 // runBenchGate measures the population rungs fresh, compares them against
@@ -511,15 +548,15 @@ func writeEvents(path string, c *obs.Collector) error {
 			return err
 		}
 	}
-	f, err := os.Create(path)
+	f, err := atomicwrite.Create(path, 0o644)
 	if err != nil {
 		return err
 	}
 	if err := c.WriteJSONL(f); err != nil {
-		f.Close()
+		f.Abort()
 		return err
 	}
-	return f.Close()
+	return f.Commit()
 }
 
 // writeSpans exports the collector's merged causal spans as JSONL in the
@@ -531,15 +568,15 @@ func writeSpans(path string, c *obs.Collector) error {
 			return err
 		}
 	}
-	f, err := os.Create(path)
+	f, err := atomicwrite.Create(path, 0o644)
 	if err != nil {
 		return err
 	}
 	if err := c.WriteSpansJSONL(f); err != nil {
-		f.Close()
+		f.Abort()
 		return err
 	}
-	return f.Close()
+	return f.Commit()
 }
 
 // writeObsOverhead times the chaos scenario (the event-densest workload)
@@ -592,7 +629,7 @@ func writeObsOverhead(path string, seed int64, scale float64) error {
 			return err
 		}
 	}
-	return os.WriteFile(path, []byte(b.String()), 0o644)
+	return atomicwrite.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // progressPrinter renders fleet telemetry as throttled stderr lines:

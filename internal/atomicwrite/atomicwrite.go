@@ -1,0 +1,106 @@
+// Package atomicwrite publishes files atomically: content is staged in a
+// temporary file in the destination's directory, fsynced, and renamed
+// over the target, so a reader (or a run killed mid-write) can only ever
+// observe the old contents or the complete new contents — never a
+// truncated artifact. Every result file this repository publishes
+// (results/*.txt, benchmark baselines, event/span JSONL, serve
+// snapshots) goes through here.
+package atomicwrite
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically with the given permissions.
+// On error the target is untouched and the temporary file is removed.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := Create(path, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+// File is an in-progress atomic write: an io.Writer staging into a
+// temporary file until Commit renames it over the destination. Abort (or
+// Commit failing) removes the staging file and leaves the destination
+// untouched.
+type File struct {
+	tmp  *os.File
+	path string
+	done bool
+}
+
+// Create begins an atomic write to path. The staging file lives in
+// path's directory so the final rename cannot cross filesystems.
+func Create(path string, perm os.FileMode) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	return &File{tmp: tmp, path: path}, nil
+}
+
+// Write appends to the staged content.
+func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+
+// Commit fsyncs the staged content, renames it over the destination, and
+// fsyncs the directory so the rename itself survives a crash. On any
+// error the staging file is removed and the destination left as it was.
+func (f *File) Commit() error {
+	if f.done {
+		return nil
+	}
+	f.done = true
+	name := f.tmp.Name()
+	if err := f.tmp.Sync(); err != nil {
+		f.tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, f.path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return syncDir(filepath.Dir(f.path))
+}
+
+// Abort discards the staged content. Safe after Commit (no-op).
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	name := f.tmp.Name()
+	f.tmp.Close()
+	os.Remove(name)
+}
+
+// syncDir fsyncs a directory so a just-committed rename is durable.
+// Filesystems that refuse directory fsync (some CI overlays) degrade to
+// best-effort: the rename is still atomic, only its durability window
+// widens.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,85 @@
+package atomicwrite
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first" {
+		t.Fatalf("content = %q, want %q", b, "first")
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "second" {
+		t.Fatalf("content after replace = %q, want %q", b, "second")
+	}
+}
+
+func TestAbortLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFile(path, []byte("stable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial garbage")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	if b, _ := os.ReadFile(path); string(b) != "stable" {
+		t.Fatalf("abort clobbered target: %q", b)
+	}
+	leftOver(t, dir)
+}
+
+func TestCommitRemovesStagingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	f, err := Create(path, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	leftOver(t, dir)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("perm = %v, want 0600", info.Mode().Perm())
+	}
+}
+
+// leftOver fails the test if any staging temp file survived in dir.
+func leftOver(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("staging file left behind: %s", e.Name())
+		}
+	}
+}

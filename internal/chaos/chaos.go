@@ -210,6 +210,20 @@ type Stats struct {
 	Reverted       int // transient faults that expired
 }
 
+// Add folds another injector's counters into s. A serve-mode world can
+// arm several plans (the up-front WorldConfig plan plus mid-run
+// injections) and reports their combined totals per client Result.
+func (s *Stats) Add(o Stats) {
+	s.Injected += o.Injected
+	s.Crashes += o.Crashes
+	s.Reboots += o.Reboots
+	s.DHCPFaults += o.DHCPFaults
+	s.BeaconFaults += o.BeaconFaults
+	s.BackhaulFaults += o.BackhaulFaults
+	s.NoiseBursts += o.NoiseBursts
+	s.Reverted += o.Reverted
+}
+
 // Injector executes a Plan against a set of targets. All scheduling and
 // random draws happen on the supplied engine and RNG stream, so two
 // injectors built from the same (seed, plan) replay identically.

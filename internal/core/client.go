@@ -103,6 +103,16 @@ func (c *Client) nextServerIP() ipnet.Addr {
 	return ipnet.AddrFrom4(204, byte(ext>>8), byte(ext), byte(c.nextServer))
 }
 
+// ownsServerIP reports whether a flow server address was allocated from
+// this client's private block (the inverse of nextServerIP's carve).
+func (c *Client) ownsServerIP(ip ipnet.Addr) bool {
+	if c.id < 256 {
+		return byte(ip>>24) == 203 && byte(ip>>16) == byte(c.id)
+	}
+	ext := uint32(c.id - 256)
+	return byte(ip>>24) == 204 && byte(ip>>16) == byte(ext>>8) && byte(ip>>8) == byte(ext)
+}
+
 // build materializes the client's stack. Called by Scenario.Run, either
 // immediately or at StartOffset.
 func (c *Client) build(rng *sim.RNG) {
@@ -375,11 +385,59 @@ func (c *Client) stopLinkFlows(l *lmm.Link) {
 	}
 }
 
-// finalize computes the client's Result after the engine has run.
+// StartFlows opens one bulk TCP download of total bytes (non-positive for
+// unbounded) on each of the client's currently active links and returns
+// how many flows started. Links are walked in the manager's deterministic
+// order, so replaying a start-flow intent at the same virtual time
+// reproduces the same transfers. Zero when the stack isn't built yet or
+// no link is up — the serve API reports that back to the caller.
+func (c *Client) StartFlows(total int64) int {
+	if c.manager == nil {
+		return 0
+	}
+	if total <= 0 {
+		total = -1
+	}
+	n := 0
+	for _, l := range c.manager.ActiveLinks() {
+		if c.startFlow(l, total, nil) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// StopFlows stops every flow the client currently has in the air, across
+// all links, and returns how many were stopped.
+func (c *Client) StopFlows() int {
+	if c.manager == nil {
+		return 0
+	}
+	// A client's flows are identified by its private server-IP block
+	// (nextServerIP); collect first since Stop mutates the shared map.
+	var ips []ipnet.Addr
+	for ip := range c.s.flows {
+		if c.ownsServerIP(ip) {
+			ips = append(ips, ip)
+		}
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, ip := range ips {
+		c.s.flows[ip].snd.Stop()
+		delete(c.s.flows, ip)
+	}
+	return len(ips)
+}
+
+// finalize computes the client's Result after the engine has run. Rates
+// and averages normalize over the engine clock where the run actually
+// stopped — identical to the configured duration for a batch Run, and the
+// true horizon for a serve-mode world finalized mid-stream.
 func (c *Client) finalize() Result {
 	s := c.s
 	res := c.res
-	dur := s.cfg.Duration
+	dur := s.eng.Now()
+	res.Duration = dur
 	res.ThroughputKBps = float64(res.BytesReceived) / 1024 / dur.Seconds()
 	res.Connectivity = c.series.ConnectivityFraction(dur)
 	res.ConnectionDurations = c.series.ConnectionDurations(dur)
@@ -392,6 +450,9 @@ func (c *Client) finalize() Result {
 	}
 	if s.inj != nil {
 		res.Chaos = s.inj.Stats()
+	}
+	for _, inj := range s.extraInj {
+		res.Chaos.Add(inj.Stats())
 	}
 	res.Events = s.cfg.Obs.Summary()
 	res.Medium = s.medium.Stats()

@@ -45,6 +45,12 @@ type Scenario struct {
 	flows   map[ipnet.Addr]*flow
 	clients []*Client
 
+	// usedIDs guards client-ID uniqueness across Start and every later
+	// AddClientNow; extraInj holds fault injectors armed mid-run through
+	// InjectPlan (spider-serve intents), counted alongside the primary.
+	usedIDs  map[int]bool
+	extraInj []*chaos.Injector
+
 	// faultCauses counts the currently-active injected faults per cause
 	// label — maintained whenever an injector exists (recording or not),
 	// so outage attribution always sees the live fault set.
@@ -89,11 +95,29 @@ func (s *Scenario) DHCPPoolExhausted() int {
 
 // Run materializes the world and every declared client, executes the
 // scenario to completion, and returns one Result per client in ID order.
+// It is a thin compose of the incremental seam below: Start, one StepUntil
+// to the configured duration, Finalize.
 func (s *Scenario) Run() []Result {
 	if len(s.clientCfgs) == 0 {
 		panic("core: Scenario.Run with no clients")
 	}
+	s.Start()
+	s.StepUntil(s.cfg.Duration)
+	return s.Finalize()
+}
+
+// Start materializes the world and every declared client without running
+// any virtual time. After Start the scenario is live: StepUntil advances
+// it in bounded increments, and AddClientNow / InjectPlan feed it
+// replayable external inputs between steps — the seam spider-serve's
+// intent log drives. Start with zero declared clients is valid (a serve
+// world populated purely through intents).
+func (s *Scenario) Start() {
+	if s.eng != nil {
+		panic("core: Scenario.Start called twice")
+	}
 	s.buildWorld()
+	s.usedIDs = make(map[int]bool, len(s.clientCfgs))
 
 	// Materialize clients in ID order so AddClient order cannot matter.
 	cfgs := make([]ClientConfig, len(s.clientCfgs))
@@ -101,39 +125,112 @@ func (s *Scenario) Run() []Result {
 		cfgs[i] = cc.withDefaults()
 	}
 	sort.SliceStable(cfgs, func(i, j int) bool { return cfgs[i].ID < cfgs[j].ID })
-	seen := make(map[int]bool, len(cfgs))
 	for _, cc := range cfgs {
-		if cc.ID < 0 || cc.ID > 65535 {
-			panic(fmt.Sprintf("core: client ID %d out of range [0,65535]", cc.ID))
-		}
-		if seen[cc.ID] {
-			panic(fmt.Sprintf("core: duplicate client ID %d", cc.ID))
-		}
-		seen[cc.ID] = true
-		c := newClient(s, cc)
-		s.clients = append(s.clients, c)
-		// Each client's RNG is a pure function of (seed, ID) — Derive
-		// consumes no parent state — so neither AddClient order nor the
-		// ID set of other clients perturbs a client's random sequence.
-		crng := s.rng.Derive(fmt.Sprintf("client-%03d", cc.ID))
-		if cc.StartOffset > 0 {
-			c := c
-			s.eng.Schedule(cc.StartOffset, func() { c.build(crng) })
-		} else {
-			c.build(crng)
+		if err := s.materialize(cc); err != nil {
+			panic("core: " + err.Error())
 		}
 	}
+}
 
-	s.eng.Run(s.cfg.Duration)
-	// Finalize run-spanning intervals (open joins, links, outages,
-	// occupancy, persistent faults) so the span tree exports closed.
+// materialize admits one defaulted client config into the live world:
+// validates its ID, registers it, and builds its stack (now, or at
+// StartOffset if that is still in the future).
+func (s *Scenario) materialize(cc ClientConfig) error {
+	if cc.ID < 0 || cc.ID > 65535 {
+		return fmt.Errorf("client ID %d out of range [0,65535]", cc.ID)
+	}
+	if s.usedIDs[cc.ID] {
+		return fmt.Errorf("duplicate client ID %d", cc.ID)
+	}
+	s.usedIDs[cc.ID] = true
+	c := newClient(s, cc)
+	s.clients = append(s.clients, c)
+	// Each client's RNG is a pure function of (seed, ID) — Derive
+	// consumes no parent state — so neither AddClient order nor the
+	// ID set of other clients perturbs a client's random sequence.
+	crng := s.rng.Derive(fmt.Sprintf("client-%03d", cc.ID))
+	if cc.StartOffset > s.eng.Now() {
+		s.eng.ScheduleAt(cc.StartOffset, func() { c.build(crng) })
+	} else {
+		c.build(crng)
+	}
+	return nil
+}
+
+// StepUntil advances the live scenario to the given absolute virtual time
+// and returns the engine clock (exactly t, unless a caller stopped the
+// engine). Every event scheduled at or before t fires, so t is a
+// quiescent barrier: external inputs applied after StepUntil(t) returns
+// land deterministically between the event batch at t and everything
+// later, which is what makes an intent log replayable.
+func (s *Scenario) StepUntil(t sim.Time) sim.Time {
+	s.eng.Run(t)
+	return s.eng.Now()
+}
+
+// Finalize closes run-spanning intervals (open joins, links, outages,
+// occupancy, persistent faults) so the span tree exports closed, and
+// returns one Result per client in ID order. Metrics that average over
+// the run use the clock where the scenario actually stopped, which for a
+// batch Run is exactly the configured duration.
+func (s *Scenario) Finalize() []Result {
 	s.cfg.Obs.CloseOpenSpans(s.eng.Now())
-
+	// Mid-run-added clients (AddClientNow) sort into ID order with the
+	// declared population.
+	sort.SliceStable(s.clients, func(i, j int) bool { return s.clients[i].id < s.clients[j].id })
 	results := make([]Result, len(s.clients))
 	for i, c := range s.clients {
 		results[i] = c.finalize()
 	}
 	return results
+}
+
+// Engine exposes the scenario's event engine (valid after Start). The
+// serve loop reads Now/Len/PeekNext from it to pick step barriers and
+// report queue depth; mutating the queue directly is the scenario's job.
+func (s *Scenario) Engine() *sim.Engine { return s.eng }
+
+// ClientByID returns the materialized client with the given ID, or nil.
+func (s *Scenario) ClientByID(id int) *Client {
+	for _, c := range s.clients {
+		if c.id == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// AddClientNow admits one client into the live, already-started world at
+// the current virtual time: its mobility clock and stack start here (any
+// configured StartOffset is overridden). The client's random streams
+// remain a pure function of (seed, ID), so a run that replays the same
+// add at the same virtual time reproduces the original bit-for-bit.
+func (s *Scenario) AddClientNow(cfg ClientConfig) error {
+	if s.eng == nil {
+		return fmt.Errorf("core: AddClientNow before Start")
+	}
+	cfg.StartOffset = s.eng.Now()
+	cc := cfg.withDefaults()
+	return s.materialize(cc)
+}
+
+// InjectPlan arms a chaos plan against the live world at the current
+// virtual time. The plan's event times are absolute virtual times (times
+// already in the past clamp to now), and its injector draws from a
+// stream derived purely from (seed, injection index), so replaying the
+// same plans at the same virtual times reproduces the fault sequence
+// exactly. Plans injected here stack with — and are counted alongside —
+// the WorldConfig.Chaos plan.
+func (s *Scenario) InjectPlan(plan chaos.Plan) error {
+	if s.eng == nil {
+		return fmt.Errorf("core: InjectPlan before Start")
+	}
+	if plan.Empty() {
+		return fmt.Errorf("core: InjectPlan with empty plan")
+	}
+	rng := s.rng.Derive(fmt.Sprintf("chaos-inject-%03d", len(s.extraInj)))
+	s.extraInj = append(s.extraInj, s.armInjector(plan, rng))
+	return nil
 }
 
 // buildWorld constructs everything that exists independently of clients:
@@ -271,67 +368,80 @@ func (s *Scenario) buildWorld() {
 		s.apList = append(s.apList, self)
 	}
 
+	// Fault bookkeeping exists whether or not a plan is armed up front:
+	// InjectPlan can arm one mid-run, and outage attribution reads the
+	// live fault set either way.
+	s.faultCauses = make(map[string]int)
+	s.faultSpans = make(map[string][]*obs.ActiveSpan)
+
 	// Arm the fault plan. The injector draws from its own stream and
 	// schedules everything up front, so a given (seed, plan) replays the
 	// same fault sequence regardless of what else the scenario does.
 	if cfg.Chaos != nil && !cfg.Chaos.Empty() {
-		targets := make([]chaos.Target, len(s.apList))
-		for i, a := range s.apList {
-			targets[i] = a
+		s.inj = s.armInjector(*cfg.Chaos, s.rng.Stream("chaos"))
+	}
+}
+
+// armInjector builds one chaos injector over the deployed APs and wires
+// its faults into the scenario's live fault set, outage spans, and event
+// timeline. Shared by the up-front WorldConfig.Chaos plan and every
+// mid-run InjectPlan.
+func (s *Scenario) armInjector(plan chaos.Plan, rng *sim.RNG) *chaos.Injector {
+	targets := make([]chaos.Target, len(s.apList))
+	for i, a := range s.apList {
+		targets[i] = a
+	}
+	inj := chaos.New(s.eng, rng, plan, targets, s.medium)
+	world := s.cfg.Obs.World() // nil log (all no-ops) when recording is off
+	inj.OnFault = func(e chaos.Event, aps []int, begin bool) {
+		// Track the live fault set first — outage attribution reads it
+		// whether or not recording is on. Persistent faults (no
+		// revert) stay active for the rest of the run.
+		if begin {
+			s.faultCauses[e.Cause]++
+			span := world.StartSpan(s.eng.Now(), "fault")
+			span.SetChannel(int(e.Channel))
+			span.SetStatus(e.Cause + ":" + e.Kind.String())
+			if span != nil {
+				s.faultSpans[e.Cause] = append(s.faultSpans[e.Cause], span)
+			}
+		} else {
+			if s.faultCauses[e.Cause] > 0 {
+				s.faultCauses[e.Cause]--
+			}
+			if stack := s.faultSpans[e.Cause]; len(stack) > 0 {
+				stack[0].End(s.eng.Now())
+				s.faultSpans[e.Cause] = stack[1:]
+			}
 		}
-		s.inj = chaos.New(s.eng, s.rng.Stream("chaos"), *cfg.Chaos, targets, s.medium)
-		s.faultCauses = make(map[string]int)
-		s.faultSpans = make(map[string][]*obs.ActiveSpan)
-		world := cfg.Obs.World() // nil log (all no-ops) when recording is off
-		s.inj.OnFault = func(e chaos.Event, aps []int, begin bool) {
-			// Track the live fault set first — outage attribution reads it
-			// whether or not recording is on. Persistent faults (no
-			// revert) stay active for the rest of the run.
-			if begin {
-				s.faultCauses[e.Cause]++
-				span := world.StartSpan(s.eng.Now(), "fault")
-				span.SetChannel(int(e.Channel))
-				span.SetStatus(e.Cause + ":" + e.Kind.String())
-				if span != nil {
-					s.faultSpans[e.Cause] = append(s.faultSpans[e.Cause], span)
-				}
-			} else {
-				if s.faultCauses[e.Cause] > 0 {
-					s.faultCauses[e.Cause]--
-				}
-				if stack := s.faultSpans[e.Cause]; len(stack) > 0 {
-					stack[0].End(s.eng.Now())
-					s.faultSpans[e.Cause] = stack[1:]
-				}
-			}
-			kind := obs.KindFaultEnd
-			if begin {
-				kind = obs.KindFaultBegin
-			}
-			// One event per resolved AP keeps the timeline joinable
-			// against per-client events by AP index; channel-scoped
-			// faults (noise bursts) have no AP and report one event.
-			if len(aps) == 0 {
-				world.Emit(obs.Event{
-					At:      s.eng.Now(),
-					Kind:    kind,
-					Channel: int(e.Channel),
-					Value:   -1,
-					Note:    e.Kind.String(),
-				})
-				return
-			}
-			for _, idx := range aps {
-				world.Emit(obs.Event{
-					At:      s.eng.Now(),
-					Kind:    kind,
-					Channel: int(e.Channel),
-					Value:   int64(idx),
-					Note:    e.Kind.String(),
-				})
-			}
+		kind := obs.KindFaultEnd
+		if begin {
+			kind = obs.KindFaultBegin
+		}
+		// One event per resolved AP keeps the timeline joinable
+		// against per-client events by AP index; channel-scoped
+		// faults (noise bursts) have no AP and report one event.
+		if len(aps) == 0 {
+			world.Emit(obs.Event{
+				At:      s.eng.Now(),
+				Kind:    kind,
+				Channel: int(e.Channel),
+				Value:   -1,
+				Note:    e.Kind.String(),
+			})
+			return
+		}
+		for _, idx := range aps {
+			world.Emit(obs.Event{
+				At:      s.eng.Now(),
+				Kind:    kind,
+				Channel: int(e.Channel),
+				Value:   int64(idx),
+				Note:    e.Kind.String(),
+			})
 		}
 	}
+	return inj
 }
 
 // siteGateway returns site i's gateway address: 10.hi.lo.1 by Sites index,

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"spider/internal/chaos"
+	"spider/internal/dot11"
+	"spider/internal/obs"
+	"spider/internal/sim"
+)
+
+// seamWorld builds a two-AP corridor world with a recorder attached —
+// small enough to step quickly, busy enough to exercise joins, flows,
+// and handoffs.
+func seamWorld() (WorldConfig, ClientConfig, time.Duration) {
+	sites, model, dur := road(dot11.Channel1, dot11.Channel6)
+	wc := WorldConfig{Seed: 77, Duration: dur, Sites: sites, Obs: obs.NewRecorder()}
+	cc := ClientConfig{ID: 0, Preset: MultiChannelMultiAP, Mobility: model}
+	return wc, cc, dur
+}
+
+// exportStreams renders a recorder's canonical artifacts: the event JSONL
+// and span JSONL byte streams the bit-identical-resume contract compares.
+func exportStreams(t *testing.T, rec *obs.Recorder) ([]byte, []byte) {
+	t.Helper()
+	var evs, spans bytes.Buffer
+	if err := obs.WriteJSONL(&evs, "", rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteSpansJSONL(&spans, "", rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	return evs.Bytes(), spans.Bytes()
+}
+
+// TestSteppedRunMatchesBatchRun is the quantum-subdivision invariant the
+// serve loop rests on: driving a scenario in many small StepUntil
+// barriers produces event and span streams byte-identical to one
+// monolithic Run. Without this, a daemon's checkpoint cadence would leak
+// into its artifacts.
+func TestSteppedRunMatchesBatchRun(t *testing.T) {
+	wc, cc, dur := seamWorld()
+
+	batch := NewScenario(wc)
+	batch.AddClient(cc)
+	batch.Run()
+	batchEvs, batchSpans := exportStreams(t, wc.Obs)
+
+	wc2, cc2, _ := seamWorld()
+	stepped := NewScenario(wc2)
+	stepped.AddClient(cc2)
+	stepped.Start()
+	// Uneven quanta on purpose: barriers must be invisible wherever they
+	// fall, including ones landing exactly on scheduled event times.
+	for now := sim.Time(0); now < dur; {
+		q := 700*time.Millisecond + time.Duration(now%3)*350*time.Millisecond
+		if now+q > dur {
+			q = dur - now
+		}
+		now = stepped.StepUntil(now + q)
+	}
+	stepped.Finalize()
+	stepEvs, stepSpans := exportStreams(t, wc2.Obs)
+
+	if !bytes.Equal(batchEvs, stepEvs) {
+		t.Fatalf("stepped event stream diverged from batch run (batch %d bytes, stepped %d bytes)",
+			len(batchEvs), len(stepEvs))
+	}
+	if !bytes.Equal(batchSpans, stepSpans) {
+		t.Fatalf("stepped span stream diverged from batch run (batch %d bytes, stepped %d bytes)",
+			len(batchSpans), len(stepSpans))
+	}
+}
+
+// steppedWithIntents drives one full serve-shaped run: start empty-ish,
+// admit a second client mid-run, inject a chaos plan mid-run, toggle
+// flows — everything applied at fixed virtual-time barriers, exactly how
+// WAL replay re-applies intents.
+func steppedWithIntents(t *testing.T) (*obs.Recorder, []Result) {
+	t.Helper()
+	wc, cc, dur := seamWorld()
+	s := NewScenario(wc)
+	s.AddClient(cc)
+	s.Start()
+
+	_, model, _ := road(dot11.Channel1, dot11.Channel6)
+	quantum := 500 * time.Millisecond
+	addAt := dur / 4
+	injectAt := dur / 2
+	stopAt := 3 * dur / 4
+	added, injected, stopped := false, false, false
+	for now := sim.Time(0); now < dur; {
+		now = s.StepUntil(now + quantum)
+		if !added && now >= addAt {
+			added = true
+			if err := s.AddClientNow(ClientConfig{ID: 7, Preset: SingleChannelMultiAP, Mobility: model}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !injected && now >= injectAt {
+			injected = true
+			err := s.InjectPlan(chaos.Plan{Name: "mid-run", Events: []chaos.Event{
+				{At: now + time.Second, Kind: chaos.APCrash, AP: 0, Duration: 5 * time.Second, Cause: "injected"},
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !stopped && now >= stopAt {
+			stopped = true
+			if c := s.ClientByID(7); c != nil {
+				c.StopFlows()
+				c.StartFlows(64 << 10)
+			}
+		}
+	}
+	res := s.Finalize()
+	return wc.Obs, res
+}
+
+// TestMidRunIntentsReplayDeterministically re-runs the same intent script
+// at the same virtual times and demands byte-identical event and span
+// streams — the property that makes an intent log a sufficient checkpoint.
+func TestMidRunIntentsReplayDeterministically(t *testing.T) {
+	recA, resA := steppedWithIntents(t)
+	recB, resB := steppedWithIntents(t)
+	evsA, spansA := exportStreams(t, recA)
+	evsB, spansB := exportStreams(t, recB)
+	if !bytes.Equal(evsA, evsB) {
+		t.Fatalf("replayed intent script diverged: %d vs %d event bytes", len(evsA), len(evsB))
+	}
+	if !bytes.Equal(spansA, spansB) {
+		t.Fatalf("replayed intent script diverged: %d vs %d span bytes", len(spansA), len(spansB))
+	}
+	if len(resA) != 2 || len(resB) != 2 {
+		t.Fatalf("want 2 results (declared + mid-run client), got %d and %d", len(resA), len(resB))
+	}
+	if resA[1].ClientID != 7 {
+		t.Fatalf("mid-run client missing from results: %+v", resA[1].ClientID)
+	}
+	if resA[0].Chaos.Injected == 0 {
+		t.Fatal("mid-run injected plan never fired")
+	}
+}
+
+// TestAddClientNowValidation covers the error paths the serve API turns
+// into rejected intents.
+func TestAddClientNowValidation(t *testing.T) {
+	wc, cc, _ := seamWorld()
+	s := NewScenario(wc)
+	s.AddClient(cc)
+	if err := s.AddClientNow(cc); err == nil {
+		t.Fatal("AddClientNow before Start should fail")
+	}
+	if err := s.InjectPlan(chaos.Plan{Name: "x"}); err == nil {
+		t.Fatal("InjectPlan before Start should fail")
+	}
+	s.Start()
+	if err := s.AddClientNow(cc); err == nil {
+		t.Fatal("duplicate client ID should fail")
+	}
+	if err := s.InjectPlan(chaos.Plan{}); err == nil {
+		t.Fatal("empty plan should fail")
+	}
+	bad := cc
+	bad.ID = -1
+	if err := s.AddClientNow(bad); err == nil {
+		t.Fatal("negative client ID should fail")
+	}
+}
+
+// TestStartWithZeroClients is the serve boot path: a world that exists
+// before any client intent arrives.
+func TestStartWithZeroClients(t *testing.T) {
+	wc, _, _ := seamWorld()
+	s := NewScenario(wc)
+	s.Start()
+	s.StepUntil(2 * time.Second)
+	_, model, _ := road(dot11.Channel1, dot11.Channel6)
+	if err := s.AddClientNow(ClientConfig{ID: 3, Preset: SingleChannelMultiAP, Mobility: model}); err != nil {
+		t.Fatal(err)
+	}
+	s.StepUntil(30 * time.Second)
+	res := s.Finalize()
+	if len(res) != 1 || res[0].ClientID != 3 {
+		t.Fatalf("unexpected results: %+v", res)
+	}
+	if res[0].LinkUps == 0 {
+		t.Fatal("intent-admitted client never connected")
+	}
+}

@@ -169,3 +169,29 @@ func (p Prefix) Subnets(newBits int) []Prefix {
 func (p Prefix) String() string {
 	return fmt.Sprintf("%s/%d", p.addr, p.bits)
 }
+
+// MarshalJSON encodes the block as its CIDR string, so prefixes embedded
+// in configuration (ipam pool specs inside a serve world spec) round-trip
+// through JSON without exposing the internal representation.
+func (p Prefix) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(p.String())), nil
+}
+
+// UnmarshalJSON decodes CIDR notation; the empty string decodes to the
+// zero (invalid) Prefix so optional fields stay optional.
+func (p *Prefix) UnmarshalJSON(b []byte) error {
+	s, err := strconv.Unquote(string(b))
+	if err != nil {
+		return fmt.Errorf("ipnet: prefix not a JSON string: %s", b)
+	}
+	if s == "" {
+		*p = Prefix{}
+		return nil
+	}
+	parsed, err := ParsePrefix(s)
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}

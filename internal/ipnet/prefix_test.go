@@ -1,6 +1,7 @@
 package ipnet
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 )
@@ -172,4 +173,35 @@ func TestPrefixFromPanicsOutOfRange(t *testing.T) {
 		}
 	}()
 	PrefixFrom(0, 33)
+}
+
+func TestPrefixJSONRoundTrip(t *testing.T) {
+	type wrapper struct {
+		CIDR Prefix `json:"cidr"`
+	}
+	in := wrapper{CIDR: MustParsePrefix("10.40.0.0/16")}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"cidr":"10.40.0.0/16"}` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var out wrapper
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.CIDR != in.CIDR {
+		t.Fatalf("round trip = %v, want %v", out.CIDR, in.CIDR)
+	}
+	var zero wrapper
+	if err := json.Unmarshal([]byte(`{"cidr":""}`), &zero); err != nil {
+		t.Fatal(err)
+	}
+	if zero.CIDR.IsValid() {
+		t.Fatal("empty string should decode to the invalid zero Prefix")
+	}
+	if err := json.Unmarshal([]byte(`{"cidr":"10.0.0.0/40"}`), &out); err == nil {
+		t.Fatal("bad mask length should fail to decode")
+	}
 }

@@ -84,6 +84,28 @@ const (
 	KindIPAMAlloc
 	KindIPAMFailover
 	KindIPAMGC
+	// The serve.* kinds are the spider-serve daemon lifecycle, recorded on
+	// the daemon's own telemetry recorder — never on a scenario's — so the
+	// scenario stream's bit-identical replay contract is untouched. Unlike
+	// every other kind, serve.stall's Value carries a wall-clock duration:
+	// the telemetry recorder is explicitly outside the determinism
+	// contract (see DESIGN §12).
+	//
+	// KindServeIntent marks one accepted external intent (Value = assigned
+	// sequence, Note = intent kind; Note = "rejected:<reason>" when the
+	// intent failed to apply).
+	KindServeIntent
+	// KindServeCheckpoint marks a durable snapshot (Value = intent seq
+	// horizon included in the checkpoint).
+	KindServeCheckpoint
+	// KindServeRestore marks a startup restore (Value = intents replayed).
+	KindServeRestore
+	// KindServeStall marks a sim step that overran its wall-clock deadline
+	// (Value = wall ns the step took).
+	KindServeStall
+	// KindServeWALTruncated marks recovery discarding a torn WAL tail
+	// (Value = bytes truncated).
+	KindServeWALTruncated
 
 	numKinds // sentinel: keep last
 )
@@ -98,6 +120,8 @@ var kindNames = [numKinds]string{
 	"outage-begin", "outage-end", "fault-begin", "fault-end",
 	"join-start", "join-complete", "join-fail",
 	"ipam.alloc", "ipam.failover", "ipam.gc",
+	"serve.intent", "serve.checkpoint", "serve.restore", "serve.stall",
+	"serve.wal-truncated",
 }
 
 func (k Kind) String() string {

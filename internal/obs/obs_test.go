@@ -231,3 +231,43 @@ func TestManualClockDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestSubscribeStreamsEveryEmit(t *testing.T) {
+	r := NewRecorder()
+	var got []Event
+	r.Subscribe(func(e Event) { got = append(got, e) })
+	r.Client(0).Emit(Event{At: 1, Kind: KindLinkUp})
+	r.World().Emit(Event{At: 2, Kind: KindServeIntent, Note: "add-client"})
+	if len(got) != 2 {
+		t.Fatalf("subscriber saw %d events, want 2", len(got))
+	}
+	if got[0].Client != 0 || got[0].Seq != 0 {
+		t.Fatalf("first streamed event missing log-filled fields: %+v", got[0])
+	}
+	if got[1].Client != WorldClient || got[1].Kind != KindServeIntent {
+		t.Fatalf("second streamed event = %+v", got[1])
+	}
+	// The log keeps recording identically with subscribers attached.
+	if total := r.Summary().Total(); total != 2 {
+		t.Fatalf("recorded %d events, want 2", total)
+	}
+	var nilRec *Recorder
+	nilRec.Subscribe(func(Event) {}) // must not panic
+}
+
+func TestServeKindNamesRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindServeIntent, KindServeCheckpoint, KindServeRestore,
+		KindServeStall, KindServeWALTruncated} {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("kind %v did not round-trip: %v", k, err)
+		}
+		if back != k {
+			t.Fatalf("kind %v round-tripped to %v", k, back)
+		}
+	}
+}

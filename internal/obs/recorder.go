@@ -18,6 +18,7 @@ type Recorder struct {
 	seq  uint64
 	logs map[int]*ClientLog
 	reg  *Registry
+	subs []func(Event)
 }
 
 // NewRecorder returns an empty recorder with a live metrics registry.
@@ -41,6 +42,20 @@ func (r *Recorder) Client(id int) *ClientLog {
 
 // World returns the log world-scoped events (chaos faults) record under.
 func (r *Recorder) World() *ClientLog { return r.Client(WorldClient) }
+
+// Subscribe registers a streaming observer invoked synchronously, on the
+// recording (simulation) goroutine, for every event after it is appended
+// to the timeline. Observers must be fast and non-blocking — spider-serve
+// fans events out to live JSONL subscribers through a single registered
+// function that drops to bounded per-subscriber buffers. Subscribe is not
+// safe to call concurrently with recording: register before the run (or
+// from the goroutine that drives it). No-op on a nil recorder.
+func (r *Recorder) Subscribe(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.subs = append(r.subs, fn)
+}
 
 // Metrics returns the recorder's registry (nil when the recorder is nil,
 // which disables every instrument resolved from it).
@@ -117,6 +132,9 @@ func (l *ClientLog) Emit(ev Event) {
 	ev.Seq = l.r.seq
 	l.r.seq++
 	l.evs = append(l.evs, ev)
+	for _, fn := range l.r.subs {
+		fn(ev)
+	}
 }
 
 // Enabled reports whether events emitted here are recorded, for callers

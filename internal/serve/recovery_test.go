@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spider/internal/obs"
+	"spider/internal/sim"
+)
+
+// copyFile copies one state file into a fresh crash directory.
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// walOffsets returns the byte offset of every record boundary in the
+// log, starting with 0 and ending at len(wal).
+func walOffsets(t *testing.T, wal []byte) []int64 {
+	t.Helper()
+	offs := []int64{0}
+	off := int64(0)
+	for off < int64(len(wal)) {
+		n := binary.LittleEndian.Uint32(wal[off : off+4])
+		off += 8 + int64(n)
+		offs = append(offs, off)
+	}
+	if off != int64(len(wal)) {
+		t.Fatalf("WAL does not end on a record boundary: %d != %d", off, len(wal))
+	}
+	return offs
+}
+
+// TestCrashRecoveryAtEveryWALBoundary is the PR's acceptance test: kill
+// the daemon at every possible WAL durability state — after each record,
+// and torn mid-record — restore, re-drive the lost remainder of the
+// script, and demand the final obs event and span JSONL streams
+// byte-identical to the uninterrupted reference run.
+//
+// "Kill" here is the strongest form: the crash directories are built
+// from raw file prefixes, exactly the on-disk states a SIGKILL between
+// (or inside) fsyncs leaves behind. No Close, no flush, no goodbye.
+func TestCrashRecoveryAtEveryWALBoundary(t *testing.T) {
+	refEvs, refSpans := referenceRun(t)
+	script := testScript()
+
+	// One complete live run produces the full WAL image.
+	victim := t.TempDir()
+	srv, err := Open(victim, corridorWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveScript(t, srv, script, sim.Time(time.Second), testUntil)
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.ReadFile(filepath.Join(victim, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := walOffsets(t, wal)
+	if len(offsets) != len(script)+1 {
+		t.Fatalf("WAL has %d records, want %d", len(offsets)-1, len(script))
+	}
+
+	type cut struct {
+		name   string
+		bytes  int64
+		intact int  // records surviving the cut
+		torn   bool // expect a wal-truncated lifecycle event
+	}
+	var cuts []cut
+	for i, off := range offsets {
+		cuts = append(cuts, cut{name: fmt.Sprintf("boundary-%d", i), bytes: off, intact: i})
+		// Torn tails: a few bytes into the header, and mid-payload.
+		if i < len(offsets)-1 {
+			cuts = append(cuts,
+				cut{name: fmt.Sprintf("mid-header-%d", i), bytes: off + 5, intact: i, torn: true},
+				cut{name: fmt.Sprintf("mid-payload-%d", i), bytes: (off + offsets[i+1]) / 2, intact: i, torn: true},
+			)
+		}
+	}
+
+	for _, c := range cuts {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			copyFile(t, filepath.Join(victim, configFile), filepath.Join(dir, configFile))
+			if err := os.WriteFile(filepath.Join(dir, walFile), wal[:c.bytes], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// No snapshot: the crash raced ahead of any checkpoint, so
+			// restore's horizon is the last durable intent alone.
+			resumed, err := Open(dir, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resumed.Close()
+			if got := int(resumed.Applied()); got != c.intact {
+				t.Fatalf("replayed %d intents, want %d", got, c.intact)
+			}
+			truncated := false
+			for _, ev := range resumed.Lifecycle().Events() {
+				if ev.Kind == obs.KindServeWALTruncated {
+					truncated = true
+				}
+			}
+			if truncated != c.torn {
+				t.Fatalf("torn-tail event = %v, want %v", truncated, c.torn)
+			}
+			// The client re-submits everything never acknowledged, and
+			// the world advances to the same horizon — on a different
+			// quantum, which must be invisible.
+			driveScript(t, resumed, script[c.intact:], sim.Time(900*time.Millisecond), testUntil)
+			gotEvs, gotSpans := streams(t, resumed.Recorder())
+			if !bytes.Equal(refEvs, gotEvs) {
+				t.Fatalf("event stream differs after crash at %s: %d vs %d bytes",
+					c.name, len(gotEvs), len(refEvs))
+			}
+			if !bytes.Equal(refSpans, gotSpans) {
+				t.Fatalf("span stream differs after crash at %s: %d vs %d bytes",
+					c.name, len(gotSpans), len(refSpans))
+			}
+		})
+	}
+}
+
+// TestCrashAfterFinalCheckpoint restores from a complete WAL plus the
+// final checkpoint: replay alone must reach the full horizon and already
+// match the reference streams with no further driving.
+func TestCrashAfterFinalCheckpoint(t *testing.T) {
+	refEvs, refSpans := referenceRun(t)
+
+	victim := t.TempDir()
+	srv, err := Open(victim, corridorWorld())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveScript(t, srv, testScript(), sim.Time(time.Second), testUntil)
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL: no Close. Reopen the same directory cold.
+	resumed, err := Open(victim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.Now() != testUntil {
+		t.Fatalf("restored clock %s, want %s", resumed.Now(), testUntil)
+	}
+	gotEvs, gotSpans := streams(t, resumed.Recorder())
+	if !bytes.Equal(refEvs, gotEvs) {
+		t.Fatalf("checkpoint-restored event stream differs: %d vs %d bytes", len(gotEvs), len(refEvs))
+	}
+	if !bytes.Equal(refSpans, gotSpans) {
+		t.Fatalf("checkpoint-restored span stream differs: %d vs %d bytes", len(gotSpans), len(refSpans))
+	}
+	srv.Close()
+}

@@ -1,0 +1,191 @@
+// Package serve is the crash-safe long-running service mode: a daemon
+// that owns one live core.Scenario, advances virtual time in bounded
+// quanta, and accepts external inputs — add a client, inject a chaos
+// plan, start or stop flows — over a small HTTP/JSON API.
+//
+// Durability comes from determinism, not state serialization. Every
+// external input is appended to a write-ahead intent log (fsynced,
+// length-prefixed, checksummed) *before* it is applied, tagged with the
+// virtual time it applies at. A checkpoint is just (world-spec hash,
+// seed, intent log, sim time). Restore rebuilds the world from the spec
+// and replays the intents at their recorded virtual times; because the
+// simulation is a pure function of (seed, spec, intent timeline), the
+// resumed run regenerates obs event and span streams byte-identical to
+// an uninterrupted one — the property recovery_test.go enforces at every
+// possible crash point. See DESIGN.md §12.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"spider/internal/core"
+	"spider/internal/dot11"
+	"spider/internal/geo"
+	"spider/internal/ipam"
+	"spider/internal/mobility"
+	"spider/internal/obs"
+	"spider/internal/sim"
+)
+
+// WorldSpec is the JSON-serializable description a serve world is built
+// from. It mirrors core.WorldConfig minus the process-local seams (Obs
+// recorder, PCAP writer) and is the unit the config hash covers: two
+// daemons with equal specs and equal intent logs compute equal worlds.
+type WorldSpec struct {
+	// Seed makes the whole run — and every replay of it — reproducible.
+	Seed int64 `json:"seed"`
+	// HorizonNS, when positive, bounds the run: the daemon stops
+	// advancing (and drains) once the clock reaches it. Zero serves
+	// forever.
+	HorizonNS int64 `json:"horizon_ns,omitempty"`
+	// Sites are the deployed APs, in chaos-target index order.
+	Sites []mobility.APSite `json:"sites"`
+	// AP tunes every deployed AP uniformly (zero fields default).
+	AP core.APOverrides `json:"ap,omitempty"`
+	// IPAM optionally declares the shared address plane.
+	IPAM *ipam.Config `json:"ipam,omitempty"`
+	// Clients are the clients present from time zero; more arrive later
+	// as add-client intents.
+	Clients []ClientSpec `json:"clients,omitempty"`
+}
+
+// ClientSpec is the serializable client description used both in the
+// world spec and inside add-client intents.
+type ClientSpec struct {
+	ID int `json:"id"`
+	// Preset is the Spider configuration by its canonical name
+	// ("multi-channel/multi-AP", "stock", ...); empty selects
+	// single-channel/multi-AP (the zero preset).
+	Preset string `json:"preset,omitempty"`
+	// PrimaryChannel / Channels / SlotNS tune the channel schedule
+	// exactly as core.ClientConfig does (zero fields default).
+	PrimaryChannel int       `json:"primary_channel,omitempty"`
+	Channels       []int     `json:"channels,omitempty"`
+	SlotNS         int64     `json:"slot_ns,omitempty"`
+	NumVIFs        int       `json:"num_vifs,omitempty"`
+	FlowBytes      int64     `json:"flow_bytes,omitempty"`
+	StripeBytes    int64     `json:"stripe_bytes,omitempty"`
+	DisableTraffic bool      `json:"disable_traffic,omitempty"`
+	StartOffsetNS  int64     `json:"start_offset_ns,omitempty"`
+	Route          RouteSpec `json:"route"`
+}
+
+// RouteSpec is the serializable mobility model: one point parks the
+// client (Static); two or more move it along the waypoints at SpeedMPS,
+// optionally looping.
+type RouteSpec struct {
+	Points   []geo.Point `json:"points"`
+	SpeedMPS float64     `json:"speed_mps,omitempty"`
+	Loop     bool        `json:"loop,omitempty"`
+}
+
+// Model materializes the route.
+func (r RouteSpec) Model() (mobility.Model, error) {
+	switch {
+	case len(r.Points) == 0:
+		return nil, fmt.Errorf("serve: route needs at least one point")
+	case len(r.Points) == 1:
+		return mobility.Static(r.Points[0]), nil
+	case r.SpeedMPS <= 0:
+		return nil, fmt.Errorf("serve: multi-point route needs positive speed_mps")
+	}
+	return mobility.NewWaypoints(r.Points, r.SpeedMPS, r.Loop), nil
+}
+
+// ParsePreset resolves a preset's canonical name (core.Preset.String).
+// The empty string is the zero preset.
+func ParsePreset(name string) (core.Preset, error) {
+	if name == "" {
+		return core.SingleChannelMultiAP, nil
+	}
+	for p := core.SingleChannelMultiAP; ; p++ {
+		s := p.String()
+		if s == name {
+			return p, nil
+		}
+		if len(s) > 7 && s[:7] == "preset-" { // ran past the defined set
+			return 0, fmt.Errorf("serve: unknown preset %q", name)
+		}
+	}
+}
+
+// ClientConfig converts the spec into a core client config, validating
+// preset and route.
+func (c ClientSpec) ClientConfig() (core.ClientConfig, error) {
+	preset, err := ParsePreset(c.Preset)
+	if err != nil {
+		return core.ClientConfig{}, err
+	}
+	model, err := c.Route.Model()
+	if err != nil {
+		return core.ClientConfig{}, fmt.Errorf("serve: client %d: %w", c.ID, err)
+	}
+	var channels []dot11.Channel
+	for _, ch := range c.Channels {
+		channels = append(channels, dot11.Channel(ch))
+	}
+	return core.ClientConfig{
+		ID:                c.ID,
+		Preset:            preset,
+		PrimaryChannel:    dot11.Channel(c.PrimaryChannel),
+		Channels:          channels,
+		SlotDuration:      sim.Time(c.SlotNS),
+		NumVIFs:           c.NumVIFs,
+		FlowBytes:         c.FlowBytes,
+		StripeObjectBytes: c.StripeBytes,
+		DisableTraffic:    c.DisableTraffic,
+		StartOffset:       sim.Time(c.StartOffsetNS),
+		Mobility:          model,
+	}, nil
+}
+
+// Validate checks the spec without building anything: site presence and
+// every declared client's preset and route.
+func (w *WorldSpec) Validate() error {
+	if len(w.Sites) == 0 {
+		return fmt.Errorf("serve: world spec declares no sites")
+	}
+	if w.HorizonNS < 0 {
+		return fmt.Errorf("serve: negative horizon")
+	}
+	for _, c := range w.Clients {
+		if _, err := c.ClientConfig(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hash returns a stable FNV-1a digest of the spec's canonical JSON
+// encoding. Snapshots record it, and restore refuses a snapshot whose
+// hash disagrees with the config on disk: replaying an intent log into a
+// different world would silently produce a different (but plausible)
+// timeline, which is the worst possible failure mode for a durability
+// story.
+func (w *WorldSpec) Hash() string {
+	b, err := json.Marshal(w)
+	if err != nil {
+		// A spec is plain data; failure to encode is a programming error.
+		panic("serve: spec hash: " + err.Error())
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// WorldConfig converts the spec into a core world config wired to the
+// given recorder. The configured duration is the horizon (or the core
+// default when unbounded) — the serve loop steps the engine itself, so
+// this only labels results.
+func (w *WorldSpec) WorldConfig(rec *obs.Recorder) core.WorldConfig {
+	return core.WorldConfig{
+		Seed:     w.Seed,
+		Duration: sim.Time(w.HorizonNS),
+		Sites:    w.Sites,
+		AP:       w.AP,
+		IPAM:     w.IPAM,
+		Obs:      rec,
+	}
+}

@@ -91,6 +91,24 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events still scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Len returns the number of events still scheduled — an alias for Pending
+// under the conventional container name, for callers (spider-serve) that
+// read queue depth as a quiescence signal.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// PeekNext returns the virtual time of the earliest scheduled event
+// without firing it, and false when the queue is empty. Cancelled events
+// leave the queue immediately, so the reported time is always live. The
+// serve loop uses it to find quiescent barrier points: a checkpoint taken
+// at a time t with PeekNext() > t can never split a batch of equal-time
+// events.
+func (e *Engine) PeekNext() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Schedule runs fn after delay. A negative delay is treated as zero: the
 // event fires at the current time, after events already scheduled for that
 // time.

@@ -332,3 +332,48 @@ func TestExpDuration(t *testing.T) {
 		t.Fatalf("exp mean = %v, want ≈1s", mean)
 	}
 }
+
+func TestPeekNextEmpty(t *testing.T) {
+	e := NewEngine()
+	if at, ok := e.PeekNext(); ok || at != 0 {
+		t.Fatalf("PeekNext on empty queue = (%v, %v), want (0, false)", at, ok)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len on empty queue = %d, want 0", e.Len())
+	}
+}
+
+func TestPeekNextReportsHead(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(3*time.Second, func() {})
+	e.Schedule(time.Second, func() {})
+	if at, ok := e.PeekNext(); !ok || at != time.Second {
+		t.Fatalf("PeekNext = (%v, %v), want (1s, true)", at, ok)
+	}
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+	e.Run(time.Second)
+	if at, ok := e.PeekNext(); !ok || at != 3*time.Second {
+		t.Fatalf("PeekNext after running head = (%v, %v), want (3s, true)", at, ok)
+	}
+}
+
+func TestPeekNextAfterCancelledHead(t *testing.T) {
+	e := NewEngine()
+	head := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	e.Cancel(head)
+	// Cancel removes the event from the queue immediately, so the peek
+	// must report the surviving event, never the cancelled head.
+	if at, ok := e.PeekNext(); !ok || at != 2*time.Second {
+		t.Fatalf("PeekNext after cancelling head = (%v, %v), want (2s, true)", at, ok)
+	}
+	if e.Len() != 1 {
+		t.Fatalf("Len after cancel = %d, want 1", e.Len())
+	}
+	e.Cancel(head)
+	if e.Len() != 1 {
+		t.Fatalf("double-cancel changed Len to %d", e.Len())
+	}
+}
