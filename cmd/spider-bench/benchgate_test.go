@@ -40,7 +40,7 @@ func TestBenchGateFailsOnSkewedBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	report, ok, err := runBenchGate(path, seed, scale, 0.15)
+	report, ok, err := runBenchGate(path, seed, scale, 0.15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestBenchGatePassesAgainstSelf(t *testing.T) {
 	if err := writePopulationBench(path, seed, scale); err != nil {
 		t.Fatal(err)
 	}
-	report, ok, err := runBenchGate(path, seed, scale, 0.15)
+	report, ok, err := runBenchGate(path, seed, scale, 0.15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

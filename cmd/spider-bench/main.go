@@ -168,9 +168,10 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (1 = fully sequential)")
 		progress = flag.Bool("progress", false, "report fleet progress (jobs, cache, ETA) on stderr")
 		timings  = flag.String("timings", "", "write machine-readable per-experiment timings JSON to this file")
-		popjson  = flag.String("popjson", "", "benchmark the population experiment (1/8/64 clients, plus a 32-client ipam-enabled rung) and write goodput, ns/op, and allocs JSON to this file")
+		popjson  = flag.String("popjson", "", "benchmark the population ladder (1/8/64 classic rungs, a 32-client ipam-enabled rung, and dense-stagger 256/1024 city-scale rungs) and write goodput, ns/op, and allocs JSON to this file")
 		gate     = flag.String("benchgate", "", "re-measure the population benchmark and exit non-zero if it regressed past -benchgate-threshold vs this baseline JSON (at default -seed/-scale, gates against the baseline's own workload)")
 		gateThr  = flag.Float64("benchgate-threshold", 0.15, "relative regression tolerated by -benchgate (0.15 = 15%)")
+		allocThr = flag.Float64("benchgate-alloc-threshold", benchgate.DefaultAllocThreshold, "stricter relative growth tolerated for the deterministic allocation metrics (0.05 = 5%)")
 		events   = flag.String("events", "", "record every simulation run's structured event stream and write merged JSONL to this file")
 		spansOut = flag.String("spans", "", "record every simulation run's causal spans and write merged JSONL to this file (analyze with spider-trace)")
 		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
@@ -414,7 +415,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# population bench written to %s\n", *popjson)
 	}
 	if *gate != "" && gotSig == nil {
-		report, ok, err := runBenchGate(*gate, *seed, *scale, *gateThr)
+		report, ok, err := runBenchGate(*gate, *seed, *scale, *gateThr, *allocThr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -439,36 +440,41 @@ func main() {
 	}
 }
 
-// measurePopulation runs the 1/8/64-client rungs of the population
-// experiment inline (no fleet: one run per rung, timed alone) and samples
-// their goodput, wall time, and allocation counts — the measurement behind
-// both -popjson (record a baseline) and -benchgate (compare against one).
-// Each rung reports the minimum over a few trials: the simulation is
-// deterministic, so the minimum is the least-noise estimate of its true
-// cost and keeps scheduler jitter from tripping the regression gate.
+// measurePopulation runs the population benchmark ladder inline (no
+// fleet: one run per rung, timed alone) and samples each rung's goodput,
+// wall time, and allocation counts — the measurement behind both -popjson
+// (record a baseline) and -benchgate (compare against one). Each rung
+// reports the minimum over a few trials: the simulation is deterministic,
+// so the minimum is the least-noise estimate of its true cost and keeps
+// scheduler jitter from tripping the regression gate.
 // The 32-client rung swaps in the production IPAM plan (shared pool
 // hierarchy, backup failover, sim-time lease GC) under the same radio
 // workload, so address-management cost regressions gate independently of
-// the plain data-path rungs. Rungs match by client count and benchgate
-// ignores rungs present in only one file, so older baselines that
-// predate the ipam rung still compare cleanly.
+// the plain data-path rungs. The 256 and 1024 rungs use the dense-stagger
+// city-scale scenario (the classic 1.5 s spacing would leave most of the
+// population off the road) and run a single trial — at that size the run
+// is long enough that scheduler jitter is a rounding error. Rungs match
+// by client count and benchgate ignores rungs present in only one file,
+// so older baselines that predate a rung still compare cleanly.
 func measurePopulation(seed int64, scale float64) benchgate.File {
-	const trials = 3
 	o := experiments.Options{Seed: seed, Scale: scale}
-	out := benchgate.File{Seed: seed, Scale: scale, NumCPU: runtime.NumCPU()}
+	out := benchgate.File{Seed: seed, Scale: scale, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	rungs := []struct {
 		n        int
+		trials   int
 		scenario func(experiments.Options, int) (core.WorldConfig, []core.ClientConfig)
 	}{
-		{1, experiments.PopulationScenario},
-		{8, experiments.PopulationScenario},
-		{32, experiments.PopulationIPAMScenario},
-		{64, experiments.PopulationScenario},
+		{1, 3, experiments.PopulationScenario},
+		{8, 3, experiments.PopulationScenario},
+		{32, 3, experiments.PopulationIPAMScenario},
+		{64, 3, experiments.PopulationScenario},
+		{256, 1, experiments.PopulationDenseScenario},
+		{1024, 1, experiments.PopulationDenseScenario},
 	}
 	for _, rung := range rungs {
 		n := rung.n
 		var rec benchgate.Record
-		for trial := 0; trial < trials; trial++ {
+		for trial := 0; trial < rung.trials; trial++ {
 			world, clients := rung.scenario(o, n)
 			runtime.GC()
 			var before, after runtime.MemStats
@@ -496,6 +502,9 @@ func measurePopulation(seed int64, scale float64) benchgate.File {
 			rec.AggregateKBps = sample.AggregateKBps
 			rec.JainFairness = sample.JainFairness
 		}
+		rec.AllocsPerClient = rec.Allocs / uint64(n)
+		fmt.Fprintf(os.Stderr, "# population bench: clients=%-4d wall=%v allocs=%d (%d/client)\n",
+			n, time.Duration(rec.WallNS).Round(time.Millisecond), rec.Allocs, rec.AllocsPerClient)
 		out.Records = append(out.Records, rec)
 	}
 	return out
@@ -520,7 +529,7 @@ func writePopulationBench(path string, seed int64, scale float64) error {
 // the gate passed. Wall-time comparisons only mean something on hardware
 // comparable to the baseline's; CI re-records its baseline on the same
 // machine before gating.
-func runBenchGate(baselinePath string, seed int64, scale float64, threshold float64) (string, bool, error) {
+func runBenchGate(baselinePath string, seed int64, scale float64, threshold, allocThreshold float64) (string, bool, error) {
 	baseline, err := benchgate.Load(baselinePath)
 	if err != nil {
 		return "", false, err
@@ -531,11 +540,11 @@ func runBenchGate(baselinePath string, seed int64, scale float64, threshold floa
 		seed, scale = baseline.Seed, baseline.Scale
 	}
 	current := measurePopulation(seed, scale)
-	regs, err := benchgate.Compare(baseline, current, threshold)
+	regs, err := benchgate.Compare(baseline, current, threshold, allocThreshold)
 	if err != nil {
 		return "", false, err
 	}
-	return benchgate.Report(baseline, current, regs, threshold), len(regs) == 0, nil
+	return benchgate.Report(baseline, current, regs, threshold, allocThreshold), len(regs) == 0, nil
 }
 
 // writeEvents exports the collector's merged event streams as JSONL, one

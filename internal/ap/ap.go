@@ -19,6 +19,7 @@ import (
 	"spider/internal/geo"
 	"spider/internal/ipam"
 	"spider/internal/ipnet"
+	"spider/internal/mempool"
 	"spider/internal/phy"
 	"spider/internal/sim"
 )
@@ -128,7 +129,59 @@ type AP struct {
 	crashed     bool
 	beaconing   bool
 
+	// beaconBody is the serialized beacon/probe-response body. SSID,
+	// interval, and capabilities are fixed at New, so it is built once
+	// rather than on every 100 ms tick.
+	beaconBody []byte
+	// decOutstanding is the status callback used when the caller passed
+	// none, cached so queue-capped sends don't allocate a closure each.
+	decOutstanding func(bool)
+	// mgmtFree pools the deferred management-response jobs.
+	mgmtFree *mgmtJob
+	// bodies backs downlink data-frame payloads; the PHY serializes
+	// frames onto its own arena, and arena bytes are never reused, so
+	// aliasing is safe.
+	bodies mempool.ByteArena
+
 	stats Stats
+}
+
+// mgmtJob is a pooled deferred management response (probe, auth, assoc),
+// replacing a per-frame closure on the AP's busiest receive path.
+type mgmtJob struct {
+	a    *AP
+	kind dot11.FrameType
+	from dot11.MACAddr
+	next *mgmtJob
+}
+
+func (j *mgmtJob) RunEvent() {
+	a, kind, from := j.a, j.kind, j.from
+	j.next = a.mgmtFree
+	a.mgmtFree = j
+	switch kind {
+	case dot11.TypeProbeReq:
+		a.sendProbeResp(from)
+	case dot11.TypeAuth:
+		a.handleAuth(from)
+	case dot11.TypeAssocReq:
+		a.handleAssoc(from)
+	}
+}
+
+// scheduleMgmt queues a management response after the sampled processing
+// delay using a pooled job.
+func (a *AP) scheduleMgmt(kind dot11.FrameType, from dot11.MACAddr) {
+	j := a.mgmtFree
+	if j == nil {
+		j = &mgmtJob{a: a}
+	} else {
+		a.mgmtFree = j.next
+		j.next = nil
+	}
+	j.kind = kind
+	j.from = from
+	a.eng.ScheduleCall(a.mgmtDelay(), j)
 }
 
 // New creates an AP at a fixed position and starts beaconing. uplink
@@ -159,6 +212,13 @@ func New(eng *sim.Engine, rng *sim.RNG, medium *phy.Medium, pos geo.Point, mac d
 		stations:  make(map[dot11.MACAddr]*station),
 		ipToMAC:   make(map[ipnet.Addr]dot11.MACAddr),
 	}
+	a.decOutstanding = func(bool) { a.outstanding-- }
+	body := dot11.BeaconBody{
+		SSID:           cfg.SSID,
+		BeaconInterval: uint16(cfg.BeaconInterval / (1000 * 1000)),
+		Capabilities:   a.capabilities(),
+	}
+	a.beaconBody = body.AppendTo(nil)
 	a.radio = medium.NewRadio(mac, func() geo.Point { return pos })
 	a.radio.SetChannel(cfg.Channel, nil)
 	a.radio.SetReceiver(a.onFrame)
@@ -269,17 +329,12 @@ func (a *AP) beacon() {
 	if a.crashed || !a.beaconing {
 		return
 	}
-	body := dot11.BeaconBody{
-		SSID:           a.cfg.SSID,
-		BeaconInterval: uint16(a.cfg.BeaconInterval / (1000 * 1000)),
-		Capabilities:   a.capabilities(),
-	}
 	a.sendFrame(dot11.Frame{
 		Type:  dot11.TypeBeacon,
 		Addr1: dot11.Broadcast,
 		Addr3: a.BSSID(),
 		Seq:   a.radio.NextSeq(),
-		Body:  body.AppendTo(nil),
+		Body:  a.beaconBody,
 	}, nil)
 }
 
@@ -293,11 +348,13 @@ func (a *AP) sendFrame(f dot11.Frame, status func(bool)) {
 		return
 	}
 	a.outstanding++
+	if status == nil {
+		a.radio.Send(f, a.decOutstanding)
+		return
+	}
 	a.radio.Send(f, func(ok bool) {
 		a.outstanding--
-		if status != nil {
-			status(ok)
-		}
+		status(ok)
 	})
 }
 
@@ -312,17 +369,17 @@ func (a *AP) onFrame(f dot11.Frame, info phy.RxInfo) {
 	}
 	switch f.Type {
 	case dot11.TypeProbeReq:
-		a.eng.Schedule(a.mgmtDelay(), func() { a.sendProbeResp(f.Addr2) })
+		a.scheduleMgmt(dot11.TypeProbeReq, f.Addr2)
 	case dot11.TypeAuth:
 		if f.Addr3 != a.BSSID() && !f.Addr1.IsBroadcast() && f.Addr1 != a.BSSID() {
 			return
 		}
-		a.eng.Schedule(a.mgmtDelay(), func() { a.handleAuth(f.Addr2) })
+		a.scheduleMgmt(dot11.TypeAuth, f.Addr2)
 	case dot11.TypeAssocReq:
 		if f.Addr1 != a.BSSID() {
 			return
 		}
-		a.eng.Schedule(a.mgmtDelay(), func() { a.handleAssoc(f.Addr2) })
+		a.scheduleMgmt(dot11.TypeAssocReq, f.Addr2)
 	case dot11.TypeDeauth:
 		if f.Addr1 != a.BSSID() {
 			return
@@ -357,17 +414,12 @@ func (a *AP) sendProbeResp(to dot11.MACAddr) {
 	if a.crashed {
 		return
 	}
-	body := dot11.BeaconBody{
-		SSID:           a.cfg.SSID,
-		BeaconInterval: uint16(a.cfg.BeaconInterval / (1000 * 1000)),
-		Capabilities:   a.capabilities(),
-	}
 	a.sendFrame(dot11.Frame{
 		Type:  dot11.TypeProbeResp,
 		Addr1: to,
 		Addr3: a.BSSID(),
 		Seq:   a.radio.NextSeq(),
-		Body:  body.AppendTo(nil),
+		Body:  a.beaconBody,
 	}, nil)
 }
 
@@ -555,7 +607,7 @@ func (a *AP) transmitDown(mac dot11.MACAddr, p ipnet.Packet) {
 		Addr1: mac,
 		Addr3: a.BSSID(),
 		Seq:   a.radio.NextSeq(),
-		Body:  p.Bytes(),
+		Body:  p.AppendTo(a.bodies.Take(p.WireLen())),
 	}, nil)
 }
 

@@ -40,10 +40,37 @@ type Link struct {
 	blackhole bool
 	extra     sim.Time
 
+	free *deliverJob // recycled per-packet delivery jobs
+
 	// Counters.
 	Sent       uint64
 	Dropped    uint64
 	Blackholed uint64
+}
+
+// dequeueJob decrements the queue when a packet finishes serializing. It
+// is stateless per packet, so one instance per link serves every
+// in-flight packet (the scheduler holds one pooled node per firing).
+type dequeueJob Link
+
+func (j *dequeueJob) RunEvent() { j.queued-- }
+
+// deliverJob hands one packet to the receive callback after propagation.
+// Jobs are pooled on the link, so the per-packet path allocates neither
+// closures nor handles.
+type deliverJob struct {
+	l    *Link
+	p    ipnet.Packet
+	next *deliverJob
+}
+
+func (j *deliverJob) RunEvent() {
+	l := j.l
+	p := j.p
+	j.p = ipnet.Packet{}
+	j.next = l.free
+	l.free = j
+	l.deliver(p)
 }
 
 // NewLink creates a link that hands received packets to deliver.
@@ -104,6 +131,14 @@ func (l *Link) Send(p ipnet.Packet) {
 	l.busyUntil += txTime
 	l.Sent++
 	txDone := l.busyUntil - now
-	l.eng.Schedule(txDone, func() { l.queued-- })
-	l.eng.Schedule(txDone+l.cfg.Delay+l.extra, func() { l.deliver(p) })
+	l.eng.ScheduleCall(txDone, (*dequeueJob)(l))
+	dj := l.free
+	if dj == nil {
+		dj = &deliverJob{l: l}
+	} else {
+		l.free = dj.next
+		dj.next = nil
+	}
+	dj.p = p
+	l.eng.ScheduleCall(txDone+l.cfg.Delay+l.extra, dj)
 }

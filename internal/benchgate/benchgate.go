@@ -26,15 +26,34 @@ type Record struct {
 	NSPerClient int64  `json:"ns_per_client"`
 	Allocs      uint64 `json:"allocs"`
 	AllocBytes  uint64 `json:"alloc_bytes"`
+	// AllocsPerClient is Allocs/Clients — the per-rung allocation delta
+	// normalized for ladder position, the number the pooling work in the
+	// hot paths is judged by.
+	AllocsPerClient uint64 `json:"allocs_per_client,omitempty"`
 }
 
 // File is the BENCH_population.json layout: the repo's population perf
 // trajectory, one record per benchmarked rung.
 type File struct {
-	Seed    int64    `json:"seed"`
-	Scale   float64  `json:"scale"`
-	NumCPU  int      `json:"num_cpu"`
-	Records []Record `json:"records"`
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	// GOMAXPROCS records the scheduler parallelism the measurement
+	// actually ran under (runtime.GOMAXPROCS at measure time), which is
+	// what wall-time comparability depends on; NumCPU is kept for older
+	// baselines that recorded the static core count instead.
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
+	Records    []Record `json:"records"`
+}
+
+// Parallelism returns the recorded scheduler parallelism, falling back to
+// the legacy static core count for baselines that predate GOMAXPROCS
+// provenance.
+func (f File) Parallelism() int {
+	if f.GOMAXPROCS > 0 {
+		return f.GOMAXPROCS
+	}
+	return f.NumCPU
 }
 
 // Find returns the record for a rung by client count.
@@ -80,17 +99,25 @@ func (r Regression) String() string {
 		r.Clients, r.Metric, r.Baseline, r.Current, r.Ratio)
 }
 
-// Compare flags regressions of current against baseline. Deterministic
-// cost metrics (allocation count and bytes) regress when they grow by
-// more than threshold (0.15 = 15%); aggregate goodput regresses when it
-// drops by more than threshold — a perf gate should also catch "faster
-// because it silently does less". Wall time is inherently noisy even as
-// a min-of-trials on a shared machine, so it gets twice the threshold:
-// a real 2x slowdown still trips it, scheduler jitter does not. Rungs
-// present in only one file are ignored: the ladder may grow over time.
-// An error means the files are not comparable at all (different seed or
-// scale measure different work).
-func Compare(baseline, current File, threshold float64) ([]Regression, error) {
+// DefaultAllocThreshold is the stricter gate applied to allocation
+// counts: they are deterministic (no scheduler noise), so 5% growth is
+// already a real regression worth failing on.
+const DefaultAllocThreshold = 0.05
+
+// Compare flags regressions of current against baseline. Aggregate
+// goodput regresses when it drops by more than threshold — a perf gate
+// should also catch "faster because it silently does less". Wall time is
+// inherently noisy even as a min-of-trials on a shared machine, so it
+// gets twice the threshold: a real 2x slowdown still trips it, scheduler
+// jitter does not. Allocation count and bytes are deterministic, so they
+// gate on the separate, stricter allocThreshold (<=0 selects
+// DefaultAllocThreshold). Rungs present in only one file are ignored:
+// the ladder may grow over time. An error means the files are not
+// comparable at all (different seed or scale measure different work).
+func Compare(baseline, current File, threshold, allocThreshold float64) ([]Regression, error) {
+	if allocThreshold <= 0 {
+		allocThreshold = DefaultAllocThreshold
+	}
 	if baseline.Seed != current.Seed || baseline.Scale != current.Scale {
 		return nil, fmt.Errorf(
 			"benchgate: baseline (seed=%d scale=%g) and current (seed=%d scale=%g) measure different workloads",
@@ -116,8 +143,8 @@ func Compare(baseline, current File, threshold float64) ([]Regression, error) {
 			}
 		}
 		check("wall_ns", float64(base.WallNS), float64(cur.WallNS), 2*threshold, true)
-		check("allocs", float64(base.Allocs), float64(cur.Allocs), threshold, true)
-		check("alloc_bytes", float64(base.AllocBytes), float64(cur.AllocBytes), threshold, true)
+		check("allocs", float64(base.Allocs), float64(cur.Allocs), allocThreshold, true)
+		check("alloc_bytes", float64(base.AllocBytes), float64(cur.AllocBytes), allocThreshold, true)
 		check("aggregate_kbps", base.AggregateKBps, cur.AggregateKBps, threshold, false)
 	}
 	sort.Slice(regs, func(i, j int) bool {
@@ -131,21 +158,24 @@ func Compare(baseline, current File, threshold float64) ([]Regression, error) {
 
 // Report renders the gate outcome as text: every compared rung's verdict
 // plus one line per regression.
-func Report(baseline, current File, regs []Regression, threshold float64) string {
+func Report(baseline, current File, regs []Regression, threshold, allocThreshold float64) string {
+	if allocThreshold <= 0 {
+		allocThreshold = DefaultAllocThreshold
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "benchgate: threshold %.0f%%, baseline num_cpu=%d current num_cpu=%d\n",
-		threshold*100, baseline.NumCPU, current.NumCPU)
+	fmt.Fprintf(&b, "benchgate: threshold %.0f%% (allocs %.0f%%), baseline procs=%d current procs=%d\n",
+		threshold*100, allocThreshold*100, baseline.Parallelism(), current.Parallelism())
 	for _, base := range baseline.Records {
 		cur, ok := current.Find(base.Clients)
 		if !ok {
-			fmt.Fprintf(&b, "clients=%-3d SKIP (no current measurement)\n", base.Clients)
+			fmt.Fprintf(&b, "clients=%-4d SKIP (no current measurement)\n", base.Clients)
 			continue
 		}
-		fmt.Fprintf(&b, "clients=%-3d wall %.1fms -> %.1fms (%.2fx)  allocs %d -> %d  goodput %.1f -> %.1f KB/s\n",
+		fmt.Fprintf(&b, "clients=%-4d wall %.1fms -> %.1fms (%.2fx)  allocs %d -> %d (%d/client)  goodput %.1f -> %.1f KB/s\n",
 			base.Clients,
 			float64(base.WallNS)/1e6, float64(cur.WallNS)/1e6,
 			float64(cur.WallNS)/float64(base.WallNS),
-			base.Allocs, cur.Allocs,
+			base.Allocs, cur.Allocs, cur.Allocs/uint64(max(base.Clients, 1)),
 			base.AggregateKBps, cur.AggregateKBps)
 	}
 	if len(regs) == 0 {

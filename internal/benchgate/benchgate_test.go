@@ -25,7 +25,7 @@ func TestCompareCleanPass(t *testing.T) {
 	// double the margin (scheduler noise), so 1.25x at a 15% gate is ok.
 	cur.Records[0].WallNS = int64(float64(base.Records[0].WallNS) * 1.25)
 	cur.Records[1].AggregateKBps = base.Records[1].AggregateKBps * 0.90
-	regs, err := Compare(base, cur, 0.15)
+	regs, err := Compare(base, cur, 0.15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestCompareFlagsCostGrowth(t *testing.T) {
 	cur := sample()
 	cur.Records[2].WallNS = int64(float64(base.Records[2].WallNS) * 1.50)
 	cur.Records[0].Allocs = uint64(float64(base.Records[0].Allocs) * 2)
-	regs, err := Compare(base, cur, 0.15)
+	regs, err := Compare(base, cur, 0.15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,13 +54,50 @@ func TestCompareFlagsCostGrowth(t *testing.T) {
 	}
 }
 
+// TestPureAllocRegressionTripsStricterGate pins the split-threshold
+// contract: an allocation-count regression too small for the 15% general
+// gate must still fail through the stricter default alloc gate, because
+// allocation counts are deterministic and every percent is a real
+// hot-path regression.
+func TestPureAllocRegressionTripsStricterGate(t *testing.T) {
+	base := sample()
+	cur := sample()
+	// +8% allocations, everything else identical: inside the general 15%
+	// margin, outside the 5% alloc margin.
+	cur.Records[2].Allocs = uint64(float64(base.Records[2].Allocs) * 1.08)
+	cur.Records[2].AllocBytes = uint64(float64(base.Records[2].AllocBytes) * 1.08)
+	regs, err := Compare(base, cur, 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("want allocs+alloc_bytes regressions at the default %.0f%% alloc gate, got %v",
+			DefaultAllocThreshold*100, regs)
+	}
+	for _, r := range regs {
+		if r.Clients != 64 || (r.Metric != "allocs" && r.Metric != "alloc_bytes") {
+			t.Errorf("unexpected regression %+v", r)
+		}
+	}
+	// The same drift passes when the caller relaxes the alloc gate to the
+	// general threshold — the strictness really comes from the separate
+	// knob, not from a hardcoded limit.
+	regs, err = Compare(base, cur, 0.15, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("relaxed alloc gate still flagged: %v", regs)
+	}
+}
+
 func TestCompareFlagsGoodputLoss(t *testing.T) {
 	base := sample()
 	cur := sample()
 	// Faster but delivering far less goodput is a regression too.
 	cur.Records[1].WallNS = base.Records[1].WallNS / 2
 	cur.Records[1].AggregateKBps = base.Records[1].AggregateKBps * 0.5
-	regs, err := Compare(base, cur, 0.15)
+	regs, err := Compare(base, cur, 0.15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +113,7 @@ func TestCompareRejectsDifferentWorkload(t *testing.T) {
 	base := sample()
 	cur := sample()
 	cur.Scale = 0.5
-	if _, err := Compare(base, cur, 0.15); err == nil {
+	if _, err := Compare(base, cur, 0.15, 0); err == nil {
 		t.Fatal("Compare accepted baselines of different workloads")
 	}
 }
@@ -85,7 +122,7 @@ func TestCompareIgnoresMissingRungs(t *testing.T) {
 	base := sample()
 	cur := sample()
 	cur.Records = cur.Records[:2] // ladder shrank; 64 has no counterpart
-	regs, err := Compare(base, cur, 0.15)
+	regs, err := Compare(base, cur, 0.15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,20 +148,20 @@ func TestLoadAndReport(t *testing.T) {
 		t.Error("Load accepted a missing file")
 	}
 
-	regs, err := Compare(f, f, 0.15)
+	regs, err := Compare(f, f, 0.15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := Report(f, f, regs, 0.15); !strings.Contains(got, "PASS") {
+	if got := Report(f, f, regs, 0.15, 0); !strings.Contains(got, "PASS") {
 		t.Errorf("self-comparison report not PASS:\n%s", got)
 	}
 	bad := f
 	bad.Records = []Record{{Clients: 1, WallNS: 300e6, Allocs: 1000, AllocBytes: 1 << 20, AggregateKBps: 100}}
-	regs, err = Compare(f, bad, 0.15)
+	regs, err = Compare(f, bad, 0.15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := Report(f, bad, regs, 0.15); !strings.Contains(got, "FAIL") || !strings.Contains(got, "wall_ns") {
+	if got := Report(f, bad, regs, 0.15, 0); !strings.Contains(got, "FAIL") || !strings.Contains(got, "wall_ns") {
 		t.Errorf("regression report missing FAIL/wall_ns:\n%s", got)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"spider/internal/geo"
 	"spider/internal/ipnet"
 	"spider/internal/lmm"
+	"spider/internal/mempool"
 	"spider/internal/obs"
 	"spider/internal/predict"
 	"spider/internal/sim"
@@ -51,6 +52,10 @@ type Client struct {
 	// per-link spans (a multi-VIF client can hold several at once).
 	outSpan   *obs.ActiveSpan
 	linkSpans map[*lmm.Link]*obs.ActiveSpan
+	// wire backs serialized TCP segments on this client's flows; the
+	// driver and AP copy payloads onward, and arena bytes are never
+	// reused, so aliasing is safe.
+	wire mempool.ByteArena
 }
 
 func newClient(s *Scenario, cfg ClientConfig) *Client {
@@ -162,34 +167,40 @@ func (c *Client) build(rng *sim.RNG) {
 	// already post-drop here.
 	baseUp, baseDown := manager.OnLinkUp, manager.OnLinkDown
 	manager.OnLinkUp = func(l *lmm.Link) {
-		c.events.Emit(obs.Event{
-			At:    eng.Now(),
-			Kind:  obs.KindLinkUp,
-			BSSID: l.BSSID.String(),
-		})
-		if ls := c.events.StartSpan(eng.Now(), "link"); ls != nil {
-			ls.SetBSSID(l.BSSID.String())
-			ls.SetChannel(int(l.VIF.Channel()))
-			c.linkSpans[l] = ls
-		}
-		if c.lastBSSID != (dot11.MACAddr{}) && c.lastBSSID != l.BSSID {
+		// Event payloads render BSSIDs; the Enabled guards keep the
+		// disabled path from building those strings at all.
+		if c.events.Enabled() {
 			c.events.Emit(obs.Event{
 				At:    eng.Now(),
-				Kind:  obs.KindHandoff,
+				Kind:  obs.KindLinkUp,
 				BSSID: l.BSSID.String(),
-				Note:  c.lastBSSID.String(),
 			})
+			if ls := c.events.StartSpan(eng.Now(), "link"); ls != nil {
+				ls.SetBSSID(l.BSSID.String())
+				ls.SetChannel(int(l.VIF.Channel()))
+				c.linkSpans[l] = ls
+			}
+			if c.lastBSSID != (dot11.MACAddr{}) && c.lastBSSID != l.BSSID {
+				c.events.Emit(obs.Event{
+					At:    eng.Now(),
+					Kind:  obs.KindHandoff,
+					BSSID: l.BSSID.String(),
+					Note:  c.lastBSSID.String(),
+				})
+			}
 		}
 		c.lastBSSID = l.BSSID
 		if c.outageStart >= 0 {
 			outage := eng.Now() - c.outageStart
 			c.res.Recoveries = append(c.res.Recoveries, outage.Seconds())
 			c.outageStart = -1
-			c.events.Emit(obs.Event{
-				At:    eng.Now(),
-				Kind:  obs.KindOutageEnd,
-				Value: int64(outage),
-			})
+			if c.events.Enabled() {
+				c.events.Emit(obs.Event{
+					At:    eng.Now(),
+					Kind:  obs.KindOutageEnd,
+					Value: int64(outage),
+				})
+			}
 			c.outSpan.End(eng.Now())
 			c.outSpan = nil
 		}
@@ -198,12 +209,14 @@ func (c *Client) build(rng *sim.RNG) {
 		}
 	}
 	manager.OnLinkDown = func(l *lmm.Link) {
-		c.events.Emit(obs.Event{
-			At:    eng.Now(),
-			Kind:  obs.KindLinkDown,
-			BSSID: l.BSSID.String(),
-			Note:  l.DownCause,
-		})
+		if c.events.Enabled() {
+			c.events.Emit(obs.Event{
+				At:    eng.Now(),
+				Kind:  obs.KindLinkDown,
+				BSSID: l.BSSID.String(),
+				Note:  l.DownCause,
+			})
+		}
 		if ls := c.linkSpans[l]; ls != nil {
 			ls.EndStatus(eng.Now(), l.DownCause)
 			delete(c.linkSpans, l)
@@ -214,14 +227,16 @@ func (c *Client) build(rng *sim.RNG) {
 		if c.outageStart < 0 && len(manager.ActiveLinks()) == 0 {
 			c.outageStart = eng.Now()
 			cause := c.classifyOutage(l)
-			c.events.Emit(obs.Event{
-				At:   eng.Now(),
-				Kind: obs.KindOutageBegin,
-				Note: cause,
-			})
-			c.outSpan = c.events.StartSpan(eng.Now(), "outage")
-			c.outSpan.SetBSSID(l.BSSID.String())
-			c.outSpan.SetStatus(cause)
+			if c.events.Enabled() {
+				c.events.Emit(obs.Event{
+					At:   eng.Now(),
+					Kind: obs.KindOutageBegin,
+					Note: cause,
+				})
+				c.outSpan = c.events.StartSpan(eng.Now(), "outage")
+				c.outSpan.SetBSSID(l.BSSID.String())
+				c.outSpan.SetStatus(cause)
+			}
 		}
 	}
 
@@ -339,7 +354,7 @@ func (c *Client) startFlow(l *lmm.Link, total int64, onDone func()) *flow {
 	f.rcv = tcpsim.NewReceiver(eng,
 		func(seg tcpsim.Segment) {
 			l.Send(ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: ipnet.DefaultTTL,
-				Src: lease.IP, Dst: serverIP, Payload: seg.Bytes()})
+				Src: lease.IP, Dst: serverIP, Payload: seg.AppendTo(c.wire.Take(seg.WireLen()))})
 		},
 		func(n int, at sim.Time) {
 			c.series.Add(at, float64(n))
@@ -348,7 +363,7 @@ func (c *Client) startFlow(l *lmm.Link, total int64, onDone func()) *flow {
 	f.snd = tcpsim.NewSender(eng, tcpsim.Config{},
 		func(seg tcpsim.Segment) {
 			access.FromInternet(ipnet.Packet{Proto: ipnet.ProtoTCP, TTL: ipnet.DefaultTTL,
-				Src: serverIP, Dst: lease.IP, Payload: seg.Bytes()})
+				Src: serverIP, Dst: lease.IP, Payload: seg.AppendTo(c.wire.Take(seg.WireLen()))})
 		}, func() {
 			delete(s.flows, serverIP)
 			if onDone != nil {

@@ -119,6 +119,15 @@ func (s *Scenario) Start() {
 	s.buildWorld()
 	s.usedIDs = make(map[int]bool, len(s.clientCfgs))
 
+	// Pre-size per-client observability buffers. Event and span volume
+	// scales with run length (join pipeline stages, link transitions,
+	// outage windows), not packet counts, so a small per-second rate
+	// covers typical runs without overcommitting at city scale.
+	if s.cfg.Obs != nil {
+		secs := int(s.cfg.Duration / (1000 * 1000 * 1000))
+		s.cfg.Obs.Reserve(32+4*secs, 8+secs)
+	}
+
 	// Materialize clients in ID order so AddClient order cannot matter.
 	cfgs := make([]ClientConfig, len(s.clientCfgs))
 	for i, cc := range s.clientCfgs {

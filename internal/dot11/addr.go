@@ -8,7 +8,7 @@
 // header bytes that airtime accounting at the PHY is realistic.
 package dot11
 
-import "fmt"
+import "strconv"
 
 // MACAddr is a 48-bit IEEE 802 MAC address.
 type MACAddr [6]byte
@@ -16,9 +16,33 @@ type MACAddr [6]byte
 // Broadcast is the all-ones broadcast address.
 var Broadcast = MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
 
+const hexDigits = "0123456789abcdef"
+
 // String formats the address in the conventional colon-separated form.
+// Hand-rolled rather than fmt-based: event emission renders MACs on hot
+// paths, and Sprintf costs several allocations per call.
 func (a MACAddr) String() string {
-	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+	var b [17]byte
+	for i, v := range a {
+		b[i*3] = hexDigits[v>>4]
+		b[i*3+1] = hexDigits[v&0x0f]
+		if i < 5 {
+			b[i*3+2] = ':'
+		}
+	}
+	return string(b[:])
+}
+
+// Less reports whether a orders before b bytewise — the same order as
+// comparing String() renderings, without building the strings. Scan-table
+// and candidate sorts use it as their deterministic tiebreak.
+func (a MACAddr) Less(b MACAddr) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }
 
 // IsBroadcast reports whether the address is the broadcast address.
@@ -48,4 +72,4 @@ var OrthogonalChannels = []Channel{Channel1, Channel6, Channel11}
 // Valid reports whether c is a legal 2.4 GHz channel (1-14).
 func (c Channel) Valid() bool { return c >= 1 && c <= 14 }
 
-func (c Channel) String() string { return fmt.Sprintf("ch%d", uint8(c)) }
+func (c Channel) String() string { return "ch" + strconv.Itoa(int(c)) }

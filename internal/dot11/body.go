@@ -30,6 +30,15 @@ func (bb *BeaconBody) AppendTo(b []byte) []byte {
 
 // DecodeBeaconBody parses a beacon/probe-response body.
 func DecodeBeaconBody(data []byte) (BeaconBody, error) {
+	return DecodeBeaconBodyReuse(data, "")
+}
+
+// DecodeBeaconBodyReuse is DecodeBeaconBody, except that when the encoded
+// SSID equals prevSSID the existing string is reused instead of copied.
+// Receivers see the same few SSIDs in every beacon of a dwell, so passing
+// the previous scan entry's SSID makes the steady beacon stream
+// allocation-free.
+func DecodeBeaconBodyReuse(data []byte, prevSSID string) (BeaconBody, error) {
 	var bb BeaconBody
 	if len(data) < 5 {
 		return bb, ErrShortBody
@@ -40,7 +49,11 @@ func DecodeBeaconBody(data []byte) (BeaconBody, error) {
 	if len(data) < 5+n {
 		return bb, ErrShortBody
 	}
-	bb.SSID = string(data[5 : 5+n])
+	if ssid := data[5 : 5+n]; string(ssid) == prevSSID {
+		bb.SSID = prevSSID
+	} else {
+		bb.SSID = string(ssid)
+	}
 	return bb, nil
 }
 

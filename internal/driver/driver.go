@@ -11,10 +11,10 @@ package driver
 
 import (
 	"fmt"
-	"sort"
 
 	"spider/internal/dot11"
 	"spider/internal/geo"
+	"spider/internal/mempool"
 	"spider/internal/obs"
 	"spider/internal/phy"
 	"spider/internal/sim"
@@ -77,6 +77,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// numChannels sizes flat channel-indexed tables; index 0 is unused
+// (channels are 1..14).
+const numChannels = 15
+
 // Slot is one entry in the channel schedule.
 type Slot struct {
 	Channel  dot11.Channel
@@ -117,8 +121,17 @@ type Driver struct {
 	slotTimer *sim.Event
 	switching bool
 
-	txq  map[dot11.Channel][]dot11.Frame
-	scan map[dot11.MACAddr]ScanEntry
+	// txq is indexed by channel number (1..14, numChannels entries);
+	// per-channel backing arrays are retained across drains so steady-state
+	// queueing does not allocate.
+	txq     [numChannels][]dot11.Frame
+	scan    map[dot11.MACAddr]ScanEntry
+	scanOut []ScanEntry // scratch for ScanTable, reused across calls
+
+	// bodies backs data-frame payloads built by the VIFs; the PHY copies
+	// frames onto its own wire arena at Send, so these bytes only need to
+	// live until the frame leaves the transmit queue.
+	bodies mempool.ByteArena
 
 	stopProbe func()
 	stats     Stats
@@ -147,7 +160,6 @@ func New(eng *sim.Engine, rng *sim.RNG, medium *phy.Medium, mac dot11.MACAddr, p
 		eng:  eng,
 		rng:  rng,
 		cfg:  cfg,
-		txq:  make(map[dot11.Channel][]dot11.Frame),
 		scan: make(map[dot11.MACAddr]ScanEntry),
 
 		events:      cfg.Events,
@@ -209,8 +221,8 @@ func (d *Driver) Switching() bool { return d.switching }
 
 // Channels returns the distinct channels in the active schedule.
 func (d *Driver) Channels() []dot11.Channel {
-	seen := map[dot11.Channel]bool{}
-	var out []dot11.Channel
+	var seen [numChannels]bool
+	out := make([]dot11.Channel, 0, len(d.schedule))
 	for _, s := range d.schedule {
 		if !seen[s.Channel] {
 			seen[s.Channel] = true
@@ -256,10 +268,11 @@ func (d *Driver) SetSchedule(slots []Slot) {
 // ScanTable returns live scan entries in BSSID order (a stable order, so
 // downstream selection never depends on map iteration); callers rank by
 // their own criteria as needed. Entries older than ScanEntryTTL are
-// dropped.
+// dropped. The returned slice is a scratch buffer reused by the next
+// ScanTable call — consume it before calling again; copy it to retain.
 func (d *Driver) ScanTable() []ScanEntry {
 	cutoff := d.eng.Now() - d.cfg.ScanEntryTTL
-	var out []ScanEntry
+	out := d.scanOut[:0]
 	for b, e := range d.scan {
 		if e.LastSeen < cutoff {
 			delete(d.scan, b)
@@ -267,7 +280,14 @@ func (d *Driver) ScanTable() []ScanEntry {
 		}
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].BSSID.String() < out[j].BSSID.String() })
+	// Insertion sort on BSSID bytes: tables hold a handful of APs, and
+	// unlike sort.Slice this allocates neither a closure nor a swapper.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].BSSID.Less(out[j-1].BSSID); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	d.scanOut = out
 	return out
 }
 
@@ -367,8 +387,11 @@ func (d *Driver) arriveOn(ch dot11.Channel) {
 			}, nil)
 		}
 	}
+	// Reset length but keep the backing array: the drain below sends
+	// directly (the radio is tuned here, nothing re-queues to ch), so the
+	// snapshot is safe to iterate and the array is reused next dwell.
 	q := d.txq[ch]
-	d.txq[ch] = nil
+	d.txq[ch] = q[:0]
 	if len(q) > 0 {
 		d.events.Emit(obs.Event{
 			At:      d.eng.Now(),
@@ -406,7 +429,10 @@ func (d *Driver) sendOrQueue(ch dot11.Channel, f dot11.Frame) {
 func (d *Driver) onFrame(f dot11.Frame, info phy.RxInfo) {
 	switch f.Type {
 	case dot11.TypeBeacon, dot11.TypeProbeResp:
-		if body, err := dot11.DecodeBeaconBody(f.Body); err == nil {
+		// Reusing the previous entry's SSID string keeps the steady
+		// beacon stream from allocating a copy per frame.
+		prev := d.scan[f.Addr3]
+		if body, err := dot11.DecodeBeaconBodyReuse(f.Body, prev.SSID); err == nil {
 			d.scan[f.Addr3] = ScanEntry{
 				BSSID:    f.Addr3,
 				SSID:     body.SSID,

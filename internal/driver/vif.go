@@ -97,8 +97,10 @@ func (v *VIF) startPhase(name string) {
 	now := v.drv.eng.Now()
 	v.phase.EndStatus(now, "ok")
 	v.phase = v.Span.StartChild(now, name)
-	v.phase.SetBSSID(v.bssid.String())
-	v.phase.SetChannel(int(v.channel))
+	if v.phase != nil {
+		v.phase.SetBSSID(v.bssid.String())
+		v.phase.SetChannel(int(v.channel))
+	}
 	v.phaseName = name
 }
 
@@ -188,14 +190,17 @@ func (v *VIF) sendAuth() {
 			v.startPhase("auth")
 		}
 		// Record only real transmissions, not timer re-arms while the
-		// radio dwells elsewhere — the timeline shows frames on air.
-		v.drv.events.Emit(obs.Event{
-			At:      v.drv.eng.Now(),
-			Kind:    obs.KindAuth,
-			BSSID:   v.bssid.String(),
-			Channel: int(v.channel),
-			Value:   int64(v.AuthAttempts),
-		})
+		// radio dwells elsewhere — the timeline shows frames on air. The
+		// Enabled guard keeps the disabled path from rendering the BSSID.
+		if v.drv.events.Enabled() {
+			v.drv.events.Emit(obs.Event{
+				At:      v.drv.eng.Now(),
+				Kind:    obs.KindAuth,
+				BSSID:   v.bssid.String(),
+				Channel: int(v.channel),
+				Value:   int64(v.AuthAttempts),
+			})
+		}
 		body := dot11.AuthBody{SeqNum: 1}
 		v.drv.radio.Send(dot11.Frame{
 			Type:  dot11.TypeAuth,
@@ -211,13 +216,15 @@ func (v *VIF) sendAuth() {
 func (v *VIF) sendAssoc() {
 	if v.drv.radio.Channel() == v.channel && !v.drv.switching {
 		v.AssocAttempts++
-		v.drv.events.Emit(obs.Event{
-			At:      v.drv.eng.Now(),
-			Kind:    obs.KindAssoc,
-			BSSID:   v.bssid.String(),
-			Channel: int(v.channel),
-			Value:   int64(v.AssocAttempts),
-		})
+		if v.drv.events.Enabled() {
+			v.drv.events.Emit(obs.Event{
+				At:      v.drv.eng.Now(),
+				Kind:    obs.KindAssoc,
+				BSSID:   v.bssid.String(),
+				Channel: int(v.channel),
+				Value:   int64(v.AssocAttempts),
+			})
+		}
 		v.drv.radio.Send(dot11.Frame{
 			Type:  dot11.TypeAssocReq,
 			Addr1: v.bssid,
@@ -286,6 +293,6 @@ func (v *VIF) SendPacket(p ipnet.Packet) {
 		Addr1: v.bssid,
 		Addr3: v.bssid,
 		Seq:   v.drv.radio.NextSeq(),
-		Body:  p.Bytes(),
+		Body:  p.AppendTo(v.drv.bodies.Take(p.WireLen())),
 	})
 }

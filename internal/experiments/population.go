@@ -92,6 +92,25 @@ func PopulationScenario(o Options, n int) (core.WorldConfig, []core.ClientConfig
 	return world, populationClients(n, route)
 }
 
+// PopulationDenseScenario is a city-scale rung of the population study:
+// the same corridor and per-client configuration as PopulationScenario,
+// but with departures compressed into the first quarter of the run. The
+// classic 1.5 s stagger would push most of a 256/1024/4096-client
+// population past the end of a benchmark-scale run; compressing the
+// window keeps the whole population airborne so the rung measures true
+// city-scale contention. The 1/8/32/64 rungs keep the classic stagger,
+// so their workloads stay comparable with historical baselines.
+func PopulationDenseScenario(o Options, n int) (core.WorldConfig, []core.ClientConfig) {
+	d := o.dur(sim.Time(5*time.Minute), sim.Time(60*time.Second))
+	world, route := populationWorld(o.seed(), d)
+	clients := populationClients(n, route)
+	window := d / 4
+	for i := range clients {
+		clients[i].StartOffset = sim.Time(i) * window / sim.Time(n)
+	}
+	return world, clients
+}
+
 // PopulationIPAMScenario is a population rung with the production address
 // plan swapped in for the legacy per-AP pools: every corridor AP joins
 // one "corridor" group — a primary pool carved from a /26 CIDR with an

@@ -7,8 +7,6 @@
 package lmm
 
 import (
-	"sort"
-
 	"spider/internal/dhcp"
 	"spider/internal/dot11"
 	"spider/internal/driver"
@@ -310,6 +308,12 @@ type LMM struct {
 	stopSelect    func()
 	globalBackoff sim.Time
 
+	// candScratch and idleScratch back reselect's working sets; the pass
+	// runs every ReselectInterval per client, so reusing them keeps the
+	// steady-state selection loop allocation-free.
+	candScratch []driver.ScanEntry
+	idleScratch []*conn
+
 	// OnLinkUp and OnLinkDown notify the upper layer.
 	OnLinkUp   func(*Link)
 	OnLinkDown func(*Link)
@@ -461,10 +465,27 @@ func (m *LMM) scoreJoin(bssid dot11.MACAddr, stage JoinStage) {
 	u.seen = true
 }
 
+// rankBefore orders candidate APs: utility first (unknown APs bootstrap
+// at max), RSSI breaks ties, BSSID is the deterministic final tiebreak. A
+// stock driver ranks by RSSI alone.
+func (m *LMM) rankBefore(a, b driver.ScanEntry) bool {
+	if !m.cfg.SelectByRSSIOnly {
+		ua, _ := m.Utility(a.BSSID)
+		ub, _ := m.Utility(b.BSSID)
+		if ua != ub {
+			return ua > ub
+		}
+	}
+	if a.RSSI != b.RSSI {
+		return a.RSSI > b.RSSI
+	}
+	return a.BSSID.Less(b.BSSID)
+}
+
 // reselect assigns idle interfaces to the best candidate APs.
 func (m *LMM) reselect() {
 	active := 0
-	var idle []*conn
+	idle := m.idleScratch[:0]
 	for _, c := range m.conns {
 		if c.state == connIdle {
 			idle = append(idle, c)
@@ -472,6 +493,7 @@ func (m *LMM) reselect() {
 			active++
 		}
 	}
+	m.idleScratch = idle
 	if len(idle) == 0 || (m.cfg.SingleAP && active >= 1) {
 		return
 	}
@@ -479,7 +501,7 @@ func (m *LMM) reselect() {
 	if now < m.globalBackoff {
 		return // stock dhclient idling after a failed acquisition
 	}
-	var cands []driver.ScanEntry
+	cands := m.candScratch[:0]
 	for _, e := range m.drv.ScanTable() {
 		if !e.Open || !m.schedChans[e.Channel] || e.RSSI < m.cfg.MinRSSI {
 			continue
@@ -492,22 +514,15 @@ func (m *LMM) reselect() {
 		}
 		cands = append(cands, e)
 	}
-	// Rank: utility first (unknown APs bootstrap at max), RSSI breaks
-	// ties. A stock driver ranks by RSSI alone.
-	sort.Slice(cands, func(i, j int) bool {
-		if !m.cfg.SelectByRSSIOnly {
-			ui, _ := m.Utility(cands[i].BSSID)
-			uj, _ := m.Utility(cands[j].BSSID)
-			if ui != uj {
-				return ui > uj
-			}
+	m.candScratch = cands
+	// Insertion sort under rankBefore: the comparator is a strict total
+	// order (BSSIDs are unique), so the result matches any correct sort,
+	// and small candidate sets stay closure- and interface-free.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && m.rankBefore(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
-		if cands[i].RSSI != cands[j].RSSI {
-			return cands[i].RSSI > cands[j].RSSI
-		}
-		// Stable order for determinism.
-		return cands[i].BSSID.String() < cands[j].BSSID.String()
-	})
+	}
 	for _, e := range cands {
 		if len(idle) == 0 {
 			break
@@ -533,15 +548,19 @@ func (c *conn) startJoin(e driver.ScanEntry) {
 	c.channel = e.Channel
 	c.started = m.eng.Now()
 	c.cacheHit = false
-	m.cfg.Events.Emit(obs.Event{
-		At:      m.eng.Now(),
-		Kind:    obs.KindJoinStart,
-		BSSID:   e.BSSID.String(),
-		Channel: int(e.Channel),
-	})
+	if m.cfg.Events.Enabled() {
+		m.cfg.Events.Emit(obs.Event{
+			At:      m.eng.Now(),
+			Kind:    obs.KindJoinStart,
+			BSSID:   e.BSSID.String(),
+			Channel: int(e.Channel),
+		})
+	}
 	c.joinSpan = m.cfg.Events.StartSpan(m.eng.Now(), "join")
-	c.joinSpan.SetBSSID(e.BSSID.String())
-	c.joinSpan.SetChannel(int(e.Channel))
+	if c.joinSpan != nil {
+		c.joinSpan.SetBSSID(e.BSSID.String())
+		c.joinSpan.SetChannel(int(e.Channel))
+	}
 	c.vif.Span = c.joinSpan
 	if m.cfg.ParkOnConnect {
 		// A stock driver stops scanning and camps on the candidate's
@@ -641,12 +660,14 @@ func (c *conn) renewLease() {
 			}
 			if !ok {
 				m.stats.RenewalFails++
-				m.cfg.Events.Emit(obs.Event{
-					At:    m.eng.Now(),
-					Kind:  obs.KindDHCPRenew,
-					BSSID: c.bssid.String(),
-					Note:  "failed",
-				})
+				if m.cfg.Events.Enabled() {
+					m.cfg.Events.Emit(obs.Event{
+						At:    m.eng.Now(),
+						Kind:  obs.KindDHCPRenew,
+						BSSID: c.bssid.String(),
+						Note:  "failed",
+					})
+				}
 				if c.link != nil {
 					c.link.DownCause = "lease-expiry"
 				}
@@ -654,12 +675,14 @@ func (c *conn) renewLease() {
 				return
 			}
 			m.stats.LeaseRenewals++
-			m.cfg.Events.Emit(obs.Event{
-				At:    m.eng.Now(),
-				Kind:  obs.KindDHCPRenew,
-				BSSID: c.bssid.String(),
-				Note:  "ok",
-			})
+			if m.cfg.Events.Enabled() {
+				m.cfg.Events.Emit(obs.Event{
+					At:    m.eng.Now(),
+					Kind:  obs.KindDHCPRenew,
+					BSSID: c.bssid.String(),
+					Note:  "ok",
+				})
+			}
 			c.lease = lease
 			if c.link != nil {
 				c.link.Lease = lease
@@ -738,14 +761,16 @@ func (c *conn) finishJoin(stage JoinStage) {
 		UsedCache: c.cacheHit,
 	}
 	m.joins = append(m.joins, rec)
-	m.cfg.Events.Emit(obs.Event{
-		At:      m.eng.Now(),
-		Kind:    obs.KindJoinFail,
-		BSSID:   c.bssid.String(),
-		Channel: int(c.channel),
-		Value:   int64(rec.TotalDur),
-		Note:    stage.String(),
-	})
+	if m.cfg.Events.Enabled() {
+		m.cfg.Events.Emit(obs.Event{
+			At:      m.eng.Now(),
+			Kind:    obs.KindJoinFail,
+			BSSID:   c.bssid.String(),
+			Channel: int(c.channel),
+			Value:   int64(rec.TotalDur),
+			Note:    stage.String(),
+		})
+	}
 	c.testSpan.EndStatus(m.eng.Now(), stage.String())
 	c.testSpan = nil
 	c.joinSpan.EndStatus(m.eng.Now(), stage.String())
@@ -778,13 +803,15 @@ func (c *conn) goUp() {
 		UsedCache: c.cacheHit,
 	}
 	m.joins = append(m.joins, rec)
-	m.cfg.Events.Emit(obs.Event{
-		At:      m.eng.Now(),
-		Kind:    obs.KindJoinComplete,
-		BSSID:   c.bssid.String(),
-		Channel: int(c.channel),
-		Value:   int64(rec.TotalDur),
-	})
+	if m.cfg.Events.Enabled() {
+		m.cfg.Events.Emit(obs.Event{
+			At:      m.eng.Now(),
+			Kind:    obs.KindJoinComplete,
+			BSSID:   c.bssid.String(),
+			Channel: int(c.channel),
+			Value:   int64(rec.TotalDur),
+		})
+	}
 	c.testSpan.EndStatus(m.eng.Now(), "ok")
 	c.testSpan = nil
 	c.joinSpan.EndStatus(m.eng.Now(), "complete")
@@ -904,7 +931,7 @@ func (c *conn) onPacket(p ipnet.Packet) {
 			default:
 				known = false
 			}
-			if known {
+			if known && c.m.cfg.Events.Enabled() {
 				c.m.cfg.Events.Emit(obs.Event{
 					At:      c.m.eng.Now(),
 					Kind:    kind,

@@ -19,6 +19,12 @@ type Recorder struct {
 	logs map[int]*ClientLog
 	reg  *Registry
 	subs []func(Event)
+
+	// evCap/spanCap pre-size the buffers of logs created after Reserve,
+	// so population runs don't grow every client's timeline through the
+	// append doubling ladder.
+	evCap   int
+	spanCap int
 }
 
 // NewRecorder returns an empty recorder with a live metrics registry.
@@ -35,9 +41,27 @@ func (r *Recorder) Client(id int) *ClientLog {
 	l, ok := r.logs[id]
 	if !ok {
 		l = &ClientLog{r: r, id: id}
+		if r.evCap > 0 {
+			l.evs = make([]Event, 0, r.evCap)
+		}
+		if r.spanCap > 0 {
+			l.spans = make([]Span, 0, r.spanCap)
+		}
 		r.logs[id] = l
 	}
 	return l
+}
+
+// Reserve sets the initial per-client event and span buffer capacities
+// for logs created afterwards. Scenario startup calls it with estimates
+// derived from the run length, before any client emits. Existing logs are
+// untouched; no-op on a nil recorder.
+func (r *Recorder) Reserve(events, spans int) {
+	if r == nil {
+		return
+	}
+	r.evCap = events
+	r.spanCap = spans
 }
 
 // World returns the log world-scoped events (chaos faults) record under.

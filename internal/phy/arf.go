@@ -50,19 +50,30 @@ func (p Params) broadcastRate() float64 {
 	return r[0]
 }
 
+// arfFor returns the index of dst's ARF state in the radio's flat state
+// slice, creating it when create is set. The slice is append-only, so
+// steady-state lookups are one map read with no allocation.
+func (r *Radio) arfFor(dst dot11.MACAddr, create bool) int32 {
+	if idx, ok := r.arfIdx[dst]; ok {
+		return idx
+	}
+	if !create {
+		return -1
+	}
+	// ARF starts optimistic at the top rate.
+	idx := int32(len(r.arfStates))
+	r.arfStates = append(r.arfStates, arfState{idx: len(r.m.params.rates()) - 1})
+	r.arfIdx[dst] = idx
+	return idx
+}
+
 // rateFor returns the radio's current unicast transmit rate toward dst.
 func (r *Radio) rateFor(dst dot11.MACAddr) float64 {
 	if !r.m.params.RateAdaptation {
 		return r.m.params.BitRate
 	}
 	rates := r.m.params.rates()
-	st := r.arf[dst]
-	if st == nil {
-		// ARF starts optimistic at the top rate.
-		st = &arfState{idx: len(rates) - 1}
-		r.arf[dst] = st
-	}
-	return rates[st.idx]
+	return rates[r.arfStates[r.arfFor(dst, true)].idx]
 }
 
 // arfReport feeds a transmission outcome into the peer's ARF state.
@@ -70,10 +81,11 @@ func (r *Radio) arfReport(dst dot11.MACAddr, ok bool) {
 	if !r.m.params.RateAdaptation {
 		return
 	}
-	st := r.arf[dst]
-	if st == nil {
+	i := r.arfFor(dst, false)
+	if i < 0 {
 		return
 	}
+	st := &r.arfStates[i]
 	rates := r.m.params.rates()
 	if ok {
 		st.koStreak = 0

@@ -8,6 +8,11 @@
 // symbol-level detail. Each channel is a single collision domain whose
 // transmissions serialize, which matches the paper's single-client,
 // several-AP roadside scenarios.
+//
+// The per-channel state lives in flat channel-indexed arrays (there are
+// only 14 channels) and per-transmission bookkeeping reuses pooled job
+// structs and an arena for wire images, so the commit/deliver path does
+// not allocate at city-scale populations.
 package phy
 
 import (
@@ -16,9 +21,14 @@ import (
 
 	"spider/internal/dot11"
 	"spider/internal/geo"
+	"spider/internal/mempool"
 	"spider/internal/obs"
 	"spider/internal/sim"
 )
+
+// numChannels sizes the flat per-channel arrays; index 0 is unused
+// (channels are 1..14, dot11.Channel.Valid).
+const numChannels = 15
 
 // Params configures the PHY model. ZeroValue fields are replaced by
 // Defaults() values in NewMedium.
@@ -161,17 +171,24 @@ type Medium struct {
 	rng    *sim.RNG
 	params Params
 
-	radios    map[*Radio]struct{}
-	byChannel map[dot11.Channel][]*Radio // registration order, so delivery iteration is deterministic
-	busyUntil map[dot11.Channel]sim.Time
-	noise     map[dot11.Channel]float64 // injected extra per-try loss
-	// pendingTx counts frames committed but not yet off the air, per
-	// channel and transmitter MAC — the contention the collision model
-	// charges against. Only counts feed the model, so map iteration order
-	// never matters.
-	pendingTx map[dot11.Channel]map[dot11.MACAddr]int
-	stats     Stats
-	tap       func(ch dot11.Channel, wire []byte, at sim.Time)
+	radios map[*Radio]struct{}
+	// Flat per-channel state, indexed by channel number (1..14).
+	byChannel [numChannels][]*Radio // registration order, so delivery iteration is deterministic
+	busyUntil [numChannels]sim.Time
+	noise     [numChannels]float64 // injected extra per-try loss
+	// transmitters counts distinct radios with frames committed but not
+	// yet off the air, per channel — the contention the collision model
+	// charges against (each radio keeps its own per-channel counts).
+	transmitters [numChannels]int32
+	airtime      [numChannels]sim.Time
+	stats        Stats
+	tap          func(ch dot11.Channel, wire []byte, at sim.Time)
+
+	// Hot-path allocation amortizers: recycled transmission jobs and the
+	// arena wire images are carved from. Wire bytes are never reused (frame
+	// bodies alias them after delivery); jobs are recycled after delivery.
+	txFree *txJob
+	wires  mempool.ByteArena
 
 	// Observability counters; nil (no-op) unless SetObs installed a
 	// registry. Kept as resolved handles so the hot path pays one atomic
@@ -186,15 +203,10 @@ type Medium struct {
 // stream; the medium draws from it for loss sampling and backoff jitter.
 func NewMedium(eng *sim.Engine, rng *sim.RNG, params Params) *Medium {
 	return &Medium{
-		eng:       eng,
-		rng:       rng,
-		params:    params.withDefaults(),
-		radios:    make(map[*Radio]struct{}),
-		byChannel: make(map[dot11.Channel][]*Radio),
-		busyUntil: make(map[dot11.Channel]sim.Time),
-		noise:     make(map[dot11.Channel]float64),
-		pendingTx: make(map[dot11.Channel]map[dot11.MACAddr]int),
-		stats:     Stats{AirtimeByChannel: make(map[dot11.Channel]sim.Time)},
+		eng:    eng,
+		rng:    rng,
+		params: params.withDefaults(),
+		radios: make(map[*Radio]struct{}),
 	}
 }
 
@@ -211,15 +223,23 @@ func (m *Medium) SetObs(reg *obs.Registry) {
 // to every frame on ch — a chaos noise burst. The burst combines with
 // the distance model as an independent loss event; non-positive clears it.
 func (m *Medium) SetChannelNoise(ch dot11.Channel, extraLoss float64) {
+	if !ch.Valid() {
+		return
+	}
 	if extraLoss <= 0 {
-		delete(m.noise, ch)
+		m.noise[ch] = 0
 		return
 	}
 	m.noise[ch] = clamp01(extraLoss)
 }
 
 // ChannelNoise returns the injected extra loss on ch (0 when clear).
-func (m *Medium) ChannelNoise(ch dot11.Channel) float64 { return m.noise[ch] }
+func (m *Medium) ChannelNoise(ch dot11.Channel) float64 {
+	if !ch.Valid() {
+		return 0
+	}
+	return m.noise[ch]
+}
 
 // lossOn is the effective per-try loss on a channel: the distance model
 // combined with any injected noise burst as independent loss events.
@@ -234,12 +254,15 @@ func (m *Medium) lossOn(ch dot11.Channel, d, rate float64) float64 {
 // Params returns the effective (defaulted) parameter set.
 func (m *Medium) Params() Params { return m.params }
 
-// Stats returns a snapshot of the medium counters.
+// Stats returns a snapshot of the medium counters. The per-channel airtime
+// map is materialized from the flat internal array on each call.
 func (m *Medium) Stats() Stats {
 	s := m.stats
-	s.AirtimeByChannel = make(map[dot11.Channel]sim.Time, len(m.stats.AirtimeByChannel))
-	for k, v := range m.stats.AirtimeByChannel {
-		s.AirtimeByChannel[k] = v
+	s.AirtimeByChannel = make(map[dot11.Channel]sim.Time)
+	for ch, a := range m.airtime {
+		if a > 0 {
+			s.AirtimeByChannel[dot11.Channel(ch)] = a
+		}
 	}
 	return s
 }
@@ -284,7 +307,15 @@ type Radio struct {
 	closed    bool
 	down      bool // powered off by fault injection
 	seq       uint16
-	arf       map[dot11.MACAddr]*arfState
+	// pending counts this radio's frames committed but not yet off the
+	// air, per channel; the medium's per-channel distinct-transmitter
+	// count is maintained from the 0↔1 transitions.
+	pending [numChannels]int32
+	// ARF per-peer rate state: a flat slice of states indexed through a
+	// small MAC→index map (one map insert per peer lifetime, no per-frame
+	// allocation).
+	arfIdx    map[dot11.MACAddr]int32
+	arfStates []arfState
 	txAirtime sim.Time
 }
 
@@ -295,7 +326,7 @@ func (m *Medium) NewRadio(mac dot11.MACAddr, pos func() geo.Point) *Radio {
 	if pos == nil {
 		panic("phy: NewRadio with nil position func")
 	}
-	r := &Radio{m: m, mac: mac, channel: dot11.Channel1, pos: pos, arf: make(map[dot11.MACAddr]*arfState)}
+	r := &Radio{m: m, mac: mac, channel: dot11.Channel1, pos: pos, arfIdx: make(map[dot11.MACAddr]int32)}
 	m.radios[r] = struct{}{}
 	m.index(r, dot11.Channel1)
 	return r
@@ -419,37 +450,73 @@ func (r *Radio) Send(f dot11.Frame, status func(ok bool)) {
 		return
 	}
 	f.Addr2 = r.mac
-	wire := f.Bytes()
+	wire := f.AppendTo(r.m.wires.Take(f.WireLen()))
 	r.m.transmit(r, r.channel, f, wire, 0, status)
 }
 
 // contenders counts OTHER radios with frames committed but not yet off the
 // air on ch — the stations this transmission races against.
-func (m *Medium) contenders(ch dot11.Channel, src dot11.MACAddr) int {
-	pending := m.pendingTx[ch]
-	k := len(pending)
-	if pending[src] > 0 {
+func (m *Medium) contenders(ch dot11.Channel, src *Radio) int {
+	k := int(m.transmitters[ch])
+	if src.pending[ch] > 0 {
 		k--
 	}
 	return k
 }
 
-func (m *Medium) addPending(ch dot11.Channel, src dot11.MACAddr) {
-	pending := m.pendingTx[ch]
-	if pending == nil {
-		pending = make(map[dot11.MACAddr]int)
-		m.pendingTx[ch] = pending
+func (m *Medium) addPending(ch dot11.Channel, src *Radio) {
+	if src.pending[ch] == 0 {
+		m.transmitters[ch]++
 	}
-	pending[src]++
+	src.pending[ch]++
 }
 
-func (m *Medium) removePending(ch dot11.Channel, src dot11.MACAddr) {
-	pending := m.pendingTx[ch]
-	if pending[src] <= 1 {
-		delete(pending, src)
-		return
+func (m *Medium) removePending(ch dot11.Channel, src *Radio) {
+	src.pending[ch]--
+	if src.pending[ch] == 0 {
+		m.transmitters[ch]--
 	}
-	pending[src]--
+}
+
+// txJob carries one committed transmission from commit to the end of its
+// airtime. Jobs are pooled on the medium and scheduled as sim.Runnables,
+// so the per-frame event costs no closure and no handle.
+type txJob struct {
+	m        *Medium
+	src      *Radio
+	f        dot11.Frame
+	wire     []byte
+	rate     float64
+	status   func(ok bool)
+	attempt  int
+	ch       dot11.Channel
+	collided bool
+	next     *txJob
+}
+
+func (m *Medium) newTxJob() *txJob {
+	j := m.txFree
+	if j == nil {
+		return &txJob{m: m}
+	}
+	m.txFree = j.next
+	j.next = nil
+	return j
+}
+
+func (m *Medium) freeTxJob(j *txJob) {
+	*j = txJob{m: m, next: m.txFree}
+	m.txFree = j
+}
+
+// RunEvent fires at the end of the frame's airtime: release the contention
+// slot, recycle the job, and hand off to delivery.
+func (j *txJob) RunEvent() {
+	m, src, ch, f, wire := j.m, j.src, j.ch, j.f, j.wire
+	rate, attempt, collided, status := j.rate, j.attempt, j.collided, j.status
+	m.freeTxJob(j)
+	m.removePending(ch, src)
+	m.deliver(src, ch, f, wire, rate, attempt, collided, status)
 }
 
 // transmit performs one on-air attempt (attempt is the retry index). The
@@ -471,7 +538,7 @@ func (m *Medium) transmit(src *Radio, ch dot11.Channel, f dot11.Frame, wire []by
 	// time so the outcome is a pure function of the event sequence.
 	collided := false
 	if p := m.params.CollisionProb; p > 0 {
-		if k := m.contenders(ch, src.mac); k > 0 {
+		if k := m.contenders(ch, src); k > 0 {
 			collided = m.rng.Bool(1 - math.Pow(1-p, float64(k)))
 		}
 	}
@@ -482,13 +549,12 @@ func (m *Medium) transmit(src *Radio, ch dot11.Channel, f dot11.Frame, wire []by
 	src.txAirtime += air
 	m.stats.FramesSent++
 	m.obsSent.Inc()
-	m.stats.AirtimeByChannel[ch] += air
-	m.addPending(ch, src.mac)
-	end := start + air - now
-	m.eng.Schedule(end, func() {
-		m.removePending(ch, src.mac)
-		m.deliver(src, ch, f, wire, rate, attempt, collided, status)
-	})
+	m.airtime[ch] += air
+	m.addPending(ch, src)
+	j := m.newTxJob()
+	j.src, j.ch, j.f, j.wire = src, ch, f, wire
+	j.rate, j.attempt, j.collided, j.status = rate, attempt, collided, status
+	m.eng.ScheduleCall(start+air-now, j)
 }
 
 func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byte, rate float64, attempt int, collided bool, status func(ok bool)) {
@@ -569,7 +635,7 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 	if attempt < m.params.RetryLimit && !src.closed && !src.switching && !src.down && src.channel == ch {
 		retry := f
 		retry.Retry = true
-		m.transmit(src, ch, retry, retryWire(retry, wire), attempt+1, status)
+		m.transmit(src, ch, retry, m.retryWire(retry, wire), attempt+1, status)
 		return
 	}
 	m.stats.UnicastFailed++
@@ -579,9 +645,9 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 }
 
 // retryWire re-serializes only when the retry flag changes the wire image.
-func retryWire(f dot11.Frame, prev []byte) []byte {
+func (m *Medium) retryWire(f dot11.Frame, prev []byte) []byte {
 	if f.Retry {
-		return f.Bytes()
+		return f.AppendTo(m.wires.Take(f.WireLen()))
 	}
 	return prev
 }

@@ -51,6 +51,13 @@ func walOffsets(t *testing.T, wal []byte) []int64 {
 // "Kill" here is the strongest form: the crash directories are built
 // from raw file prefixes, exactly the on-disk states a SIGKILL between
 // (or inside) fsyncs leaves behind. No Close, no flush, no goodbye.
+//
+// This test also gates engine replacements: restore re-simulates from
+// the WAL, so byte-identity of the final streams requires the scheduler
+// to reproduce the original firing order exactly. It passed unchanged
+// across the container/heap -> hierarchical timer wheel swap, whose
+// pooled events and level cascades it exercises through the beacon
+// tickers (level 1-2 ticks) and DHCP lease timers (level 3+).
 func TestCrashRecoveryAtEveryWALBoundary(t *testing.T) {
 	refEvs, refSpans := referenceRun(t)
 	script := testScript()

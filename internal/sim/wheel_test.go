@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// differential harness: drive the timer-wheel Engine and the reference
+// heapEngine through the same randomized workload and require identical
+// (time, id) firing sequences, identical clocks, and identical counters.
+
+type firing struct {
+	at Time
+	id int
+}
+
+type diffRig struct {
+	wheel *Engine
+	heap  *heapEngine
+
+	wheelLog []firing
+	heapLog  []firing
+
+	wheelEvs map[int]*Event
+	heapEvs  map[int]*heapEvent
+	nextID   int
+}
+
+func newDiffRig() *diffRig {
+	return &diffRig{
+		wheel:    NewEngine(),
+		heap:     newHeapEngine(),
+		wheelEvs: make(map[int]*Event),
+		heapEvs:  make(map[int]*heapEvent),
+	}
+}
+
+// scheduleAt registers the same callback on both engines and returns its id.
+func (r *diffRig) scheduleAt(at Time) int {
+	id := r.nextID
+	r.nextID++
+	r.wheelEvs[id] = r.wheel.ScheduleAt(at, func() {
+		r.wheelLog = append(r.wheelLog, firing{r.wheel.Now(), id})
+	})
+	r.heapEvs[id] = r.heap.ScheduleAt(at, func() {
+		r.heapLog = append(r.heapLog, firing{r.heap.Now(), id})
+	})
+	return id
+}
+
+func (r *diffRig) cancel(id int) {
+	cw := r.wheel.Cancel(r.wheelEvs[id])
+	ch := r.heap.Cancel(r.heapEvs[id])
+	if cw != ch {
+		panic(fmt.Sprintf("Cancel(%d) diverged: wheel=%v heap=%v", id, cw, ch))
+	}
+}
+
+func (r *diffRig) check(t *testing.T) {
+	t.Helper()
+	if len(r.wheelLog) != len(r.heapLog) {
+		t.Fatalf("firing counts diverged: wheel=%d heap=%d", len(r.wheelLog), len(r.heapLog))
+	}
+	for i := range r.wheelLog {
+		if r.wheelLog[i] != r.heapLog[i] {
+			t.Fatalf("firing %d diverged: wheel=%+v heap=%+v", i, r.wheelLog[i], r.heapLog[i])
+		}
+	}
+	if r.wheel.Now() != r.heap.Now() {
+		t.Fatalf("clocks diverged: wheel=%v heap=%v", r.wheel.Now(), r.heap.Now())
+	}
+	if r.wheel.Pending() != r.heap.Pending() {
+		t.Fatalf("pending diverged: wheel=%d heap=%d", r.wheel.Pending(), r.heap.Pending())
+	}
+	if r.wheel.Fired() != r.heap.Fired() {
+		t.Fatalf("fired diverged: wheel=%d heap=%d", r.wheel.Fired(), r.heap.Fired())
+	}
+	wt, wok := r.wheel.PeekNext()
+	ht, hok := r.heap.PeekNext()
+	if wok != hok || (wok && wt != ht) {
+		t.Fatalf("PeekNext diverged: wheel=(%v,%v) heap=(%v,%v)", wt, wok, ht, hok)
+	}
+}
+
+// TestDifferentialRandomWorkload exercises randomized schedule/cancel
+// mixes across several seeds, with delays spanning sub-tick jitter to
+// multi-level wheel distances, and random StepUntil-style Run barriers.
+func TestDifferentialRandomWorkload(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rig := newDiffRig()
+			rng := NewRNG(seed).Stream("differential")
+			live := []int{}
+
+			// Delays chosen to cross every wheel level: same-tick (0),
+			// sub-tick (<65.5µs), level-0 (<4.2ms), level-1 (<268ms),
+			// level-2+ (seconds…minutes), and past-the-horizon.
+			randomDelay := func() Time {
+				switch rng.Intn(10) {
+				case 0:
+					return 0
+				case 1, 2:
+					return Time(rng.Intn(1 << tickBits))
+				case 3, 4:
+					return Time(rng.Intn(1 << (tickBits + levelBits)))
+				case 5, 6:
+					return Time(rng.Intn(1 << (tickBits + 2*levelBits)))
+				case 7:
+					return Time(rng.Intn(int(10 * time.Second)))
+				case 8:
+					return Time(rng.Intn(int(10 * time.Minute)))
+				default:
+					// Beyond the 2^52 ns horizon: overflow list.
+					return Time(1)<<53 + Time(rng.Intn(1<<30))
+				}
+			}
+
+			for round := 0; round < 40; round++ {
+				for i := 0; i < 50; i++ {
+					switch {
+					case rng.Intn(4) == 0 && len(live) > 0:
+						k := rng.Intn(len(live))
+						rig.cancel(live[k])
+						live = append(live[:k], live[k+1:]...)
+					default:
+						at := rig.wheel.Now() + randomDelay()
+						live = append(live, rig.scheduleAt(at))
+					}
+				}
+				// Random barrier: run both engines to the same horizon,
+				// like Scenario.StepUntil quanta.
+				until := rig.wheel.Now() + Time(rng.Intn(int(2*time.Second)))
+				rig.wheel.Run(until)
+				rig.heap.Run(until)
+				rig.check(t)
+				// Drop fired ids from the live set (handles are safe to
+				// cancel after firing; both must agree it is a no-op).
+				if len(live) > 200 {
+					kept := live[:0]
+					for _, id := range live {
+						if rig.wheelEvs[id].n == nil && rng.Intn(2) == 0 {
+							rig.cancel(id) // fired: must be a no-op on both
+							continue
+						}
+						kept = append(kept, id)
+					}
+					live = kept
+				}
+			}
+			// Drain everything, including overflow-horizon stragglers.
+			rig.wheel.RunAll()
+			rig.heap.RunAll()
+			rig.check(t)
+			if rig.wheel.Pending() != 0 {
+				t.Fatalf("wheel did not drain: %d pending", rig.wheel.Pending())
+			}
+		})
+	}
+}
+
+// TestDifferentialSameTickTies pins the tie-breaking contract: events
+// scheduled for the same instant — and for distinct instants within one
+// wheel tick — fire in scheduling order on both engines, including events
+// scheduled from inside callbacks at the current time.
+func TestDifferentialSameTickTies(t *testing.T) {
+	rig := newDiffRig()
+	base := Time(3 * time.Millisecond)
+	// Interleave: same instant, same tick (different ns), reverse order.
+	for i := 0; i < 10; i++ {
+		rig.scheduleAt(base)
+		rig.scheduleAt(base + Time(i%3)) // same tick, jittered ns
+		rig.scheduleAt(base - Time(i))   // earlier ns, later schedule
+	}
+	// Self-rescheduling callback at the current instant.
+	var wn, hn int
+	rig.wheel.ScheduleAt(base, func() {
+		if wn < 3 {
+			wn++
+			rig.wheel.ScheduleAt(rig.wheel.Now(), func() {
+				rig.wheelLog = append(rig.wheelLog, firing{rig.wheel.Now(), 1000 + wn})
+			})
+		}
+	})
+	rig.heap.ScheduleAt(base, func() {
+		if hn < 3 {
+			hn++
+			rig.heap.ScheduleAt(rig.heap.Now(), func() {
+				rig.heapLog = append(rig.heapLog, firing{rig.heap.Now(), 1000 + hn})
+			})
+		}
+	})
+	rig.wheel.RunAll()
+	rig.heap.RunAll()
+	rig.check(t)
+	if len(rig.wheelLog) != 31 {
+		t.Fatalf("expected 31 firings, got %d", len(rig.wheelLog))
+	}
+}
+
+// TestDifferentialStepUntilBarriers verifies Run(until) leaves both
+// engines at identical clocks for barriers that land before, exactly on,
+// and between event times — the serve StepUntil contract.
+func TestDifferentialStepUntilBarriers(t *testing.T) {
+	rig := newDiffRig()
+	at := []Time{0, 1, 65535, 65536, 65537, 1 << 22, 1<<22 + 1, 3 << 30}
+	for _, a := range at {
+		rig.scheduleAt(a)
+		rig.scheduleAt(a) // a same-time twin on each barrier point
+	}
+	barriers := []Time{0, 1, 2, 65535, 65536, 70000, 1 << 22, 1<<22 + 1, 1 << 25, 3 << 30, 3<<30 + 5}
+	for _, b := range barriers {
+		rig.wheel.Run(b)
+		rig.heap.Run(b)
+		rig.check(t)
+	}
+	if rig.wheel.Pending() != 0 {
+		t.Fatalf("undrained: %d", rig.wheel.Pending())
+	}
+}
+
+// TestDifferentialCancelDuringRun cancels pending events from inside
+// callbacks on both engines and requires identical outcomes.
+func TestDifferentialCancelDuringRun(t *testing.T) {
+	rig := newDiffRig()
+	victims := make([]int, 0, 8)
+	for i := 0; i < 8; i++ {
+		victims = append(victims, rig.scheduleAt(Time(100+i)*time.Millisecond))
+	}
+	// At 50ms, cancel every even victim on both engines.
+	rig.wheel.ScheduleAt(50*time.Millisecond, func() {
+		for i := 0; i < len(victims); i += 2 {
+			rig.wheel.Cancel(rig.wheelEvs[victims[i]])
+		}
+	})
+	rig.heap.ScheduleAt(50*time.Millisecond, func() {
+		for i := 0; i < len(victims); i += 2 {
+			rig.heap.Cancel(rig.heapEvs[victims[i]])
+		}
+	})
+	rig.wheel.RunAll()
+	rig.heap.RunAll()
+	rig.check(t)
+	if got := len(rig.wheelLog); got != 4 {
+		t.Fatalf("expected 4 survivors, got %d", got)
+	}
+}
+
+// TestTickerZeroAllocSteadyState pins the pooling contract: once warm, a
+// ticker re-arms and fires without allocating.
+func TestTickerZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Ticker(time.Millisecond, func() { n++ })
+	e.Run(10 * time.Millisecond) // warm up pool + batch
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Run(e.Now() + 50*time.Millisecond)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("steady-state ticker allocates: %.1f allocs/run", allocs)
+	}
+	if n == 0 {
+		t.Fatal("ticker never fired")
+	}
+}
+
+// TestScheduleCallZeroAlloc pins that fire-and-forget Runnable scheduling
+// does not allocate once the node pool is warm.
+func TestScheduleCallZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	j := &countJob{}
+	// Warm the pool.
+	for i := 0; i < 300; i++ {
+		e.ScheduleCall(Time(i)*time.Microsecond, j)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.ScheduleCall(time.Microsecond, j)
+		e.RunAll()
+	})
+	if allocs > 0.5 {
+		t.Fatalf("ScheduleCall allocates in steady state: %.1f allocs/run", allocs)
+	}
+	if j.n == 0 {
+		t.Fatal("job never ran")
+	}
+}
+
+type countJob struct{ n int }
+
+func (c *countJob) RunEvent() { c.n++ }

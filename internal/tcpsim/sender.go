@@ -1,8 +1,6 @@
 package tcpsim
 
 import (
-	"sort"
-
 	"spider/internal/sim"
 )
 
@@ -80,6 +78,7 @@ type Sender struct {
 	srtt, rttvar, rto sim.Time
 	hasSample         bool
 	sendTimes         map[uint32]sim.Time // end-seq -> transmit time (Karn-safe)
+	ackScratch        []uint32            // reused by sampleRTT across ACKs
 
 	rtoTimer *sim.Event
 	stopped  bool
@@ -229,13 +228,20 @@ func (s *Sender) sampleRTT(ack uint32) {
 	// Fold samples in sequence order: the estimator is an EWMA, so the
 	// folding order changes srtt/rttvar — iterating the map directly
 	// would make the RTO depend on map iteration order.
-	var ends []uint32
+	ends := s.ackScratch[:0]
 	for end := range s.sendTimes {
 		if end <= ack {
 			ends = append(ends, end)
 		}
 	}
-	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	s.ackScratch = ends
+	// Insertion sort: an ACK rarely covers more than a handful of
+	// segments, and this keeps the per-ACK path closure-free.
+	for i := 1; i < len(ends); i++ {
+		for j := i; j > 0 && ends[j] < ends[j-1]; j-- {
+			ends[j], ends[j-1] = ends[j-1], ends[j]
+		}
+	}
 	for _, end := range ends {
 		at := s.sendTimes[end]
 		delete(s.sendTimes, end)
