@@ -103,6 +103,10 @@ var registry = []experiment{
 		r := experiments.PopulationStudy(o)
 		return []renderable{experiments.PopulationTable(r), experiments.PopulationFigure(r)}
 	}},
+	{"fairness", "fairness frontier: heuristic vs decentralized vs oracle PF allocation across the population ladder", func(o experiments.Options) []renderable {
+		r := experiments.FairnessStudy(o)
+		return []renderable{experiments.FairnessTable(r), experiments.FairnessJainFigure(r), experiments.FairnessGoodputFigure(r)}
+	}},
 	{"rushhour", "address-exhaustion rush: lease churn through shared IPAM pools, with/without failover and GC", func(o experiments.Options) []renderable {
 		r := experiments.RushHourStudy(o)
 		return []renderable{experiments.RushHourTable(r), experiments.RushHourFigure(r)}

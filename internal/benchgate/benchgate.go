@@ -104,6 +104,14 @@ func (r Regression) String() string {
 // already a real regression worth failing on.
 const DefaultAllocThreshold = 0.05
 
+// JainGateMinClients is the rung size from which the gate also holds the
+// Jain fairness index. Fairness is a population property: on small rungs
+// the index hovers near 1 and a drop means little, while the dense
+// 256/1024 rungs are exactly where the historical collapse lived — a
+// change that quietly re-concentrates goodput onto a few clients must
+// fail the gate even when the aggregate stays flat.
+const JainGateMinClients = 256
+
 // Compare flags regressions of current against baseline. Aggregate
 // goodput regresses when it drops by more than threshold — a perf gate
 // should also catch "faster because it silently does less". Wall time is
@@ -146,6 +154,9 @@ func Compare(baseline, current File, threshold, allocThreshold float64) ([]Regre
 		check("allocs", float64(base.Allocs), float64(cur.Allocs), allocThreshold, true)
 		check("alloc_bytes", float64(base.AllocBytes), float64(cur.AllocBytes), allocThreshold, true)
 		check("aggregate_kbps", base.AggregateKBps, cur.AggregateKBps, threshold, false)
+		if base.Clients >= JainGateMinClients {
+			check("jain_fairness", base.JainFairness, cur.JainFairness, threshold, false)
+		}
 	}
 	sort.Slice(regs, func(i, j int) bool {
 		if regs[i].Clients != regs[j].Clients {
@@ -171,12 +182,13 @@ func Report(baseline, current File, regs []Regression, threshold, allocThreshold
 			fmt.Fprintf(&b, "clients=%-4d SKIP (no current measurement)\n", base.Clients)
 			continue
 		}
-		fmt.Fprintf(&b, "clients=%-4d wall %.1fms -> %.1fms (%.2fx)  allocs %d -> %d (%d/client)  goodput %.1f -> %.1f KB/s\n",
+		fmt.Fprintf(&b, "clients=%-4d wall %.1fms -> %.1fms (%.2fx)  allocs %d -> %d (%d/client)  goodput %.1f -> %.1f KB/s  jain %.3f -> %.3f\n",
 			base.Clients,
 			float64(base.WallNS)/1e6, float64(cur.WallNS)/1e6,
 			float64(cur.WallNS)/float64(base.WallNS),
 			base.Allocs, cur.Allocs, cur.Allocs/uint64(max(base.Clients, 1)),
-			base.AggregateKBps, cur.AggregateKBps)
+			base.AggregateKBps, cur.AggregateKBps,
+			base.JainFairness, cur.JainFairness)
 	}
 	if len(regs) == 0 {
 		b.WriteString("PASS: no metric regressed past the threshold\n")

@@ -13,8 +13,44 @@ func sample() File {
 		Records: []Record{
 			{Clients: 1, AggregateKBps: 100, WallNS: 100e6, NSPerClient: 100e6, Allocs: 1000, AllocBytes: 1 << 20},
 			{Clients: 8, AggregateKBps: 400, WallNS: 140e6, NSPerClient: 17e6, Allocs: 8000, AllocBytes: 8 << 20},
-			{Clients: 64, AggregateKBps: 900, WallNS: 200e6, NSPerClient: 3e6, Allocs: 64000, AllocBytes: 64 << 20},
+			{Clients: 64, AggregateKBps: 900, WallNS: 200e6, NSPerClient: 3e6, Allocs: 64000, AllocBytes: 64 << 20, JainFairness: 0.60},
+			{Clients: 256, AggregateKBps: 700, WallNS: 300e6, NSPerClient: 1.2e6, Allocs: 128000, AllocBytes: 128 << 20, JainFairness: 0.50},
+			{Clients: 1024, AggregateKBps: 500, WallNS: 500e6, NSPerClient: 0.5e6, Allocs: 256000, AllocBytes: 256 << 20, JainFairness: 0.40},
 		},
+	}
+}
+
+// TestFairnessRegressionTripsDenseRungs pins the fairness gate: a change
+// that re-concentrates goodput onto a few clients — Jain drops while the
+// aggregate stays flat — must fail at the dense 256/1024 rungs, where the
+// historical collapse lived. Below JainGateMinClients the index is a
+// small-sample number and must not gate.
+func TestFairnessRegressionTripsDenseRungs(t *testing.T) {
+	base := sample()
+	cur := sample()
+	// Synthetic fairness collapse: same aggregate, half the Jain index,
+	// at one dense rung and one sparse rung.
+	cur.Records[3].JainFairness = base.Records[3].JainFairness * 0.5 // clients=256
+	cur.Records[2].JainFairness = base.Records[2].JainFairness * 0.5 // clients=64: under the gate floor
+	regs, err := Compare(base, cur, 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Clients != 256 || regs[0].Metric != "jain_fairness" {
+		t.Fatalf("want exactly the dense-rung jain_fairness regression, got %v", regs)
+	}
+	if regs[0].Ratio >= 1 {
+		t.Errorf("fairness regression ratio %.2f should be < 1", regs[0].Ratio)
+	}
+	// Within-threshold drift at a dense rung must pass.
+	cur = sample()
+	cur.Records[4].JainFairness = base.Records[4].JainFairness * 0.90
+	regs, err = Compare(base, cur, 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("within-threshold jain drift flagged: %v", regs)
 	}
 }
 

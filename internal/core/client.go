@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"spider/internal/alloc"
 	"spider/internal/dot11"
 	"spider/internal/driver"
 	"spider/internal/energy"
@@ -56,6 +57,14 @@ type Client struct {
 	// driver and AP copy payloads onward, and arena bytes are never
 	// reused, so aliasing is safe.
 	wire mempool.ByteArena
+
+	// allocPol is this client's decentralized fairness policy (nil unless
+	// WorldConfig.Alloc selects the Decentralized variant); allocPace is
+	// the pacing target the allocator last set for the client's flows,
+	// applied to live senders each epoch and to new flows at start
+	// (0 = unpaced).
+	allocPol  *alloc.Policy
+	allocPace float64
 }
 
 func newClient(s *Scenario, cfg ClientConfig) *Client {
@@ -136,6 +145,10 @@ func (c *Client) build(rng *sim.RNG) {
 	lcfg := cfg.lmmConfig()
 	lcfg.Events = c.events
 	lcfg.Obs = reg
+	if w := s.cfg.Alloc; w != nil && w.Variant == alloc.Decentralized {
+		c.allocPol = alloc.NewPolicy(*w, c.id, s.medium.Params())
+		lcfg.Alloc = c.allocPol
+	}
 	c.manager = lmm.New(eng, rng.Stream("lmm"), c.drv, lcfg)
 	manager := c.manager
 
@@ -378,9 +391,24 @@ func (c *Client) startFlow(l *lmm.Link, total int64, onDone func()) *flow {
 			f.rcv.Deliver(seg)
 		}
 	}
+	if c.allocPace > 0 {
+		f.snd.SetPaceBps(c.allocPace)
+	}
 	s.flows[serverIP] = f
 	f.snd.Start(total)
 	return f
+}
+
+// serverIPOwner inverts nextServerIP's carve: the client ID a flow server
+// address belongs to, or -1 for an address outside the flow ranges.
+func serverIPOwner(ip ipnet.Addr) int {
+	switch byte(ip >> 24) {
+	case 203:
+		return int(byte(ip >> 16))
+	case 204:
+		return 256 + int(byte(ip>>16))<<8 + int(byte(ip>>8))
+	}
+	return -1
 }
 
 // stopLinkFlows stops every flow of this client riding the given link.

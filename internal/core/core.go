@@ -12,6 +12,7 @@ import (
 	"io"
 	"time"
 
+	"spider/internal/alloc"
 	"spider/internal/chaos"
 	"spider/internal/dhcp"
 	"spider/internal/dot11"
@@ -187,6 +188,14 @@ type WorldConfig struct {
 	// Chaos, when non-nil, injects the fault plan into the scenario (see
 	// internal/chaos). The plan's AP indices refer to Sites order.
 	Chaos *chaos.Plan
+	// Alloc, when non-nil, arms the proportional-fair association +
+	// airtime allocator (see internal/alloc): Oracle runs a centralized
+	// epoch re-solve that steers every client to its PF assignment and
+	// paces its flows to the equal-airtime share; Decentralized installs a
+	// client-local policy in each LMM that infers contention from
+	// carrier-sense signals. Nil keeps the legacy selfish heuristic
+	// byte-identical.
+	Alloc *alloc.Config
 	// PCAP, when non-nil, receives a pcap capture of every frame on the
 	// air (see internal/capture).
 	PCAP io.Writer

@@ -44,6 +44,11 @@ type Scenario struct {
 	inj     *chaos.Injector
 	flows   map[ipnet.Addr]*flow
 	clients []*Client
+	// byID resolves clients for the allocator's flow-pacing pass (and any
+	// other per-ID lookup) without a linear scan.
+	byID map[int]*Client
+	// allocCtl drives the fairness allocator when WorldConfig.Alloc is set.
+	allocCtl *allocController
 
 	// usedIDs guards client-ID uniqueness across Start and every later
 	// AddClientNow; extraInj holds fault injectors armed mid-run through
@@ -118,6 +123,7 @@ func (s *Scenario) Start() {
 	}
 	s.buildWorld()
 	s.usedIDs = make(map[int]bool, len(s.clientCfgs))
+	s.byID = make(map[int]*Client, len(s.clientCfgs))
 
 	// Pre-size per-client observability buffers. Event and span volume
 	// scales with run length (join pipeline stages, link transitions,
@@ -139,6 +145,11 @@ func (s *Scenario) Start() {
 			panic("core: " + err.Error())
 		}
 	}
+
+	if s.cfg.Alloc != nil {
+		s.allocCtl = newAllocController(s)
+		s.eng.Ticker(s.allocCtl.cfg.Epoch, s.allocCtl.epoch)
+	}
 }
 
 // materialize admits one defaulted client config into the live world:
@@ -154,6 +165,7 @@ func (s *Scenario) materialize(cc ClientConfig) error {
 	s.usedIDs[cc.ID] = true
 	c := newClient(s, cc)
 	s.clients = append(s.clients, c)
+	s.byID[cc.ID] = c
 	// Each client's RNG is a pure function of (seed, ID) — Derive
 	// consumes no parent state — so neither AddClient order nor the
 	// ID set of other clients perturbs a client's random sequence.

@@ -204,6 +204,15 @@ func (d *Driver) Stats() Stats { return d.stats }
 // TxAirtime returns the radio's cumulative transmit airtime.
 func (d *Driver) TxAirtime() sim.Time { return d.radio.TxAirtime() }
 
+// ChannelAirtime returns the cumulative occupancy the radio senses on ch
+// (see phy.Medium.ChannelAirtime); decentralized allocation policies
+// sample it to estimate per-channel busy fractions.
+func (d *Driver) ChannelAirtime(ch dot11.Channel) sim.Time { return d.radio.ChannelAirtime(ch) }
+
+// ChannelContenders returns the instantaneous count of radios with frames
+// committed on ch (see phy.Medium.ChannelContenders).
+func (d *Driver) ChannelContenders(ch dot11.Channel) int { return d.radio.ChannelContenders(ch) }
+
 // SwitchTime returns the total time spent in hardware resets.
 func (d *Driver) SwitchTime() sim.Time {
 	return sim.Time(d.stats.Switches) * d.radio.SwitchLatency()

@@ -7,6 +7,7 @@
 package lmm
 
 import (
+	"spider/internal/alloc"
 	"spider/internal/dhcp"
 	"spider/internal/dot11"
 	"spider/internal/driver"
@@ -78,6 +79,13 @@ type Config struct {
 	// RecencyAlpha is the exponential weight given to the newest join
 	// attempt when updating utility.
 	RecencyAlpha float64
+	// Alloc, when non-nil, swaps the selfish utility ranking for the
+	// decentralized proportional-fair policy: candidates rank by estimated
+	// rate over sensed channel load, concurrent links cap at the policy's
+	// MaxLinks, and each reselect pass feeds the driver's carrier-sense
+	// readings into the policy. Nil keeps the legacy heuristic
+	// byte-identical.
+	Alloc *alloc.Policy
 	// Events, when non-nil, receives the module's structured timeline
 	// (join pipeline stages, DHCP message arrivals, lease renewals).
 	Events *obs.ClientLog
@@ -308,6 +316,14 @@ type LMM struct {
 	stopSelect    func()
 	globalBackoff sim.Time
 
+	// schedChanList mirrors schedChans in schedule order for the alloc
+	// policy's channel-sense pass. allocTarget pins the module to one AP
+	// when the centralized allocator steers it; allocPinned marks the pin
+	// (a zero target clears it).
+	schedChanList []dot11.Channel
+	allocTarget   dot11.MACAddr
+	allocPinned   bool
+
 	// candScratch and idleScratch back reselect's working sets; the pass
 	// runs every ReselectInterval per client, so reusing them keeps the
 	// steady-state selection loop allocation-free.
@@ -341,6 +357,9 @@ func New(eng *sim.Engine, rng *sim.RNG, drv *driver.Driver, cfg Config) *LMM {
 	}
 	drv.SetSchedule(cfg.Schedule)
 	for _, s := range cfg.Schedule {
+		if !m.schedChans[s.Channel] {
+			m.schedChanList = append(m.schedChanList, s.Channel)
+		}
 		m.schedChans[s.Channel] = true
 	}
 	for _, v := range drv.VIFs() {
@@ -432,7 +451,11 @@ func (m *LMM) SetSchedule(slots []driver.Slot) {
 	m.cfg.Schedule = append([]driver.Slot(nil), slots...)
 	m.drv.SetSchedule(slots)
 	m.schedChans = make(map[dot11.Channel]bool)
+	m.schedChanList = m.schedChanList[:0]
 	for _, s := range slots {
+		if !m.schedChans[s.Channel] {
+			m.schedChanList = append(m.schedChanList, s.Channel)
+		}
 		m.schedChans[s.Channel] = true
 	}
 	for _, c := range m.conns {
@@ -465,11 +488,19 @@ func (m *LMM) scoreJoin(bssid dot11.MACAddr, stage JoinStage) {
 	u.seen = true
 }
 
-// rankBefore orders candidate APs: utility first (unknown APs bootstrap
-// at max), RSSI breaks ties, BSSID is the deterministic final tiebreak. A
-// stock driver ranks by RSSI alone.
+// rankBefore orders candidate APs: the alloc policy's PF score when one is
+// installed, else utility first (unknown APs bootstrap at max); RSSI breaks
+// ties, BSSID is the deterministic final tiebreak. Every branch bottoms out
+// at the unique BSSID, so the order is strictly total regardless of the
+// scan table's arrival order.
 func (m *LMM) rankBefore(a, b driver.ScanEntry) bool {
-	if !m.cfg.SelectByRSSIOnly {
+	if m.cfg.Alloc != nil {
+		sa := m.cfg.Alloc.Score(a.BSSID, a.Channel, a.RSSI)
+		sb := m.cfg.Alloc.Score(b.BSSID, b.Channel, b.RSSI)
+		if sa != sb {
+			return sa > sb
+		}
+	} else if !m.cfg.SelectByRSSIOnly {
 		ua, _ := m.Utility(a.BSSID)
 		ub, _ := m.Utility(b.BSSID)
 		if ua != ub {
@@ -482,8 +513,75 @@ func (m *LMM) rankBefore(a, b driver.ScanEntry) bool {
 	return a.BSSID.Less(b.BSSID)
 }
 
+// maxActive returns the concurrent-link cap the current policy imposes;
+// len(conns) means no cap beyond the interface count.
+func (m *LMM) maxActive() int {
+	if m.cfg.SingleAP {
+		return 1
+	}
+	if m.cfg.Alloc != nil {
+		return m.cfg.Alloc.MaxLinks()
+	}
+	return len(m.conns)
+}
+
+// SetAllocTarget pins the module to one AP chosen by the centralized
+// allocator: reselect only joins the target, and a live link to any other
+// AP is steered down once the target is in range. A zero BSSID clears the
+// pin, returning reselect to its configured ranking.
+func (m *LMM) SetAllocTarget(bssid dot11.MACAddr) {
+	m.allocTarget = bssid
+	m.allocPinned = bssid != (dot11.MACAddr{})
+}
+
+// AllocTarget reports the current pin, if any.
+func (m *LMM) AllocTarget() (dot11.MACAddr, bool) {
+	return m.allocTarget, m.allocPinned
+}
+
+// steerToTarget tears down connections to APs other than the pinned target
+// once the target is actually joinable — tearing down earlier would strand
+// the client between the AP it had and the AP it cannot reach yet.
+func (m *LMM) steerToTarget(now sim.Time) {
+	if m.inUse[m.allocTarget] {
+		return // already joining or joined the target
+	}
+	visible := false
+	for _, e := range m.drv.ScanTable() {
+		if e.BSSID == m.allocTarget && e.Open && m.schedChans[e.Channel] &&
+			e.RSSI >= m.cfg.MinRSSI && m.backoffUntil[e.BSSID] <= now {
+			visible = true
+			break
+		}
+	}
+	if !visible {
+		return
+	}
+	for _, c := range m.conns {
+		if c.state == connIdle || c.bssid == m.allocTarget {
+			continue
+		}
+		if c.state == connUp {
+			c.link.DownCause = "alloc-steer"
+			c.down(true)
+		} else {
+			c.abort()
+		}
+	}
+}
+
 // reselect assigns idle interfaces to the best candidate APs.
 func (m *LMM) reselect() {
+	now := m.eng.Now()
+	if m.cfg.Alloc != nil {
+		// Refresh the policy's channel-load inference at the reselect
+		// cadence — the same carrier-sense pass a real station's firmware
+		// performs while scanning.
+		m.cfg.Alloc.Observe(now, m.drv.ChannelAirtime, m.drv.ChannelContenders, m.schedChanList)
+	}
+	if m.allocPinned {
+		m.steerToTarget(now)
+	}
 	active := 0
 	idle := m.idleScratch[:0]
 	for _, c := range m.conns {
@@ -494,10 +592,9 @@ func (m *LMM) reselect() {
 		}
 	}
 	m.idleScratch = idle
-	if len(idle) == 0 || (m.cfg.SingleAP && active >= 1) {
+	if len(idle) == 0 || active >= m.maxActive() {
 		return
 	}
-	now := m.eng.Now()
 	if now < m.globalBackoff {
 		return // stock dhclient idling after a failed acquisition
 	}
@@ -508,6 +605,9 @@ func (m *LMM) reselect() {
 		}
 		if m.inUse[e.BSSID] || m.backoffUntil[e.BSSID] > now {
 			continue
+		}
+		if m.allocPinned && e.BSSID != m.allocTarget {
+			continue // centrally steered: only the assigned AP is eligible
 		}
 		if m.cfg.ParkOnConnect && active > 0 && e.Channel != m.drv.CurrentChannel() {
 			continue // parked on a live link's channel; don't join elsewhere
@@ -527,7 +627,7 @@ func (m *LMM) reselect() {
 		if len(idle) == 0 {
 			break
 		}
-		if m.cfg.SingleAP && active >= 1 {
+		if active >= m.maxActive() {
 			break
 		}
 		c := idle[0]

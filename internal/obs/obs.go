@@ -106,6 +106,11 @@ const (
 	// KindServeWALTruncated marks recovery discarding a torn WAL tail
 	// (Value = bytes truncated).
 	KindServeWALTruncated
+	// KindAllocAssign marks a fairness-allocator decision for one client:
+	// the AP it was assigned and the pacing target applied (BSSID = the
+	// assignment, zero MAC = unassigned; Value = pace in bit/s, 0 =
+	// unpaced; Note = allocator variant).
+	KindAllocAssign
 
 	numKinds // sentinel: keep last
 )
@@ -122,6 +127,7 @@ var kindNames = [numKinds]string{
 	"ipam.alloc", "ipam.failover", "ipam.gc",
 	"serve.intent", "serve.checkpoint", "serve.restore", "serve.stall",
 	"serve.wal-truncated",
+	"alloc.assign",
 }
 
 func (k Kind) String() string {

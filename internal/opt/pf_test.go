@@ -1,0 +1,164 @@
+package opt
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// rates builds a uniform RateBps matrix.
+func uniformRates(clients, aps int, r float64) [][]float64 {
+	m := make([][]float64, clients)
+	for c := range m {
+		m[c] = make([]float64, aps)
+		for a := range m[c] {
+			m[c][a] = r
+		}
+	}
+	return m
+}
+
+func TestSolvePFBalancesEqualAPs(t *testing.T) {
+	// Four identical clients, two identical APs on different channels:
+	// the PF assignment is 2/2 and every client delivers r/2.
+	p := PFProblem{
+		APs:     []PFAP{{Channel: 1}, {Channel: 6}},
+		RateBps: uniformRates(4, 2, 10e6),
+	}
+	sol := SolvePF(p)
+	count := [2]int{}
+	for c, a := range sol.Assign {
+		if a < 0 {
+			t.Fatalf("client %d unassigned", c)
+		}
+		count[a]++
+		if math.Abs(sol.ThroughputBps[c]-5e6) > 1 {
+			t.Fatalf("client %d throughput %v, want 5e6", c, sol.ThroughputBps[c])
+		}
+	}
+	if count[0] != 2 || count[1] != 2 {
+		t.Fatalf("assignment not balanced: %v", count)
+	}
+}
+
+func TestSolvePFSharedChannelSplitsByBackhaul(t *testing.T) {
+	// Two APs on ONE channel: the channel share is global (4 clients ->
+	// 1/4 each regardless of AP), so the only reason to spread is the
+	// per-AP backhaul cap. With caps tight enough to bind, the solver
+	// must still split 2/2.
+	p := PFProblem{
+		APs:     []PFAP{{Channel: 1, CapacityBps: 4e6}, {Channel: 1, CapacityBps: 4e6}},
+		RateBps: uniformRates(4, 2, 10e6),
+	}
+	sol := SolvePF(p)
+	count := [2]int{}
+	for _, a := range sol.Assign {
+		count[a]++
+	}
+	if count[0] != 2 || count[1] != 2 {
+		t.Fatalf("assignment not balanced across backhauls: %v", count)
+	}
+	// Each client: channel share 10e6/4 = 2.5e6, backhaul 4e6/2 = 2e6.
+	for c, v := range sol.ThroughputBps {
+		if math.Abs(v-2e6) > 1 {
+			t.Fatalf("client %d throughput %v, want 2e6", c, v)
+		}
+	}
+}
+
+func TestSolvePFPrefersRateThenAvoidsCap(t *testing.T) {
+	// A lone client prefers the reachable AP with the better delivered
+	// rate, accounting for the backhaul cap: AP0 has a fast radio but a
+	// 1 Mbit backhaul, AP1 a slower radio with open backhaul.
+	p := PFProblem{
+		APs:     []PFAP{{Channel: 1, CapacityBps: 1e6}, {Channel: 6}},
+		RateBps: [][]float64{{10e6, 2e6}},
+	}
+	sol := SolvePF(p)
+	if sol.Assign[0] != 1 {
+		t.Fatalf("assigned AP %d, want 1 (capacity-aware)", sol.Assign[0])
+	}
+	if math.Abs(sol.ThroughputBps[0]-2e6) > 1 {
+		t.Fatalf("throughput %v, want 2e6", sol.ThroughputBps[0])
+	}
+}
+
+func TestSolvePFUnreachableClient(t *testing.T) {
+	p := PFProblem{
+		APs:     []PFAP{{Channel: 1}},
+		RateBps: [][]float64{{0}, {5e6}},
+	}
+	sol := SolvePF(p)
+	if sol.Assign[0] != -1 || sol.ThroughputBps[0] != 0 {
+		t.Fatalf("unreachable client got %d / %v", sol.Assign[0], sol.ThroughputBps[0])
+	}
+	if sol.Assign[1] != 0 {
+		t.Fatalf("reachable client got %d", sol.Assign[1])
+	}
+}
+
+func TestSolvePFHysteresis(t *testing.T) {
+	// Two equal APs, one client: without a seed the tie breaks to AP 0;
+	// with Initial=1 the equal-value client must stay put.
+	p := PFProblem{
+		APs:     []PFAP{{Channel: 1}, {Channel: 6}},
+		RateBps: uniformRates(1, 2, 10e6),
+	}
+	if sol := SolvePF(p); sol.Assign[0] != 0 {
+		t.Fatalf("unseeded tie broke to %d, want 0", sol.Assign[0])
+	}
+	p.Initial = []int{1}
+	if sol := SolvePF(p); sol.Assign[0] != 1 {
+		t.Fatalf("seeded client moved to %d, want to stay on 1", sol.Assign[0])
+	}
+}
+
+func TestSolvePFDeterministic(t *testing.T) {
+	// A loaded asymmetric instance solved twice must match exactly.
+	rates := [][]float64{
+		{9e6, 3e6, 0},
+		{8e6, 4e6, 1e6},
+		{2e6, 7e6, 6e6},
+		{1e6, 1e6, 11e6},
+		{5e6, 5e6, 5e6},
+	}
+	p := PFProblem{
+		APs:     []PFAP{{Channel: 1, CapacityBps: 4e6}, {Channel: 1, CapacityBps: 4e6}, {Channel: 6}},
+		RateBps: rates,
+	}
+	a, b := SolvePF(p), SolvePF(p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("solver not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestSolvePFBeatsSelfishRateChasing(t *testing.T) {
+	// Eight identical clients, two same-channel APs with tight backhauls.
+	// The selfish max-rate rule piles everyone onto AP 0; PF spreads
+	// them. Compare PF objectives under the same sharing model.
+	nClients := 8
+	p := PFProblem{
+		APs:     []PFAP{{Channel: 1, CapacityBps: 2e6}, {Channel: 1, CapacityBps: 2e6}},
+		RateBps: make([][]float64, nClients),
+	}
+	for c := range p.RateBps {
+		p.RateBps[c] = []float64{10e6, 9.9e6} // AP 0 is everyone's best rate
+	}
+	sol := SolvePF(p)
+
+	// Selfish: everyone on AP 0. Channel share 10e6/8, backhaul 2e6/8.
+	selfish := 0.0
+	for range p.RateBps {
+		selfish += math.Log(math.Min(10e6/8, 2e6/8))
+	}
+	if sol.Objective <= selfish {
+		t.Fatalf("PF objective %v not better than selfish %v", sol.Objective, selfish)
+	}
+	count := [2]int{}
+	for _, a := range sol.Assign {
+		count[a]++
+	}
+	if count[0] != 4 || count[1] != 4 {
+		t.Fatalf("PF did not spread the herd: %v", count)
+	}
+}

@@ -293,6 +293,80 @@ func rssiAt(d float64) float64 {
 	return -30 - 35*math.Log10(d)
 }
 
+// DistanceForRSSI inverts the log-distance RSSI model: the transmitter
+// distance in metres that produces the given RSSI reading. Clamped to the
+// model's 1 m near-field floor. Allocation policies use it to turn a scan
+// entry's RSSI back into the geometry the throughput model wants.
+func DistanceForRSSI(rssi float64) float64 {
+	d := math.Pow(10, -(rssi+30)/35)
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// ChannelAirtime returns the cumulative on-air time committed on ch since
+// the start of the run — the occupancy integral a carrier-sensing station
+// can measure. Sampling it twice and dividing by the wall interval gives
+// the channel's busy fraction over that window. Zero for invalid channels.
+func (m *Medium) ChannelAirtime(ch dot11.Channel) sim.Time {
+	if !ch.Valid() {
+		return 0
+	}
+	return m.airtime[ch]
+}
+
+// ChannelContenders returns the number of distinct radios that currently
+// have frames committed but not yet off the air on ch — the instantaneous
+// contention the collision model charges against. Zero for invalid
+// channels.
+func (m *Medium) ChannelContenders(ch dot11.Channel) int {
+	if !ch.Valid() {
+		return 0
+	}
+	return int(m.transmitters[ch])
+}
+
+// ChannelAirtime exposes the medium's cumulative per-channel occupancy
+// through the radio — the carrier-sense view a station's firmware reports.
+func (r *Radio) ChannelAirtime(ch dot11.Channel) sim.Time { return r.m.ChannelAirtime(ch) }
+
+// ChannelContenders exposes the medium's instantaneous per-channel
+// transmitter count through the radio.
+func (r *Radio) ChannelContenders(ch dot11.Channel) int { return r.m.ChannelContenders(ch) }
+
+// ExpectedThroughput models the saturated MAC goodput, in bits/s, of a
+// unicast stream to a peer at distance d: for each rate in the table it
+// charges a full-size data frame's airtime plus per-frame overhead against
+// the expected delivered payload (data and ACK must both survive, hence
+// the squared survival term), and returns the best rate's goodput — the
+// steady state ARF converges to. Zero at or beyond Range. This is the
+// per-client rate model the proportional-fair allocator shares with the
+// opt package's throughput framework.
+func (p Params) ExpectedThroughput(d float64) float64 {
+	if d >= p.Range {
+		return 0
+	}
+	const payloadBytes = 1500.0
+	rates := p.rates()
+	if !p.RateAdaptation {
+		rates = []float64{p.BitRate}
+	}
+	best := 0.0
+	for _, rate := range rates {
+		loss := p.lossAt(d, rate)
+		succ := (1 - loss) * (1 - loss)
+		if succ <= 0 {
+			continue
+		}
+		air := payloadBytes*8/rate + float64(p.PerFrameOverhead)/1e9
+		if g := payloadBytes * 8 * succ / air; g > best {
+			best = g
+		}
+	}
+	return best
+}
+
 // Radio is a single physical 802.11 interface: it is tuned to one channel
 // at a time, transmits frames onto the medium, and delivers received frames
 // to its receiver callback.

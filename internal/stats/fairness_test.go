@@ -11,12 +11,16 @@ func TestJain(t *testing.T) {
 		xs   []float64
 		want float64
 	}{
-		{"empty", nil, 0},
-		{"all zero", []float64{0, 0, 0}, 0},
+		// Degenerate samples: every client received the same (zero)
+		// share, which is perfect fairness, not a 0/0.
+		{"empty", nil, 1},
+		{"all zero", []float64{0, 0, 0}, 1},
+		{"one zero client", []float64{0}, 1},
 		{"perfectly fair", []float64{5, 5, 5, 5}, 1},
 		{"single client", []float64{7}, 1},
 		{"one hog of four", []float64{12, 0, 0, 0}, 0.25},
 		{"two of four", []float64{6, 6, 0, 0}, 0.5},
+		{"near-zero but nonzero", []float64{1e-300, 1e-300}, 1},
 	} {
 		if got := Jain(tc.xs); math.Abs(got-tc.want) > 1e-12 {
 			t.Errorf("%s: Jain = %v, want %v", tc.name, got, tc.want)

@@ -117,10 +117,11 @@ func Percentile(xs []float64, q float64) float64 {
 
 // Jain returns Jain's fairness index (Σx)²/(n·Σx²) of a per-client
 // allocation: 1 when every client gets the same share, 1/n when one client
-// gets everything. An empty or all-zero sample yields 0.
+// gets everything. An empty or all-zero sample is perfectly fair — every
+// client got the same (zero) share — so it yields 1 rather than a 0/0.
 func Jain(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return 1
 	}
 	var sum, sumSq float64
 	for _, x := range xs {
@@ -128,7 +129,7 @@ func Jain(xs []float64) float64 {
 		sumSq += x * x
 	}
 	if sumSq == 0 {
-		return 0
+		return 1
 	}
 	return sum * sum / (float64(len(xs)) * sumSq)
 }

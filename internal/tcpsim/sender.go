@@ -83,6 +83,14 @@ type Sender struct {
 	rtoTimer *sim.Event
 	stopped  bool
 
+	// Pacing: when paceBps > 0, data segments are released no faster than
+	// the target rate. paceNext is when the token bucket next permits a
+	// segment; paceTimer wakes sendData at that instant when the window
+	// would otherwise allow more.
+	paceBps   float64
+	paceNext  sim.Time
+	paceTimer *sim.Event
+
 	// Stats for experiments.
 	Timeouts        int
 	FastRetransmits int
@@ -126,6 +134,41 @@ func (s *Sender) Start(totalBytes int64) {
 func (s *Sender) Stop() {
 	s.stopped = true
 	s.cancelRTO()
+	s.cancelPace()
+}
+
+// SetPaceBps caps the sender's payload release rate (the allocator's
+// airtime-share enforcement); <= 0 removes the cap. Setting the rate only
+// records it — no event is scheduled, so an allocator may re-pace any
+// number of idle senders without perturbing the event timeline. Only when
+// the sender was asleep on its own pace timer is that wakeup replaced by
+// an immediate re-drive, since the cancelled timer was its sole way
+// forward.
+func (s *Sender) SetPaceBps(bps float64) {
+	if bps <= 0 {
+		bps = 0
+		s.paceNext = 0
+	}
+	s.paceBps = bps
+	if s.paceTimer != nil {
+		s.cancelPace()
+		s.sendData()
+	}
+}
+
+// PaceBps returns the current pacing cap (0 when unpaced).
+func (s *Sender) PaceBps() float64 { return s.paceBps }
+
+func (s *Sender) cancelPace() {
+	if s.paceTimer != nil {
+		s.eng.Cancel(s.paceTimer)
+		s.paceTimer = nil
+	}
+}
+
+func (s *Sender) onPaceTimer() {
+	s.paceTimer = nil
+	s.sendData()
 }
 
 // Established reports whether the handshake has completed.
@@ -202,12 +245,32 @@ func (s *Sender) sendData() {
 		if rem <= 0 {
 			break
 		}
+		if s.paceBps > 0 {
+			now := s.eng.Now()
+			if s.paceNext > now {
+				// Token bucket empty: wake exactly when it refills. One
+				// timer, re-armed only while the window wants more data.
+				if s.paceTimer == nil {
+					s.paceTimer = s.eng.ScheduleAt(s.paceNext, s.onPaceTimer)
+				}
+				break
+			}
+		}
 		n := s.cfg.MSS
 		if int64(n) > rem {
 			n = int(rem)
 		}
 		if s.flight()+uint32(n) > cwndBytes && s.flight() > 0 {
 			break
+		}
+		if s.paceBps > 0 {
+			// No burst credit: an idle gap does not entitle a burst, so the
+			// clock advances from now, not from the stale paceNext.
+			now := s.eng.Now()
+			if s.paceNext < now {
+				s.paceNext = now
+			}
+			s.paceNext += sim.Time(float64(n) * 8 / s.paceBps * 1e9)
 		}
 		seg := Segment{Flags: FlagACK, Seq: s.sndNxt, Payload: n}
 		s.sendTimes[s.sndNxt+uint32(n)] = s.eng.Now()
@@ -306,6 +369,7 @@ func (s *Sender) Deliver(seg Segment) {
 			if s.total >= 0 && int64(s.sndUna) >= s.total+1 {
 				s.state = senderDone
 				s.cancelRTO()
+				s.cancelPace()
 				if s.done != nil {
 					s.done()
 				}

@@ -336,3 +336,57 @@ func TestSenderAccessors(t *testing.T) {
 		t.Fatalf("initial rto = %v", s.RTO())
 	}
 }
+
+func TestPacingCapsThroughput(t *testing.T) {
+	// A lossless 1 Mbit/s-paced transfer over a fast pipe must take about
+	// payload/rate, not the unpaced few RTTs.
+	eng := sim.NewEngine()
+	p := &pipe{eng: eng, rng: sim.NewRNG(1), delay: time.Millisecond}
+	doneAt := sim.Time(-1)
+	const total = 1 << 20 // 1 MiB
+	snd, _ := connect(eng, p, Config{}, total, func() { doneAt = eng.Now() })
+	snd.SetPaceBps(1e6)
+	eng.Run(time.Minute)
+	if !snd.Done() {
+		t.Fatal("paced transfer did not complete")
+	}
+	want := sim.Time(float64(total) * 8 / 1e6 * 1e9) // ~8.4 s
+	if doneAt < want {
+		t.Fatalf("finished at %v, faster than the %v pace allows", doneAt, want)
+	}
+	if doneAt > want+want/4 {
+		t.Fatalf("finished at %v, far slower than the %v pace", doneAt, want)
+	}
+}
+
+func TestPacingClearedMidFlow(t *testing.T) {
+	// Removing the cap mid-flow must let the sender revert to window-limited
+	// behaviour and finish quickly.
+	eng := sim.NewEngine()
+	p := &pipe{eng: eng, rng: sim.NewRNG(1), delay: time.Millisecond}
+	doneAt := sim.Time(-1)
+	const total = 1 << 20
+	snd, _ := connect(eng, p, Config{}, total, func() { doneAt = eng.Now() })
+	snd.SetPaceBps(1e5) // would take ~84 s alone
+	eng.Schedule(time.Second, func() { snd.SetPaceBps(0) })
+	eng.Run(time.Minute)
+	if !snd.Done() {
+		t.Fatal("transfer did not complete after the cap was lifted")
+	}
+	if doneAt > sim.Time(5*time.Second) {
+		t.Fatalf("finished at %v; cap removal did not take effect", doneAt)
+	}
+}
+
+func TestPacingSetterSchedulesNothing(t *testing.T) {
+	// The allocator re-paces idle senders in bulk; the setter must not
+	// perturb the event timeline.
+	eng := sim.NewEngine()
+	snd := NewSender(eng, Config{}, func(Segment) {}, nil)
+	snd.SetPaceBps(5e6)
+	snd.SetPaceBps(1e6)
+	snd.SetPaceBps(0)
+	if n := eng.Pending(); n != 0 {
+		t.Fatalf("SetPaceBps scheduled %d events", n)
+	}
+}
