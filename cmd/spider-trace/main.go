@@ -6,6 +6,7 @@
 //	spider-trace -spans spans.jsonl
 //	spider-trace -spans spans.jsonl -run 'population#n=8' -t 12s
 //	spider-trace -spans spans.jsonl -chrome trace.json
+//	spider-trace -rollups rollups.jsonl
 //
 // The report breaks join latency down by pipeline phase (scan, probe,
 // auth, assoc, DHCP, connectivity test), compares the measured per-channel
@@ -13,12 +14,19 @@
 // schedule fractions, aggregates per-channel and per-AP occupancy, and
 // attributes outage time to cause. -chrome additionally writes a Chrome
 // trace-event file loadable in Perfetto or chrome://tracing.
+//
+// -rollups switches to the telemetry plane's bounded-memory export
+// (spider-bench -rollups, or GET /v1/rollups on spider-serve): a
+// per-window breakdown with run-level quantiles re-derived from the
+// merged window sketches, SLO violation tallies, and the flight-recorder
+// accounting. -run and -out apply as usual; -spans is not required.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"spider/internal/model"
@@ -28,16 +36,21 @@ import (
 
 func main() {
 	var (
-		spansPath = flag.String("spans", "", "span JSONL file to analyze ('-' = stdin)")
-		runFilter = flag.String("run", "", "restrict the report to one run label")
-		outPath   = flag.String("out", "", "write the text report here (default stdout)")
-		chrome    = flag.String("chrome", "", "also write a Chrome trace-event JSON file here")
-		residence = flag.Duration("t", 10*time.Second, "modeled time in AP range for the Eq. 5-7 comparison")
-		betaMax   = flag.Duration("beta-max", time.Second, "modeled maximum DHCP timeout for the Eq. 5-7 comparison")
+		spansPath   = flag.String("spans", "", "span JSONL file to analyze ('-' = stdin)")
+		rollupsPath = flag.String("rollups", "", "rollup JSONL file to render instead ('-' = stdin)")
+		runFilter   = flag.String("run", "", "restrict the report to one run label")
+		outPath     = flag.String("out", "", "write the text report here (default stdout)")
+		chrome      = flag.String("chrome", "", "also write a Chrome trace-event JSON file here")
+		residence   = flag.Duration("t", 10*time.Second, "modeled time in AP range for the Eq. 5-7 comparison")
+		betaMax     = flag.Duration("beta-max", time.Second, "modeled maximum DHCP timeout for the Eq. 5-7 comparison")
 	)
 	flag.Parse()
+	if *rollupsPath != "" {
+		rollupReport(*rollupsPath, *runFilter, *outPath)
+		return
+	}
 	if *spansPath == "" {
-		fmt.Fprintln(os.Stderr, "spider-trace: -spans is required (path to span JSONL, or '-' for stdin)")
+		fmt.Fprintln(os.Stderr, "spider-trace: -spans or -rollups is required (path to JSONL, or '-' for stdin)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -89,6 +102,40 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "# chrome trace written to %s\n", *chrome)
+	}
+}
+
+// rollupReport renders the telemetry rollup export: every run in the
+// file, or just the one named by runFilter.
+func rollupReport(path, runFilter, outPath string) {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rf, err := tracereport.ReadRollups(in)
+	if err != nil {
+		fatal(err)
+	}
+	runs := rf.Runs
+	if runFilter != "" {
+		if _, ok := rf.Windows[runFilter]; !ok {
+			fatal(fmt.Errorf("no rollups with run label %q", runFilter))
+		}
+		runs = []string{runFilter}
+	}
+	var b strings.Builder
+	for _, run := range runs {
+		b.WriteString(rf.RollupReport(run))
+	}
+	if outPath == "" {
+		fmt.Print(b.String())
+	} else if err := os.WriteFile(outPath, []byte(b.String()), 0o644); err != nil {
+		fatal(err)
 	}
 }
 

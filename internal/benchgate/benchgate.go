@@ -18,7 +18,12 @@ import (
 // Record is one population rung's performance sample — the JSON layout of
 // BENCH_population.json entries.
 type Record struct {
-	Clients       int     `json:"clients"`
+	Clients int `json:"clients"`
+	// Telemetry marks rungs measured with the streaming telemetry plane
+	// attached (rollups, flight recorder, SLO evaluation). Rungs are
+	// still matched by client count alone — a telemetry rung uses a
+	// client count no bare rung shares.
+	Telemetry     bool    `json:"telemetry,omitempty"`
 	AggregateKBps float64 `json:"aggregate_kbps"`
 	JainFairness  float64 `json:"jain_fairness"`
 	// WallNS is the rung's single-run wall time (the experiment's ns/op).

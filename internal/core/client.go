@@ -372,6 +372,7 @@ func (c *Client) startFlow(l *lmm.Link, total int64, onDone func()) *flow {
 		func(n int, at sim.Time) {
 			c.series.Add(at, float64(n))
 			c.res.BytesReceived += int64(n)
+			s.cfg.Telemetry.AddGoodput(c.id, at, n)
 		})
 	f.snd = tcpsim.NewSender(eng, tcpsim.Config{},
 		func(seg tcpsim.Segment) {
@@ -390,6 +391,9 @@ func (c *Client) startFlow(l *lmm.Link, total int64, onDone func()) *flow {
 		if seg, err := tcpsim.DecodeSegment(p.Payload); err == nil {
 			f.rcv.Deliver(seg)
 		}
+	}
+	if tel := s.cfg.Telemetry; tel != nil {
+		f.snd.OnRTT = func(at, sample sim.Time) { tel.AddRTT(c.id, at, sample) }
 	}
 	if c.allocPace > 0 {
 		f.snd.SetPaceBps(c.allocPace)
@@ -497,7 +501,6 @@ func (c *Client) finalize() Result {
 	for _, inj := range s.extraInj {
 		res.Chaos.Add(inj.Stats())
 	}
-	res.Events = s.cfg.Obs.Summary()
 	res.Medium = s.medium.Stats()
 	if c.manager == nil {
 		// Stack never built (StartOffset beyond the run): an all-zero

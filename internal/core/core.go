@@ -25,6 +25,7 @@ import (
 	"spider/internal/obs"
 	"spider/internal/phy"
 	"spider/internal/sim"
+	"spider/internal/telemetry"
 )
 
 // Named durations for the timer profiles and controllers below; the
@@ -204,6 +205,14 @@ type WorldConfig struct {
 	// recorded run stays bit-reproducible. Nil disables recording with no
 	// cost beyond a nil check at each instrumentation site.
 	Obs *obs.Recorder
+	// Telemetry, when non-nil, attaches the streaming aggregation plane
+	// (see internal/telemetry): bounded-memory rollup windows, a flight
+	// recorder of raw events, and SLO health evaluation. The scenario
+	// binds it to the recorder, drives its window ticks from the engine,
+	// and wires the medium/DHCP probe. When Obs is nil a streaming
+	// (non-retaining) recorder is created automatically, so city-scale
+	// runs get telemetry without the O(events) raw timeline.
+	Telemetry *telemetry.Aggregator
 }
 
 func (w WorldConfig) withDefaults() WorldConfig {
@@ -413,21 +422,25 @@ type ScenarioConfig struct {
 	// Obs, when non-nil, records the run's structured event timeline and
 	// counters (see internal/obs).
 	Obs *obs.Recorder
+	// Telemetry, when non-nil, attaches the streaming aggregation plane
+	// (see WorldConfig.Telemetry).
+	Telemetry *telemetry.Aggregator
 }
 
 // split separates the flattened single-client config into its world and
 // client halves.
 func (c ScenarioConfig) split() (WorldConfig, ClientConfig) {
 	world := WorldConfig{
-		Seed:     c.Seed,
-		Duration: c.Duration,
-		Sites:    c.Sites,
-		Phy:      c.Phy,
-		AP:       c.AP,
-		IPAM:     c.IPAM,
-		Chaos:    c.Chaos,
-		PCAP:     c.PCAP,
-		Obs:      c.Obs,
+		Seed:      c.Seed,
+		Duration:  c.Duration,
+		Sites:     c.Sites,
+		Phy:       c.Phy,
+		AP:        c.AP,
+		IPAM:      c.IPAM,
+		Chaos:     c.Chaos,
+		PCAP:      c.PCAP,
+		Obs:       c.Obs,
+		Telemetry: c.Telemetry,
 	}
 	client := ClientConfig{
 		ID:                     0,

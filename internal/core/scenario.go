@@ -15,6 +15,7 @@ import (
 	"spider/internal/phy"
 	"spider/internal/sim"
 	"spider/internal/tcpsim"
+	"spider/internal/telemetry"
 )
 
 // flow is one per-link bulk TCP download.
@@ -121,18 +122,30 @@ func (s *Scenario) Start() {
 	if s.eng != nil {
 		panic("core: Scenario.Start called twice")
 	}
-	s.buildWorld()
-	s.usedIDs = make(map[int]bool, len(s.clientCfgs))
-	s.byID = make(map[int]*Client, len(s.clientCfgs))
+	// The telemetry plane aggregates the recorder's event stream; a run
+	// that asked for telemetry without a recorder gets a streaming one —
+	// every event is constructed and delivered to subscribers, nothing
+	// retained — so city-scale runs keep O(windows) memory.
+	if s.cfg.Telemetry != nil && s.cfg.Obs == nil {
+		s.cfg.Obs = obs.NewStreamingRecorder()
+	}
 
-	// Pre-size per-client observability buffers. Event and span volume
-	// scales with run length (join pipeline stages, link transitions,
-	// outage windows), not packet counts, so a small per-second rate
-	// covers typical runs without overcommitting at city scale.
+	// Pre-size per-client observability buffers before any log exists
+	// (buildWorld creates the world log). Event and span volume scales
+	// with run length (join pipeline stages, link transitions, outage
+	// windows), not packet counts, so a small per-second rate covers
+	// typical runs without overcommitting at city scale.
 	if s.cfg.Obs != nil {
 		secs := int(s.cfg.Duration / (1000 * 1000 * 1000))
 		s.cfg.Obs.Reserve(32+4*secs, 8+secs)
 	}
+	// Bind telemetry before the world exists so no emission can precede
+	// its subscriptions.
+	s.cfg.Telemetry.Bind(s.cfg.Obs)
+
+	s.buildWorld()
+	s.usedIDs = make(map[int]bool, len(s.clientCfgs))
+	s.byID = make(map[int]*Client, len(s.clientCfgs))
 
 	// Materialize clients in ID order so AddClient order cannot matter.
 	cfgs := make([]ClientConfig, len(s.clientCfgs))
@@ -150,6 +163,64 @@ func (s *Scenario) Start() {
 		s.allocCtl = newAllocController(s)
 		s.eng.Ticker(s.allocCtl.cfg.Epoch, s.allocCtl.epoch)
 	}
+
+	// Drive the telemetry window clock and wire the cumulative-counter
+	// probe. The Ticker fires at sim times that are a pure function of the
+	// window width, so window closes land identically on every replay.
+	if tel := s.cfg.Telemetry; tel != nil {
+		tel.SetProbe(s.telemetryProbe)
+		s.eng.Ticker(tel.Window(), func() { tel.Tick(s.eng.Now()) })
+	}
+
+	// Frame- and probe-path counts accumulate in plain stats and are
+	// pushed into the registry's atomic counters on a coarse cadence
+	// (plus once at Finalize, so exported values are exact). A scrape
+	// between publishes reads values at most five sim-seconds stale —
+	// fine for /v1/metrics — and the frame path never pays an atomic.
+	if s.cfg.Obs != nil {
+		s.eng.Ticker(5*1000*1000*1000, s.publishObs)
+	}
+}
+
+// publishObs flushes stats deltas from the medium and every driver into
+// the observability registry. Runs on the sim goroutine.
+func (s *Scenario) publishObs() {
+	s.medium.PublishObs()
+	for _, c := range s.clients {
+		// A client whose StartOffset has not arrived has no stack yet.
+		if c.drv != nil {
+			c.drv.PublishObs()
+		}
+	}
+}
+
+// telemetryProbe snapshots the world's cumulative counters for the
+// aggregator's per-window deltas: per-channel airtime and contenders from
+// the medium, total collisions, and DHCP pool-exhaustion refusals. Runs on
+// the sim goroutine at window closes.
+func (s *Scenario) telemetryProbe() telemetry.Probe {
+	p := telemetry.Probe{
+		Clients:          len(s.clients),
+		CumCollisions:    int64(s.medium.Stats().Collisions),
+		CumPoolExhausted: int64(s.DHCPPoolExhausted()),
+	}
+	chSet := make(map[int]struct{}, 4)
+	for _, site := range s.cfg.Sites {
+		chSet[int(site.Channel)] = struct{}{}
+	}
+	chs := make([]int, 0, len(chSet))
+	for ch := range chSet {
+		chs = append(chs, ch)
+	}
+	sort.Ints(chs)
+	for _, ch := range chs {
+		p.Channels = append(p.Channels, telemetry.ChannelProbe{
+			Channel:      ch,
+			CumAirtimeNS: int64(s.medium.ChannelAirtime(dot11.Channel(ch))),
+			Contenders:   s.medium.ChannelContenders(dot11.Channel(ch)),
+		})
+	}
+	return p
 }
 
 // materialize admits one defaulted client config into the live world:
@@ -195,16 +266,27 @@ func (s *Scenario) StepUntil(t sim.Time) sim.Time {
 // the run use the clock where the scenario actually stopped, which for a
 // batch Run is exactly the configured duration.
 func (s *Scenario) Finalize() []Result {
+	s.publishObs()
 	s.cfg.Obs.CloseOpenSpans(s.eng.Now())
+	s.cfg.Telemetry.Finish(s.eng.Now())
 	// Mid-run-added clients (AddClientNow) sort into ID order with the
 	// declared population.
 	sort.SliceStable(s.clients, func(i, j int) bool { return s.clients[i].id < s.clients[j].id })
+	// The event summary is world-level — identical in every Result — so
+	// compute it once; per-client Summary calls were an O(clients × logs)
+	// sweep that dominated dense-population finalization.
+	evSum := s.cfg.Obs.Summary()
 	results := make([]Result, len(s.clients))
 	for i, c := range s.clients {
 		results[i] = c.finalize()
+		results[i].Events = evSum
 	}
 	return results
 }
+
+// Telemetry returns the scenario's streaming aggregation plane (nil when
+// the world was configured without one).
+func (s *Scenario) Telemetry() *telemetry.Aggregator { return s.cfg.Telemetry }
 
 // Engine exposes the scenario's event engine (valid after Start). The
 // serve loop reads Now/Len/PeekNext from it to pick step barriers and

@@ -141,6 +141,18 @@ type Driver struct {
 	obsSwitches *obs.Counter
 	obsProbes   *obs.Counter
 	obsDrops    *obs.Counter
+	// pubProbes remembers how many probes were already pushed to
+	// obsProbes; probe() fires every dwell for every client, so the count
+	// is published as deltas rather than one atomic add per probe.
+	pubProbes uint64
+	// evChatty caches the log's per-client sampling decision (immutable
+	// after the log exists) so the per-probe guard reads driver-local
+	// state instead of chasing the ClientLog pointer every emission.
+	// suppressed counts emissions the cached flag swallowed; PublishObs
+	// settles them into the recorder so sampling loss stays loud.
+	evChatty      bool
+	suppressed    int64
+	pubSuppressed int64
 	// occSpan is the open schedule-occupancy span for the channel the
 	// radio currently dwells on; switches close it and arrivals open the
 	// next, so the span timeline tiles the run per channel.
@@ -163,6 +175,7 @@ func New(eng *sim.Engine, rng *sim.RNG, medium *phy.Medium, mac dot11.MACAddr, p
 		scan: make(map[dot11.MACAddr]ScanEntry),
 
 		events:      cfg.Events,
+		evChatty:    cfg.Events.ChattyFlag(),
 		obsSwitches: cfg.Obs.Counter("driver.channel_switches"),
 		obsProbes:   cfg.Obs.Counter("driver.probes_sent"),
 		obsDrops:    cfg.Obs.Counter("driver.tx_queue_drops"),
@@ -200,6 +213,17 @@ func (d *Driver) Config() Config { return d.cfg }
 
 // Stats returns a snapshot of the driver counters.
 func (d *Driver) Stats() Stats { return d.stats }
+
+// PublishObs pushes counts accumulated since the last call into the
+// registry counters. The probe path counts only in plain stats; callers
+// publish on a coarse cadence (and at finalize) so exported values are
+// exact without a per-probe atomic add.
+func (d *Driver) PublishObs() {
+	d.obsProbes.Add(int64(d.stats.ProbesSent - d.pubProbes))
+	d.pubProbes = d.stats.ProbesSent
+	d.events.AddSuppressed(d.suppressed - d.pubSuppressed)
+	d.pubSuppressed = d.suppressed
+}
 
 // TxAirtime returns the radio's cumulative transmit airtime.
 func (d *Driver) TxAirtime() sim.Time { return d.radio.TxAirtime() }
@@ -306,12 +330,18 @@ func (d *Driver) probe() {
 		return
 	}
 	d.stats.ProbesSent++
-	d.obsProbes.Inc()
-	d.events.Emit(obs.Event{
-		At:      d.eng.Now(),
-		Kind:    obs.KindProbe,
-		Channel: int(d.radio.Channel()),
-	})
+	// Probes are the single largest event class on a dense run (tens per
+	// client-minute); the cached chatty flag lets a sampling policy drop
+	// them per client before the event is even built.
+	if d.evChatty {
+		d.events.Emit(obs.Event{
+			At:      d.eng.Now(),
+			Kind:    obs.KindProbe,
+			Channel: int(d.radio.Channel()),
+		})
+	} else if d.events.Enabled() {
+		d.suppressed++
+	}
 	d.radio.Send(dot11.Frame{
 		Type:  dot11.TypeProbeReq,
 		Addr1: dot11.Broadcast,

@@ -191,8 +191,9 @@ func (v *VIF) sendAuth() {
 		}
 		// Record only real transmissions, not timer re-arms while the
 		// radio dwells elsewhere — the timeline shows frames on air. The
-		// Enabled guard keeps the disabled path from rendering the BSSID.
-		if v.drv.events.Enabled() {
+		// chatty guard keeps the disabled path (and sampled-out clients)
+		// from rendering the BSSID.
+		if v.drv.evChatty {
 			v.drv.events.Emit(obs.Event{
 				At:      v.drv.eng.Now(),
 				Kind:    obs.KindAuth,
@@ -200,6 +201,8 @@ func (v *VIF) sendAuth() {
 				Channel: int(v.channel),
 				Value:   int64(v.AuthAttempts),
 			})
+		} else if v.drv.events.Enabled() {
+			v.drv.suppressed++
 		}
 		body := dot11.AuthBody{SeqNum: 1}
 		v.drv.radio.Send(dot11.Frame{
@@ -216,7 +219,7 @@ func (v *VIF) sendAuth() {
 func (v *VIF) sendAssoc() {
 	if v.drv.radio.Channel() == v.channel && !v.drv.switching {
 		v.AssocAttempts++
-		if v.drv.events.Enabled() {
+		if v.drv.evChatty {
 			v.drv.events.Emit(obs.Event{
 				At:      v.drv.eng.Now(),
 				Kind:    obs.KindAssoc,
@@ -224,6 +227,8 @@ func (v *VIF) sendAssoc() {
 				Channel: int(v.channel),
 				Value:   int64(v.AssocAttempts),
 			})
+		} else if v.drv.events.Enabled() {
+			v.drv.suppressed++
 		}
 		v.drv.radio.Send(dot11.Frame{
 			Type:  dot11.TypeAssocReq,

@@ -63,8 +63,11 @@ func runConfigs(o Options, id string, cfgs []core.ScenarioConfig) []core.Result 
 			fn: func() core.Result {
 				rec := o.recorder()
 				cfg.Obs = rec
+				tel := o.rollup()
+				cfg.Telemetry = tel
 				r := core.Run(cfg)
 				o.collect(label, rec)
+				o.collectRollups(label, tel)
 				return r
 			},
 		}
@@ -91,8 +94,11 @@ func runConfigsHealth(o Options, id string, cfgs []core.ScenarioConfig) []core.R
 			fn: func() core.Result {
 				rec := o.recorder()
 				cfg.Obs = rec
+				tel := o.rollup()
+				cfg.Telemetry = tel
 				r := core.Run(cfg)
 				o.collect(label, rec)
+				o.collectRollups(label, tel)
 				if o.Fleet != nil {
 					o.Fleet.AddHealth(fleet.Health{
 						Faults:     int64(r.Chaos.Injected),

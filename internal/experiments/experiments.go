@@ -14,6 +14,7 @@ import (
 	"spider/internal/fleet"
 	"spider/internal/obs"
 	"spider/internal/sim"
+	"spider/internal/telemetry"
 )
 
 // Options control experiment fidelity. The zero value means full fidelity
@@ -45,6 +46,12 @@ type Options struct {
 	// memoized experiment without re-running its jobs; collect events
 	// with a fresh pool when a complete stream matters.
 	Events *obs.Collector
+	// Rollups, when non-nil, attaches a telemetry aggregator (default
+	// window, default SLOs) to every simulation run and files its closed
+	// windows plus flight accounting under the run's job label. Same
+	// determinism contract as Events: export is in sorted label order,
+	// so the merged rollup JSONL is byte-identical at any worker count.
+	Rollups *telemetry.Collector
 }
 
 // Key returns the canonical result-cache key for an experiment with these
@@ -96,6 +103,22 @@ func (o Options) collect(label string, rec *obs.Recorder) {
 	if o.Fleet != nil {
 		o.Fleet.AddEvents(rec.Summary())
 	}
+}
+
+// rollup returns a fresh per-run telemetry aggregator when rollup
+// collection is on. The aggregator seeds its flight sampling from the
+// experiment seed, so the kept-client set is a pure function of Options.
+func (o Options) rollup() *telemetry.Aggregator {
+	if o.Rollups == nil {
+		return nil
+	}
+	return telemetry.New(telemetry.Config{Seed: o.Seed, SLOs: telemetry.DefaultSLOs()})
+}
+
+// collectRollups files one finished run's closed windows and flight
+// accounting under its job label. Nil-safe on both sides.
+func (o Options) collectRollups(label string, tel *telemetry.Aggregator) {
+	o.Rollups.Add(label, tel)
 }
 
 // dur scales a full-fidelity duration, with a floor to stay meaningful.

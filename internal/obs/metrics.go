@@ -234,3 +234,47 @@ func (r *Registry) Render() string {
 	}
 	return b.String()
 }
+
+// promName sanitizes a registry instrument name into the Prometheus
+// metric-name alphabet ([a-zA-Z0-9_:]) under the spider_ namespace:
+// dots and dashes — the registry's native separators — become
+// underscores, anything else outside the alphabet does too.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("spider_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// RenderPrometheus prints the snapshot in the Prometheus text exposition
+// format: one `# TYPE` line plus one sample per instrument, counters and
+// gauges verbatim, histograms as the conventional _count/_sum pair.
+// Families render in Snapshot order — sorted by (type, name) — so two
+// renders of the same registry state are byte-identical; /v1/metrics and
+// its order-pinning test depend on that.
+func (r *Registry) RenderPrometheus() string {
+	var b strings.Builder
+	for _, m := range r.Snapshot() {
+		name := promName(m.Name)
+		switch m.Type {
+		case "histogram":
+			fmt.Fprintf(&b, "# TYPE %s_count counter\n%s_count %d\n", name, name, m.Value)
+			fmt.Fprintf(&b, "# TYPE %s_sum counter\n%s_sum %d\n", name, name, m.Sum)
+		case "gauge":
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, m.Value)
+		default:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, m.Value)
+		}
+	}
+	return b.String()
+}

@@ -111,6 +111,14 @@ const (
 	// assignment, zero MAC = unassigned; Value = pace in bit/s, 0 =
 	// unpaced; Note = allocator variant).
 	KindAllocAssign
+	// KindHealthViolation / KindHealthRecovered bracket an SLO rule's
+	// violating windows, emitted on the world log by the telemetry
+	// evaluator at window close (Note = "rule signal=… limit=… w=window",
+	// Value = the violating signal in milli-units). They derive purely
+	// from rollup windows over the deterministic event stream, so they
+	// inherit the replay/worker-invariance contract.
+	KindHealthViolation
+	KindHealthRecovered
 
 	numKinds // sentinel: keep last
 )
@@ -128,6 +136,7 @@ var kindNames = [numKinds]string{
 	"serve.intent", "serve.checkpoint", "serve.restore", "serve.stall",
 	"serve.wal-truncated",
 	"alloc.assign",
+	"health.violation", "health.recovered",
 }
 
 func (k Kind) String() string {

@@ -83,11 +83,20 @@ func (s Span) Open() bool { return s.End == openEnd }
 type ActiveSpan struct {
 	l   *ClientLog
 	idx int
+	// gen is the slot generation the handle was issued against. In
+	// streaming mode, closed slots are recycled; a reused slot bumps its
+	// generation, so a stale handle (kept past its span's close) fails
+	// the check and degrades to the nil-handle no-op path.
+	gen uint32
 }
 
-// span returns the underlying record (nil handle → nil).
+// span returns the underlying record (nil handle → nil; stale handle on
+// a recycled slot → nil).
 func (s *ActiveSpan) span() *Span {
 	if s == nil {
+		return nil
+	}
+	if s.l.spanGen != nil && s.l.spanGen[s.idx] != s.gen {
 		return nil
 	}
 	return &s.l.spans[s.idx]
@@ -134,6 +143,7 @@ func (s *ActiveSpan) Ended() bool {
 func (s *ActiveSpan) End(at sim.Time) {
 	if sp := s.span(); sp != nil && sp.End == openEnd {
 		sp.End = at
+		s.l.spanClosed(s.idx)
 	}
 }
 
@@ -143,17 +153,37 @@ func (s *ActiveSpan) EndStatus(at sim.Time, status string) {
 	if sp := s.span(); sp != nil && sp.End == openEnd {
 		sp.End = at
 		sp.Status = status
+		s.l.spanClosed(s.idx)
+	}
+}
+
+// spanClosed delivers the just-closed span at idx to span subscribers
+// and, in streaming mode, returns its slot to the free list for reuse.
+func (l *ClientLog) spanClosed(idx int) {
+	for _, fn := range l.r.spanSubs {
+		fn(l.spans[idx])
+	}
+	if !l.r.retain {
+		l.spanFree = append(l.spanFree, idx)
 	}
 }
 
 // StartChild opens a child span under s. On the nil handle it returns
-// nil, so whole span trees disappear when recording is off.
+// nil, so whole span trees disappear when recording is off. A stale
+// handle (streaming mode, slot recycled) also yields nil: the parent is
+// gone, so the child would dangle.
 func (s *ActiveSpan) StartChild(at sim.Time, name string) *ActiveSpan {
-	if s == nil {
+	sp := s.span()
+	if sp == nil {
 		return nil
 	}
+	// Capture the ID before StartSpan: in streaming mode the allocation
+	// may recycle storage and invalidate sp.
+	pid := sp.ID
 	child := s.l.StartSpan(at, name)
-	child.span().Parent = s.span().ID
+	if c := child.span(); c != nil {
+		c.Parent = pid
+	}
 	return child
 }
 
@@ -164,13 +194,34 @@ func (l *ClientLog) StartSpan(at sim.Time, name string) *ActiveSpan {
 		return nil
 	}
 	l.spanSeq++
-	l.spans = append(l.spans, Span{
+	sp := Span{
 		ID:     MakeSpanID(l.id, l.spanSeq),
 		Client: l.id,
 		Name:   name,
 		Start:  at,
 		End:    openEnd,
-	})
+	}
+	if !l.r.retain {
+		// Streaming mode: reuse a closed slot when one is free, bumping
+		// its generation so handles on the previous occupant go stale.
+		if n := len(l.spanFree); n > 0 {
+			idx := l.spanFree[n-1]
+			l.spanFree = l.spanFree[:n-1]
+			l.spanGen[idx]++
+			l.spans[idx] = sp
+			return &ActiveSpan{l: l, idx: idx, gen: l.spanGen[idx]}
+		}
+		if len(l.spans) == cap(l.spans) {
+			l.r.regrownSpan++
+		}
+		l.spans = append(l.spans, sp)
+		l.spanGen = append(l.spanGen, 0)
+		return &ActiveSpan{l: l, idx: len(l.spans) - 1}
+	}
+	if len(l.spans) == cap(l.spans) {
+		l.r.regrownSpan++
+	}
+	l.spans = append(l.spans, sp)
 	return &ActiveSpan{l: l, idx: len(l.spans) - 1}
 }
 
@@ -178,7 +229,9 @@ func (l *ClientLog) StartSpan(at sim.Time, name string) *ActiveSpan {
 // canonical artifact order. Within a client, IDs allocate in creation
 // order, so a parent always sorts at or before its children.
 func (r *Recorder) Spans() []Span {
-	if r == nil {
+	if r == nil || !r.retain {
+		// A streaming recorder's span storage is a recycling arena, not a
+		// timeline — the closed-span stream went to SubscribeSpans.
 		return nil
 	}
 	var n int
@@ -209,10 +262,20 @@ func (r *Recorder) CloseOpenSpans(at sim.Time) {
 	if r == nil {
 		return
 	}
-	for _, l := range r.logs {
+	// Sweep logs in client-ID order: the closes are delivered to span
+	// subscribers (telemetry's flight recorder among them), and map
+	// iteration order must never reach an observer.
+	ids := make([]int, 0, len(r.logs))
+	for id := range r.logs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := r.logs[id]
 		for i := range l.spans {
 			if l.spans[i].End == openEnd {
 				l.spans[i].End = at
+				l.spanClosed(i)
 			}
 		}
 	}

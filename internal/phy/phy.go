@@ -191,12 +191,16 @@ type Medium struct {
 	wires  mempool.ByteArena
 
 	// Observability counters; nil (no-op) unless SetObs installed a
-	// registry. Kept as resolved handles so the hot path pays one atomic
-	// add when enabled and a nil check when not.
+	// registry. The per-frame paths count only in the plain stats fields;
+	// PublishObs pushes accumulated deltas into these handles — a dense
+	// minute is ~450k frame-path increments, and paying a lock-prefixed
+	// atomic add for each measurably slows city-scale runs. pub remembers
+	// what was already pushed.
 	obsSent       *obs.Counter
 	obsDelivered  *obs.Counter
 	obsLost       *obs.Counter
 	obsCollisions *obs.Counter
+	pub           struct{ sent, delivered, lost, collisions uint64 }
 }
 
 // NewMedium creates a medium on the given engine. rng must be a dedicated
@@ -217,6 +221,24 @@ func (m *Medium) SetObs(reg *obs.Registry) {
 	m.obsDelivered = reg.Counter("phy.frames_delivered")
 	m.obsLost = reg.Counter("phy.frames_lost")
 	m.obsCollisions = reg.Counter("phy.collisions")
+}
+
+// PublishObs pushes the medium's frame accounting into its registry
+// counters as deltas since the previous publish. Call on the sim
+// goroutine — core drives it from a coarse ticker for live readers and
+// once at finalize so exported values are exact.
+func (m *Medium) PublishObs() {
+	if m.obsSent == nil {
+		return
+	}
+	m.obsSent.Add(int64(m.stats.FramesSent - m.pub.sent))
+	m.obsDelivered.Add(int64(m.stats.FramesDelivered - m.pub.delivered))
+	m.obsLost.Add(int64(m.stats.FramesLost - m.pub.lost))
+	m.obsCollisions.Add(int64(m.stats.Collisions - m.pub.collisions))
+	m.pub.sent = m.stats.FramesSent
+	m.pub.delivered = m.stats.FramesDelivered
+	m.pub.lost = m.stats.FramesLost
+	m.pub.collisions = m.stats.Collisions
 }
 
 // SetChannelNoise injects an additional per-try loss probability applied
@@ -622,7 +644,6 @@ func (m *Medium) transmit(src *Radio, ch dot11.Channel, f dot11.Frame, wire []by
 	m.busyUntil[ch] = start + air
 	src.txAirtime += air
 	m.stats.FramesSent++
-	m.obsSent.Inc()
 	m.airtime[ch] += air
 	m.addPending(ch, src)
 	j := m.newTxJob()
@@ -640,14 +661,12 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 	}
 	if collided {
 		m.stats.Collisions++
-		m.obsCollisions.Inc()
 	}
 	srcPos := src.pos()
 	if f.Addr1.IsBroadcast() {
 		m.stats.Broadcasts++
 		if collided {
 			m.stats.FramesLost++
-			m.obsLost.Inc()
 			if status != nil {
 				status(true)
 			}
@@ -663,7 +682,6 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 			}
 			if m.rng.Bool(m.lossOn(ch, d, rate)) {
 				m.stats.FramesLost++
-				m.obsLost.Inc()
 				continue
 			}
 			m.deliverTo(rx, wire, ch, d)
@@ -705,7 +723,6 @@ func (m *Medium) deliver(src *Radio, ch dot11.Channel, f dot11.Frame, wire []byt
 		return
 	}
 	m.stats.FramesLost++
-	m.obsLost.Inc()
 	if attempt < m.params.RetryLimit && !src.closed && !src.switching && !src.down && src.channel == ch {
 		retry := f
 		retry.Retry = true
@@ -733,6 +750,5 @@ func (m *Medium) deliverTo(rx *Radio, wire []byte, ch dot11.Channel, dist float6
 		panic(fmt.Sprintf("phy: frame failed to decode on delivery: %v", err))
 	}
 	m.stats.FramesDelivered++
-	m.obsDelivered.Inc()
 	rx.recv(decoded, RxInfo{Channel: ch, RSSI: rssiAt(dist), At: m.eng.Now()})
 }

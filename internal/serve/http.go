@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spider/internal/obs"
 	"spider/internal/sim"
+	"spider/internal/telemetry"
 )
 
 // DaemonConfig tunes the serve loop. Zero values pick the defaults
@@ -374,7 +376,9 @@ func (d *Daemon) ask(do func() (any, error)) (any, int, error) {
 // Handler returns the HTTP API:
 //
 //	GET  /v1/status   — lock-free status cell (never blocks on the loop)
-//	GET  /v1/metrics  — scenario metrics registry, rendered text
+//	GET  /v1/metrics  — scenario metrics, Prometheus text exposition
+//	GET  /v1/rollups  — closed telemetry windows + flight accounting
+//	                    (?from_ns= &to_ns= &last= filter; 404 if disabled)
 //	GET  /v1/events   — JSONL stream: recorded backlog, then live events
 //	POST /v1/intents  — durably accept one intent (body: Intent JSON,
 //	                    optional "after_ns" field for delayed apply)
@@ -384,6 +388,7 @@ func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/status", d.handleStatus)
 	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
+	mux.HandleFunc("GET /v1/rollups", d.handleRollups)
 	mux.HandleFunc("GET /v1/events", d.handleEvents)
 	mux.HandleFunc("POST /v1/intents", d.handleIntent)
 	mux.HandleFunc("POST /v1/snapshot", d.handleSnapshot)
@@ -409,15 +414,82 @@ func (d *Daemon) handleStatus(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Prometheus text exposition, rendered loop-side so the counters are
+	// a quiescent snapshot. Line order is pinned (sorted by type, name)
+	// so two scrapes of the same state are byte-identical.
 	v, code, err := d.ask(func() (any, error) {
-		return d.srv.Recorder().Metrics().Render(), nil
+		return d.srv.Recorder().Metrics().RenderPrometheus(), nil
 	})
 	if err != nil {
 		writeErr(w, code, err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, v.(string))
+}
+
+// rollupsResponse is the GET /v1/rollups body.
+type rollupsResponse struct {
+	Windows        []telemetry.Window       `json:"windows"`
+	Flight         telemetry.FlightCounters `json:"flight"`
+	DroppedWindows int64                    `json:"dropped_windows,omitempty"`
+}
+
+func (d *Daemon) handleRollups(w http.ResponseWriter, r *http.Request) {
+	if d.srv.Telemetry() == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("telemetry disabled by world spec"))
+		return
+	}
+	q := r.URL.Query()
+	parse := func(key string) (int64, error) {
+		s := q.Get(key)
+		if s == "" {
+			return 0, nil
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad %s %q", key, s)
+		}
+		return v, nil
+	}
+	var fromNS, toNS, last int64
+	var err error
+	if fromNS, err = parse("from_ns"); err == nil {
+		if toNS, err = parse("to_ns"); err == nil {
+			last, err = parse("last")
+		}
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	v, code, err := d.ask(func() (any, error) {
+		tel := d.srv.Telemetry()
+		wins := tel.Windows()
+		out := make([]telemetry.Window, 0, len(wins))
+		for _, win := range wins {
+			if fromNS > 0 && win.EndNS <= fromNS {
+				continue
+			}
+			if toNS > 0 && win.StartNS >= toNS {
+				continue
+			}
+			out = append(out, win)
+		}
+		if last > 0 && int64(len(out)) > last {
+			out = out[int64(len(out))-last:]
+		}
+		return rollupsResponse{
+			Windows:        out,
+			Flight:         tel.FlightCounters(),
+			DroppedWindows: tel.DroppedWindows(),
+		}, nil
+	})
+	if err != nil {
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 // intentRequest is the POST /v1/intents body: an Intent plus the apply

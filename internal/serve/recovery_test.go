@@ -59,7 +59,7 @@ func walOffsets(t *testing.T, wal []byte) []int64 {
 // pooled events and level cascades it exercises through the beacon
 // tickers (level 1-2 ticks) and DHCP lease timers (level 3+).
 func TestCrashRecoveryAtEveryWALBoundary(t *testing.T) {
-	refEvs, refSpans := referenceRun(t)
+	refEvs, refSpans, refRoll := referenceRun(t)
 	script := testScript()
 
 	// One complete live run produces the full WAL image.
@@ -141,6 +141,10 @@ func TestCrashRecoveryAtEveryWALBoundary(t *testing.T) {
 				t.Fatalf("span stream differs after crash at %s: %d vs %d bytes",
 					c.name, len(gotSpans), len(refSpans))
 			}
+			if gotRoll := rollupArtifacts(t, resumed); !bytes.Equal(refRoll, gotRoll) {
+				t.Fatalf("rollup export differs after crash at %s: %d vs %d bytes",
+					c.name, len(gotRoll), len(refRoll))
+			}
 		})
 	}
 }
@@ -149,7 +153,7 @@ func TestCrashRecoveryAtEveryWALBoundary(t *testing.T) {
 // final checkpoint: replay alone must reach the full horizon and already
 // match the reference streams with no further driving.
 func TestCrashAfterFinalCheckpoint(t *testing.T) {
-	refEvs, refSpans := referenceRun(t)
+	refEvs, refSpans, refRoll := referenceRun(t)
 
 	victim := t.TempDir()
 	srv, err := Open(victim, corridorWorld())
@@ -175,6 +179,9 @@ func TestCrashAfterFinalCheckpoint(t *testing.T) {
 	}
 	if !bytes.Equal(refSpans, gotSpans) {
 		t.Fatalf("checkpoint-restored span stream differs: %d vs %d bytes", len(gotSpans), len(refSpans))
+	}
+	if gotRoll := rollupArtifacts(t, resumed); !bytes.Equal(refRoll, gotRoll) {
+		t.Fatalf("checkpoint-restored rollup export differs: %d vs %d bytes", len(gotRoll), len(refRoll))
 	}
 	srv.Close()
 }

@@ -9,6 +9,7 @@ import (
 	"spider/internal/core"
 	"spider/internal/obs"
 	"spider/internal/sim"
+	"spider/internal/telemetry"
 )
 
 // Server owns one live scenario plus its durability state: the world
@@ -25,6 +26,10 @@ type Server struct {
 	// rec is the scenario's deterministic recorder — the artifact the
 	// bit-identical-resume contract covers.
 	rec *obs.Recorder
+	// tel is the world's streaming aggregation plane (nil when the spec
+	// disables it). Rebuilt fresh on every Open and refilled by replay,
+	// so its rollups share the recorder's bit-identical-resume contract.
+	tel *telemetry.Aggregator
 	// life is the daemon's own telemetry recorder (serve.* events). It
 	// is explicitly outside the determinism contract: restore, stall,
 	// and WAL-repair events describe this process's life, not the
@@ -120,7 +125,10 @@ func Open(dir string, spec *WorldSpec) (*Server, error) {
 	}
 
 	// Build the world and declared clients at virtual time zero.
-	s.scn = core.NewScenario(spec.WorldConfig(s.rec))
+	s.tel = spec.TelemetryAggregator()
+	wc := spec.WorldConfig(s.rec)
+	wc.Telemetry = s.tel
+	s.scn = core.NewScenario(wc)
 	for _, cs := range spec.Clients {
 		cc, err := cs.ClientConfig()
 		if err != nil {
@@ -323,6 +331,10 @@ func (s *Server) Scenario() *core.Scenario { return s.scn }
 
 // Recorder returns the scenario's deterministic recorder.
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Telemetry returns the streaming aggregation plane (nil when the spec
+// disables it).
+func (s *Server) Telemetry() *telemetry.Aggregator { return s.tel }
 
 // Lifecycle returns the daemon telemetry recorder (serve.* events).
 func (s *Server) Lifecycle() *obs.Recorder { return s.life }

@@ -110,11 +110,34 @@ func streams(t *testing.T, rec *obs.Recorder) ([]byte, []byte) {
 	return evs.Bytes(), spans.Bytes()
 }
 
+// rollupArtifacts renders the telemetry plane's deterministic exports:
+// the rollup JSONL (windows + flight accounting) followed by the flight
+// recorder's retained events and spans.
+func rollupArtifacts(t *testing.T, srv *Server) []byte {
+	t.Helper()
+	tel := srv.Telemetry()
+	if tel == nil {
+		t.Fatal("serve world has no telemetry plane")
+	}
+	var b bytes.Buffer
+	if err := tel.WriteJSONL(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(&b, "", tel.FlightEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteSpansJSONL(&b, "", tel.FlightSpans()); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
 const testUntil = sim.Time(90 * time.Second)
 
 // referenceRun produces the uninterrupted streams every crash-recovery
-// comparison is judged against.
-func referenceRun(t *testing.T) ([]byte, []byte) {
+// comparison is judged against: obs events, spans, and the telemetry
+// rollup/flight exports.
+func referenceRun(t *testing.T) ([]byte, []byte, []byte) {
 	t.Helper()
 	srv, err := Open(t.TempDir(), corridorWorld())
 	if err != nil {
@@ -122,7 +145,8 @@ func referenceRun(t *testing.T) ([]byte, []byte) {
 	}
 	defer srv.Close()
 	driveScript(t, srv, testScript(), sim.Time(time.Second), testUntil)
-	return streams(t, srv.rec)
+	evs, spans := streams(t, srv.rec)
+	return evs, spans, rollupArtifacts(t, srv)
 }
 
 func TestOpenFreshAndPersistedConfig(t *testing.T) {
@@ -155,7 +179,7 @@ func TestOpenFreshAndPersistedConfig(t *testing.T) {
 }
 
 func TestRestoreReplaysByteIdentically(t *testing.T) {
-	refEvs, refSpans := referenceRun(t)
+	refEvs, refSpans, refRoll := referenceRun(t)
 
 	// Live run: drive half the script, checkpoint, drop everything
 	// without closing (crash), reopen, finish the script.
@@ -191,6 +215,9 @@ func TestRestoreReplaysByteIdentically(t *testing.T) {
 	}
 	if !bytes.Equal(refSpans, gotSpans) {
 		t.Fatalf("resumed span stream differs: %d vs %d bytes", len(gotSpans), len(refSpans))
+	}
+	if gotRoll := rollupArtifacts(t, resumed); !bytes.Equal(refRoll, gotRoll) {
+		t.Fatalf("resumed rollup export differs: %d vs %d bytes", len(gotRoll), len(refRoll))
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"spider/internal/mobility"
 	"spider/internal/obs"
 	"spider/internal/sim"
+	"spider/internal/telemetry"
 )
 
 // WorldSpec is the JSON-serializable description a serve world is built
@@ -49,6 +50,56 @@ type WorldSpec struct {
 	// Clients are the clients present from time zero; more arrive later
 	// as add-client intents.
 	Clients []ClientSpec `json:"clients,omitempty"`
+	// Telemetry tunes the streaming aggregation plane. Nil enables it
+	// with package defaults (telemetry is on by default in serve mode —
+	// the rollups are what /v1/rollups serves); set Disable to turn it
+	// off. The field is omitempty, so pre-telemetry config hashes are
+	// unchanged.
+	Telemetry *TelemetrySpec `json:"telemetry,omitempty"`
+}
+
+// TelemetrySpec is the serializable tuning of the streaming telemetry
+// plane (see internal/telemetry). Zero fields take package defaults.
+type TelemetrySpec struct {
+	// Disable turns the plane off entirely: no rollups, no flight
+	// recorder, /v1/rollups answers 404.
+	Disable bool `json:"disable,omitempty"`
+	// WindowNS is the rollup window width (default 1s).
+	WindowNS int64 `json:"window_ns,omitempty"`
+	// MaxWindows bounds retained closed windows (0 keeps all).
+	MaxWindows int `json:"max_windows,omitempty"`
+	// FlightEvents / FlightSpans size the flight recorder rings
+	// (defaults 4096 / 2048; negative disables a ring).
+	FlightEvents int `json:"flight_events,omitempty"`
+	FlightSpans  int `json:"flight_spans,omitempty"`
+	// KeepClients is the flight sampling fraction (default 0.05).
+	KeepClients float64 `json:"keep_clients,omitempty"`
+	// SLOs replaces the default health rule set; nil keeps
+	// telemetry.DefaultSLOs().
+	SLOs []telemetry.SLORule `json:"slos,omitempty"`
+}
+
+// TelemetryAggregator builds the world's aggregator from the spec, or
+// nil when the spec disables the plane. The aggregator is rebuilt fresh
+// on every Open and refilled by intent replay, which is what makes
+// post-restore rollups byte-identical to an uninterrupted run's.
+func (w *WorldSpec) TelemetryAggregator() *telemetry.Aggregator {
+	t := w.Telemetry
+	if t != nil && t.Disable {
+		return nil
+	}
+	cfg := telemetry.Config{Seed: w.Seed, SLOs: telemetry.DefaultSLOs()}
+	if t != nil {
+		cfg.Window = sim.Time(t.WindowNS)
+		cfg.MaxWindows = t.MaxWindows
+		cfg.FlightEvents = t.FlightEvents
+		cfg.FlightSpans = t.FlightSpans
+		cfg.KeepClients = t.KeepClients
+		if t.SLOs != nil {
+			cfg.SLOs = t.SLOs
+		}
+	}
+	return telemetry.New(cfg)
 }
 
 // ClientSpec is the serializable client description used both in the

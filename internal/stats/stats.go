@@ -115,6 +115,64 @@ func Percentile(xs []float64, q float64) float64 {
 	return quantileSorted(sorted, q)
 }
 
+// QuantileFromBuckets returns the q-quantile of a distribution summarized
+// by a fixed-bucket histogram: uppers[i] is bucket i's upper bound
+// (ascending), counts[i] its observation count, and observations are
+// assumed uniform within a bucket, so the answer interpolates linearly
+// between the bucket's lower bound (the previous upper, or 0 for the
+// first bucket) and its upper bound. This is the shared quantile path for
+// every streaming sketch in the tree (internal/telemetry's rollup
+// windows, tracereport's rollup reports): deterministic, no sampling, and
+// exact to within one bucket's width.
+//
+// q clamps to [0,1]. An empty histogram (no counts, or mismatched slice
+// lengths) yields NaN, mirroring Percentile on an empty sample.
+func QuantileFromBuckets(uppers []float64, counts []int64, q float64) float64 {
+	if len(uppers) != len(counts) || len(uppers) == 0 {
+		return math.NaN()
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = uppers[i-1]
+		}
+		if rank <= float64(cum+c) {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(uppers[i]-lower)
+		}
+		cum += c
+	}
+	// rank == total landed past the loop's last bucket due to float
+	// rounding: the answer is the last non-empty bucket's upper bound.
+	for i := len(counts) - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			return uppers[i]
+		}
+	}
+	return math.NaN()
+}
+
 // Jain returns Jain's fairness index (Σx)²/(n·Σx²) of a per-client
 // allocation: 1 when every client gets the same share, 1/n when one client
 // gets everything. An empty or all-zero sample is perfectly fair — every

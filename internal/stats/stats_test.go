@@ -189,3 +189,80 @@ func TestPropertyRunsPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantileFromBuckets(t *testing.T) {
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+	uppers := []float64{10, 20, 40, 80}
+	cases := []struct {
+		name   string
+		uppers []float64
+		counts []int64
+		q      float64
+		want   float64
+		nan    bool
+	}{
+		{name: "empty-slices", nan: true},
+		{name: "zero-counts", uppers: uppers, counts: []int64{0, 0, 0, 0}, nan: true},
+		{name: "mismatched-lengths", uppers: uppers, counts: []int64{1, 2}, nan: true},
+		// Single non-empty bucket: interpolate across [20, 40].
+		{name: "single-bucket-min", uppers: uppers, counts: []int64{0, 0, 4, 0}, q: 0, want: 20},
+		{name: "single-bucket-median", uppers: uppers, counts: []int64{0, 0, 4, 0}, q: 0.5, want: 30},
+		{name: "single-bucket-max", uppers: uppers, counts: []int64{0, 0, 4, 0}, q: 1, want: 40},
+		// First bucket's lower bound is 0.
+		{name: "first-bucket", uppers: uppers, counts: []int64{2, 0, 0, 0}, q: 0.5, want: 5},
+		// Uniform counts: the median sits exactly on a bucket boundary.
+		{name: "boundary", uppers: uppers, counts: []int64{1, 1, 1, 1}, q: 0.5, want: 20},
+		// Interpolation inside the third bucket: rank 2.5 of 4 is at the
+		// midpoint of [20, 40].
+		{name: "interior", uppers: uppers, counts: []int64{1, 1, 1, 1}, q: 0.625, want: 30},
+		// Skewed mass: 9 of 10 observations in the first bucket.
+		{name: "skewed-p50", uppers: uppers, counts: []int64{9, 0, 0, 1}, q: 0.5, want: 10.0 * 5 / 9},
+		{name: "skewed-p95", uppers: uppers, counts: []int64{9, 0, 0, 1}, q: 0.95, want: 40 + 0.5*40},
+		// q clamps.
+		{name: "clamp-low", uppers: uppers, counts: []int64{1, 1, 1, 1}, q: -3, want: 0},
+		{name: "clamp-high", uppers: uppers, counts: []int64{1, 1, 1, 1}, q: 7, want: 80},
+	}
+	for _, tc := range cases {
+		got := QuantileFromBuckets(tc.uppers, tc.counts, tc.q)
+		if tc.nan {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: got %v, want NaN", tc.name, got)
+			}
+			continue
+		}
+		if !approx(got, tc.want) {
+			t.Errorf("%s: QuantileFromBuckets(q=%g) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// Property: bucket quantiles are monotone in q and bounded by the
+// histogram's support.
+func TestPropertyQuantileFromBucketsMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int64, 6)
+		uppers := []float64{1, 2, 4, 8, 16, 32}
+		any := false
+		for i, r := range raw {
+			counts[i%6] += int64(r % 7)
+			if r%7 > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return math.IsNaN(QuantileFromBuckets(uppers, counts, 0.5))
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := QuantileFromBuckets(uppers, counts, q)
+			if v < prev-1e-9 || v < 0 || v > 32 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

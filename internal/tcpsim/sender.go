@@ -96,6 +96,11 @@ type Sender struct {
 	FastRetransmits int
 	SegmentsSent    int
 	BytesAcked      int64
+
+	// OnRTT, when non-nil, observes every accepted RTT sample (Karn-safe,
+	// in sequence order) at the sim time it was folded — the telemetry
+	// plane's per-window RTT sketch hangs off this.
+	OnRTT func(at sim.Time, sample sim.Time)
 }
 
 // NewSender creates a sender. out transmits a segment toward the receiver;
@@ -313,6 +318,9 @@ func (s *Sender) sampleRTT(ack uint32) {
 }
 
 func (s *Sender) addSample(sample sim.Time) {
+	if s.OnRTT != nil {
+		s.OnRTT(s.eng.Now(), sample)
+	}
 	if !s.hasSample {
 		s.hasSample = true
 		s.srtt = sample

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// Collector accumulates the rollup exports of a multi-run sweep and
+// writes them in canonical run-label order, so the merged artifact is
+// byte-identical however runs were scheduled across fleet workers —
+// the same contract as obs.Collector for raw streams. Add is safe from
+// fleet job goroutines.
+type Collector struct {
+	mu   sync.Mutex
+	runs map[string]*runRollups
+}
+
+type runRollups struct {
+	windows []Window
+	flight  FlightCounters
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{runs: make(map[string]*runRollups)}
+}
+
+// Add stores one finished aggregator's windows and flight accounting
+// under a run label. Nil-safe on both sides.
+func (c *Collector) Add(run string, a *Aggregator) {
+	if c == nil || a == nil {
+		return
+	}
+	c.mu.Lock()
+	c.runs[run] = &runRollups{windows: a.Windows(), flight: a.FlightCounters()}
+	c.mu.Unlock()
+}
+
+// Runs returns the stored run labels in sorted (export) order.
+func (c *Collector) Runs() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := make([]string, 0, len(c.runs))
+	for l := range c.runs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// WindowCount returns the total closed windows across all runs.
+func (c *Collector) WindowCount() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.runs {
+		n += len(r.windows)
+	}
+	return n
+}
+
+// WriteJSONL exports every run's rollups, runs in sorted label order.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	for _, run := range c.Runs() {
+		c.mu.Lock()
+		r := c.runs[run]
+		c.mu.Unlock()
+		fc := r.flight
+		if err := WriteRollupsJSONL(w, run, r.windows, &fc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import "fmt"
+
+// SLORule is one declarative health objective evaluated against every
+// closed window. A rule reads a single derived signal from the window
+// and violates when it crosses Limit in the direction Op names. Rules
+// are pure functions of window contents, so health transitions inherit
+// the rollup determinism contract: same run, same violations, any
+// worker count, before and after a crash/restore replay.
+type SLORule struct {
+	// Name identifies the rule in health events and window annotations.
+	Name string `json:"name"`
+	// Signal selects the window-derived value: "join_p95_ms",
+	// "outage_rate" (outage-seconds per client-second), "jain",
+	// "pool_exhausted" (DHCP exhaustion increments this window).
+	Signal string `json:"signal"`
+	// Op is "max" (violate when signal > Limit) or "min" (violate when
+	// signal < Limit).
+	Op string `json:"op"`
+	// Limit is the threshold in the signal's native unit.
+	Limit float64 `json:"limit"`
+	// MinCount gates evaluation on sample support: join quantiles need
+	// MinCount completions in the window, Jain needs MinCount clients.
+	// A window without support neither violates nor recovers the rule.
+	MinCount int64 `json:"min_count,omitempty"`
+}
+
+// DefaultSLOs is the stock rule set serve and the experiments run with:
+// the operational signals the paper's evaluation (join tails, outage
+// windows, fairness) says matter at population scale.
+func DefaultSLOs() []SLORule {
+	return []SLORule{
+		{Name: "join-p95", Signal: "join_p95_ms", Op: "max", Limit: 1500, MinCount: 3},
+		{Name: "outage-rate", Signal: "outage_rate", Op: "max", Limit: 0.25},
+		{Name: "jain-floor", Signal: "jain", Op: "min", Limit: 0.4, MinCount: 4},
+		{Name: "pool-exhausted", Signal: "pool_exhausted", Op: "max", Limit: 0},
+	}
+}
+
+// signal extracts the rule's signal from a closed window. ok=false when
+// the window lacks the sample support to evaluate it.
+func (r SLORule) signal(w *Window) (float64, bool) {
+	switch r.Signal {
+	case "join_p95_ms":
+		if w.JoinOKs < max64(r.MinCount, 1) {
+			return 0, false
+		}
+		return w.JoinP95MS, true
+	case "outage_rate":
+		dur := w.EndNS - w.StartNS
+		clients := w.Clients
+		if clients <= 0 {
+			clients = w.ActiveClients
+		}
+		if dur <= 0 || clients <= 0 {
+			return 0, false
+		}
+		return float64(w.OutageNS) / (float64(dur) * float64(clients)), true
+	case "jain":
+		if int64(w.Clients) < r.MinCount {
+			return 0, false
+		}
+		return w.Jain, true
+	case "pool_exhausted":
+		return float64(w.PoolExhausted), true
+	}
+	return 0, false
+}
+
+// violated evaluates the rule. defined=false when the signal is unknown
+// or the window lacks support.
+func (r SLORule) violated(w *Window) (value float64, bad, defined bool) {
+	v, ok := r.signal(w)
+	if !ok {
+		return 0, false, false
+	}
+	switch r.Op {
+	case "max":
+		return v, v > r.Limit, true
+	case "min":
+		return v, v < r.Limit, true
+	}
+	return v, false, false
+}
+
+// note renders the health event annotation: which rule, the observed
+// signal, the limit it crossed, and the window it happened in.
+func (r SLORule) note(value float64, windowIdx int64) string {
+	return fmt.Sprintf("%s %s=%.3f %s=%.3f w=%d", r.Name, r.Signal, value, r.Op, r.Limit, windowIdx)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
